@@ -1,0 +1,211 @@
+// Benchmarks regenerating the workload behind every figure of the paper's
+// evaluation, at the Small corpus scale so single iterations stay fast.
+// cmd/pmihp-bench runs the same experiments at harness or paper scale with
+// full table output; these testing.B entry points make the per-figure
+// workloads measurable with `go test -bench`.
+package pmihp
+
+import (
+	"sync"
+	"testing"
+
+	"pmihp/internal/apriori"
+	"pmihp/internal/core"
+	"pmihp/internal/corpus"
+	"pmihp/internal/countdist"
+	"pmihp/internal/dhp"
+	"pmihp/internal/fpgrowth"
+	"pmihp/internal/mining"
+	"pmihp/internal/rules"
+	"pmihp/internal/text"
+	"pmihp/internal/txdb"
+)
+
+var (
+	benchOnce sync.Once
+	benchA    *txdb.DB
+	benchB    *txdb.DB
+	benchC    *txdb.DB
+)
+
+func benchDBs(b *testing.B) (dbA, dbB, dbC *txdb.DB) {
+	b.Helper()
+	benchOnce.Do(func() {
+		docsA := corpus.MustGenerate(corpus.CorpusA(corpus.Small))
+		benchA, _ = text.ToDB(docsA, nil)
+		docsB := corpus.MustGenerate(corpus.CorpusB(corpus.Small))
+		benchB, _ = text.ToDB(docsB, nil)
+		docsC := corpus.MustGenerate(corpus.CorpusC(corpus.Small))
+		benchC, _ = text.ToDB(docsC, nil)
+	})
+	return benchA, benchB, benchC
+}
+
+// ---- Figure 4 (E1): sequential miners on Corpus A, low minimum support ----
+
+func BenchmarkE1Fig4_Apriori(b *testing.B) {
+	dbA, _, _ := benchDBs(b)
+	opts := mining.Options{MinSupFrac: 0.02, MaxK: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := apriori.Mine(dbA, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1Fig4_DHP(b *testing.B) {
+	dbA, _, _ := benchDBs(b)
+	opts := mining.Options{MinSupFrac: 0.02, MaxK: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dhp.Mine(dbA, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1Fig4_FPGrowth(b *testing.B) {
+	dbA, _, _ := benchDBs(b)
+	opts := mining.Options{MinSupFrac: 0.02, MaxK: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fpgrowth.Mine(dbA, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1Fig4_MIHP(b *testing.B) {
+	dbA, _, _ := benchDBs(b)
+	opts := mining.Options{MinSupFrac: 0.02, MaxK: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MineMIHP(dbA, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figure 5 (E2): parallel miners on Corpus A, 8 nodes ----
+
+func BenchmarkE2Fig5_CountDistribution(b *testing.B) {
+	dbA, _, _ := benchDBs(b)
+	opts := mining.Options{MinSupFrac: 0.02, MaxK: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := countdist.Mine(dbA, countdist.Config{Nodes: 8}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2Fig5_PMIHP(b *testing.B) {
+	dbA, _, _ := benchDBs(b)
+	opts := mining.Options{MinSupFrac: 0.02, MaxK: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MinePMIHP(dbA, core.PMIHPConfig{Nodes: 8}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figures 6/7/9/10 (E3/E4/E6/E7): PMIHP node scaling on Corpus B ----
+
+func benchScaling(b *testing.B, nodes int) {
+	_, dbB, _ := benchDBs(b)
+	opts := mining.Options{MinSupCount: 2, MaxK: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := core.MinePMIHP(dbB, core.PMIHPConfig{Nodes: nodes}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.TotalSeconds, "sim-s")
+		b.ReportMetric(r.AvgCandidates(2), "cand2/node")
+	}
+}
+
+func BenchmarkE3Fig6_PMIHP1(b *testing.B) { benchScaling(b, 1) }
+func BenchmarkE3Fig6_PMIHP2(b *testing.B) { benchScaling(b, 2) }
+func BenchmarkE3Fig6_PMIHP4(b *testing.B) { benchScaling(b, 4) }
+func BenchmarkE3Fig6_PMIHP8(b *testing.B) { benchScaling(b, 8) }
+
+// ---- Figure 8 (E5): deferred global support counting ----
+
+func BenchmarkE5Fig8_DeferredPolling(b *testing.B) {
+	_, dbB, _ := benchDBs(b)
+	opts := mining.Options{MinSupCount: 2, MaxK: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := core.MinePMIHP(dbB, core.PMIHPConfig{Nodes: 4, Mode: core.Deferred}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GlobalCountSeconds, "globalcnt-s")
+	}
+}
+
+// ---- Figure 11 (E8): candidate 3-itemsets, Apriori reference ----
+
+func BenchmarkE8Fig11_AprioriC3(b *testing.B) {
+	_, dbB, _ := benchDBs(b)
+	opts := mining.Options{MinSupCount: 2, MaxK: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := apriori.Mine(dbB, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Metrics.CandidatesByK[3]), "cand3")
+	}
+}
+
+// ---- §3 closing experiment (E9): 8-week corpus, 2-itemsets ----
+
+func BenchmarkE9EightWeek_PMIHP1(b *testing.B) {
+	_, _, dbC := benchDBs(b)
+	opts := mining.Options{MinSupCount: 2, MaxK: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MinePMIHP(dbC, core.PMIHPConfig{Nodes: 1}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9EightWeek_PMIHP8(b *testing.B) {
+	_, _, dbC := benchDBs(b)
+	opts := mining.Options{MinSupCount: 2, MaxK: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MinePMIHP(dbC, core.PMIHPConfig{Nodes: 8}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Supporting micro-benchmarks for the hot substrates ----
+
+func BenchmarkRuleGeneration(b *testing.B) {
+	_, dbB, _ := benchDBs(b)
+	res, err := core.MineMIHP(dbB, mining.Options{MinSupCount: 4, MaxK: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rules.Generate(res.Frequent, dbB.Len(), 0.8)
+	}
+}
+
+func BenchmarkCorpusGeneration(b *testing.B) {
+	cfg := corpus.CorpusB(corpus.Small)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := corpus.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

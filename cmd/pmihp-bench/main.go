@@ -1,0 +1,73 @@
+// Command pmihp-bench regenerates the paper's tables and figures (and the
+// ablations in DESIGN.md) from the synthetic corpora.
+//
+// Usage:
+//
+//	pmihp-bench -list
+//	pmihp-bench -exp e1 [-scale small|harness|paper] [-v]
+//	pmihp-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pmihp/internal/corpus"
+	"pmihp/internal/experiments"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale   = flag.String("scale", "harness", "corpus scale: small, harness, or paper")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		verbose = flag.Bool("v", false, "log progress to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "pmihp-bench: -exp required (or -list); e.g. -exp e1")
+		os.Exit(2)
+	}
+
+	sc, err := corpus.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
+		os.Exit(2)
+	}
+	params := experiments.Params{Scale: sc}
+	if *verbose {
+		params.Log = os.Stderr
+	}
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		out, err := e.Run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmihp-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s: %s\n\n%s\n(real time %.1fs)\n\n", e.ID, e.Title, out, time.Since(start).Seconds())
+	}
+
+	if *expID == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.ByID(*expID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pmihp-bench: unknown experiment %q (use -list)\n", *expID)
+		os.Exit(2)
+	}
+	run(e)
+}

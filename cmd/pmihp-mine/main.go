@@ -1,0 +1,177 @@
+// Command pmihp-mine runs any of the implemented miners over a synthetic
+// corpus preset and prints frequent itemsets, association rules, and run
+// metrics.
+//
+// Usage:
+//
+//	pmihp-mine -algo pmihp -corpus b -scale small -minsup 0.02 -nodes 8 -rules 20
+//	pmihp-mine -algo mihp -corpus a -minsup-count 5 -top 25
+//	pmihp-mine -in docs.txt -algo pmihp -minsup-count 2       # line-format file
+//	pmihp-mine -trec wsj_0401 -algo mihp -minsup 0.02         # TREC markup
+//
+// Algorithms: apriori, dhp, fpgrowth, mihp, ihp, cd, pmihp.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmihp/internal/apriori"
+	"pmihp/internal/core"
+	"pmihp/internal/corpus"
+	"pmihp/internal/countdist"
+	"pmihp/internal/datadist"
+	"pmihp/internal/dhp"
+	"pmihp/internal/fpgrowth"
+	"pmihp/internal/mining"
+	"pmihp/internal/rules"
+	"pmihp/internal/text"
+	"pmihp/internal/trec"
+)
+
+func main() {
+	var (
+		algo        = flag.String("algo", "pmihp", "apriori | dhp | fpgrowth | mihp | ihp | cd | dd | pmihp")
+		corpusID    = flag.String("corpus", "b", "corpus preset: a, b, or c")
+		scale       = flag.String("scale", "small", "corpus scale: small, harness, paper")
+		inFile      = flag.String("in", "", "mine a line-format documents file instead of a preset")
+		trecFile    = flag.String("trec", "", "mine a TREC-markup file instead of a preset")
+		minsup      = flag.Float64("minsup", 0.02, "minimum support fraction")
+		minsupCount = flag.Int("minsup-count", 0, "absolute minimum support count (overrides -minsup)")
+		maxK        = flag.Int("maxk", 0, "largest itemset size to mine (0 = unbounded)")
+		nodes       = flag.Int("nodes", 4, "simulated nodes for cd/pmihp")
+		top         = flag.Int("top", 15, "frequent itemsets to print")
+		nRules      = flag.Int("rules", 10, "association rules to print (0 to skip)")
+		minConf     = flag.Float64("minconf", 0.75, "minimum rule confidence")
+	)
+	flag.Parse()
+
+	var docs []text.Document
+	label := ""
+	switch {
+	case *inFile != "":
+		var err error
+		docs, err = text.LoadDocuments(*inFile)
+		if err != nil {
+			fail(err)
+		}
+		label = *inFile
+	case *trecFile != "":
+		var err error
+		docs, err = trec.ParseFile(*trecFile, nil)
+		if err != nil {
+			fail(err)
+		}
+		label = *trecFile
+	default:
+		sc, err := corpus.ParseScale(*scale)
+		if err != nil {
+			fail(err)
+		}
+		var cfg corpus.Config
+		switch *corpusID {
+		case "a":
+			cfg = corpus.CorpusA(sc)
+		case "b":
+			cfg = corpus.CorpusB(sc)
+		case "c":
+			cfg = corpus.CorpusC(sc)
+		default:
+			fail(fmt.Errorf("unknown corpus %q (want a, b, or c)", *corpusID))
+		}
+		docs, err = corpus.Generate(cfg)
+		if err != nil {
+			fail(err)
+		}
+		label = fmt.Sprintf("%s (%s)", cfg.Name, sc)
+	}
+
+	db, vocab := text.ToDB(docs, nil)
+	st := db.ComputeStats()
+	fmt.Printf("corpus %s: %d docs, %d unique words, mean %.0f words/doc\n",
+		label, st.Docs, st.UniqueItems, st.MeanLen)
+
+	opts := mining.Options{MinSupFrac: *minsup, MinSupCount: *minsupCount, MaxK: *maxK}
+	var result *mining.Result
+	var err error
+	switch *algo {
+	case "apriori":
+		result, err = apriori.Mine(db, opts)
+	case "dhp":
+		result, err = dhp.Mine(db, opts)
+	case "fpgrowth":
+		result, err = fpgrowth.Mine(db, opts)
+	case "mihp":
+		result, err = core.MineMIHP(db, opts)
+	case "ihp":
+		result, err = core.MineIHP(db, opts)
+	case "cd":
+		var pr *core.ParallelResult
+		pr, err = countdist.Mine(db, countdist.Config{Nodes: *nodes}, opts)
+		if pr != nil {
+			result = pr.Result
+			fmt.Printf("simulated total time on %d nodes: %.1fs\n", *nodes, pr.TotalSeconds)
+		}
+	case "dd":
+		var pr *core.ParallelResult
+		pr, err = datadist.Mine(db, datadist.Config{Nodes: *nodes}, opts)
+		if pr != nil {
+			result = pr.Result
+			fmt.Printf("simulated total time on %d nodes: %.1fs\n", *nodes, pr.TotalSeconds)
+		}
+	case "pmihp":
+		var pr *core.ParallelResult
+		pr, err = core.MinePMIHP(db, core.PMIHPConfig{Nodes: *nodes}, opts)
+		if pr != nil {
+			result = pr.Result
+			fmt.Printf("simulated total time on %d nodes: %.1fs\n", *nodes, pr.TotalSeconds)
+		}
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", *algo, err))
+	}
+
+	fmt.Printf("%s\n", result.Metrics.String())
+	byK := result.CountByK()
+	fmt.Printf("frequent itemsets found: %d total", len(result.Frequent))
+	for k := 1; ; k++ {
+		n, ok := byK[k]
+		if !ok {
+			break
+		}
+		fmt.Printf(", %d of size %d", n, k)
+	}
+	fmt.Println()
+
+	fmt.Printf("\ntop %d frequent itemsets (size >= 2):\n", *top)
+	printed := 0
+	for _, c := range result.Frequent {
+		if len(c.Set) < 2 {
+			continue
+		}
+		fmt.Printf("  %5d  %v\n", c.Count, vocab.Words(c.Set))
+		printed++
+		if printed >= *top {
+			break
+		}
+	}
+
+	if *nRules > 0 {
+		rs := rules.Generate(result.Frequent, db.Len(), *minConf)
+		fmt.Printf("\n%d rules at minconf %.2f; top %d:\n", len(rs), *minConf, *nRules)
+		for i, r := range rs {
+			if i >= *nRules {
+				break
+			}
+			fmt.Printf("  %s\n", r.Render(vocab.Word))
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pmihp-mine:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+// Quickstart: generate a small synthetic news corpus, mine frequent word
+// sets with PMIHP on four simulated nodes, and print the strongest
+// association rules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmihp/internal/core"
+	"pmihp/internal/corpus"
+	"pmihp/internal/mining"
+	"pmihp/internal/rules"
+	"pmihp/internal/text"
+)
+
+func main() {
+	// 1. A corpus: ~100 documents over 8 publication days.
+	docs := corpus.MustGenerate(corpus.CorpusB(corpus.Small))
+	db, vocab := text.ToDB(docs, nil)
+	fmt.Printf("corpus: %d documents, %d distinct words\n", db.Len(), vocab.Size())
+
+	// 2. Mine with PMIHP: words co-occurring in at least 3 documents,
+	//    itemsets up to size 3, four asynchronous miner nodes.
+	result, err := core.MinePMIHP(db,
+		core.PMIHPConfig{Nodes: 4},
+		mining.Options{MinSupCount: 3, MaxK: 3},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frequent itemsets: %d (simulated cluster time %.1fs)\n",
+		len(result.Result.Frequent), result.TotalSeconds)
+
+	// 3. Rules at 60% confidence.
+	rs := rules.Generate(result.Result.Frequent, db.Len(), 0.60)
+	fmt.Printf("rules at minconf 0.60: %d; strongest:\n", len(rs))
+	for i, r := range rs {
+		if i >= 8 {
+			break
+		}
+		fmt.Println("  ", r.Render(vocab.Word))
+	}
+}

@@ -1,0 +1,3 @@
+module pmihp
+
+go 1.22

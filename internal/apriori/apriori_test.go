@@ -1,0 +1,126 @@
+package apriori
+
+import (
+	"testing"
+
+	"pmihp/internal/corpus"
+	"pmihp/internal/itemset"
+	"pmihp/internal/mining"
+	"pmihp/internal/text"
+	"pmihp/internal/txdb"
+)
+
+func smallDB(t testing.TB) *txdb.DB {
+	t.Helper()
+	docs, err := corpus.Generate(corpus.CorpusB(corpus.Small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := text.ToDB(docs, nil)
+	return db
+}
+
+func TestMatchesBruteForce(t *testing.T) {
+	cfg := corpus.CorpusB(corpus.Small)
+	cfg.Docs, cfg.VocabSize, cfg.HeadCut, cfg.DocLenMean = 60, 500, 40, 18
+	docs, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := text.ToDB(docs, nil)
+	for _, minsup := range []float64{0.10, 0.05} {
+		opts := mining.Options{MinSupFrac: minsup}
+		want := mining.BruteForce(db, opts)
+		got, err := Mine(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, diff := mining.SameFrequentSets(want, got); !ok {
+			t.Fatalf("minsup=%g: %s", minsup, diff)
+		}
+	}
+}
+
+func TestKnownTinyAnswer(t *testing.T) {
+	db := txdb.New([]txdb.Transaction{
+		{TID: 0, Items: itemset.New(1, 3, 4)},
+		{TID: 1, Items: itemset.New(2, 3, 5)},
+		{TID: 2, Items: itemset.New(1, 2, 3, 5)},
+		{TID: 3, Items: itemset.New(2, 5)},
+	}, 6)
+	// The classic Agrawal & Srikant example: at minsup count 2, the only
+	// frequent 3-itemset is {2, 3, 5}.
+	r, err := Mine(db, mining.Options{MinSupCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3 := r.FrequentOfSize(3)
+	if len(f3) != 1 || !f3[0].Set.Equal(itemset.New(2, 3, 5)) || f3[0].Count != 2 {
+		t.Fatalf("frequent 3-itemsets = %v", f3)
+	}
+}
+
+func TestMaxK(t *testing.T) {
+	db := smallDB(t)
+	r, err := Mine(db, mining.Options{MinSupCount: 3, MaxK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Frequent {
+		if len(c.Set) > 2 {
+			t.Fatalf("MaxK violated: %v", c.Set)
+		}
+	}
+}
+
+func TestMemoryBudgetOOM(t *testing.T) {
+	db := smallDB(t)
+	// A budget of a few KB cannot hold the conceptual C2.
+	_, err := Mine(db, mining.Options{MinSupFrac: 0.05, MemoryBudget: 4096})
+	if !mining.IsMemoryErr(err) {
+		t.Fatalf("expected memory error, got %v", err)
+	}
+	// A generous budget runs fine.
+	if _, err := Mine(db, mining.Options{MinSupFrac: 0.05, MaxK: 3, MemoryBudget: 1 << 30}); err != nil {
+		t.Fatalf("generous budget failed: %v", err)
+	}
+}
+
+func TestOOMThresholdMovesWithSupport(t *testing.T) {
+	// The paper's key memory observation: the candidate footprint grows as
+	// the minimum support drops, so a budget that admits a high support
+	// level fails a lower one.
+	db := smallDB(t)
+	high, err := Mine(db, mining.Options{MinSupFrac: 0.12, MaxK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := Mine(db, mining.Options{MinSupFrac: 0.04, MaxK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Metrics.PeakCandidateBytes <= high.Metrics.PeakCandidateBytes {
+		t.Fatalf("candidate memory did not grow: %d vs %d",
+			low.Metrics.PeakCandidateBytes, high.Metrics.PeakCandidateBytes)
+	}
+	budget := (low.Metrics.PeakCandidateBytes + high.Metrics.PeakCandidateBytes) / 2
+	if _, err := Mine(db, mining.Options{MinSupFrac: 0.12, MaxK: 2, MemoryBudget: budget}); err != nil {
+		t.Fatalf("high support failed under mid budget: %v", err)
+	}
+	if _, err := Mine(db, mining.Options{MinSupFrac: 0.04, MaxK: 2, MemoryBudget: budget}); !mining.IsMemoryErr(err) {
+		t.Fatalf("low support should OOM under mid budget, got %v", err)
+	}
+}
+
+func TestConceptualC2Accounting(t *testing.T) {
+	db := smallDB(t)
+	r, err := Mine(db, mining.Options{MinSupCount: 5, MaxK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := len(r.FrequentOfSize(1))
+	wantC2 := f1 * (f1 - 1) / 2
+	if r.Metrics.CandidatesByK[2] != wantC2 {
+		t.Fatalf("C2 accounting = %d, want C(%d,2) = %d", r.Metrics.CandidatesByK[2], f1, wantC2)
+	}
+}

@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+
+	"pmihp/internal/core"
+	"pmihp/internal/itemset"
+	"pmihp/internal/mining"
+	"pmihp/internal/txdb"
+)
+
+// A six-document database where words 0, 1 and 2 form a recurring theme.
+func exampleDB() *txdb.DB {
+	txs := []txdb.Transaction{
+		{TID: 0, Day: 0, Items: itemset.New(0, 1, 2, 9)},
+		{TID: 1, Day: 0, Items: itemset.New(0, 1, 2, 4)},
+		{TID: 2, Day: 1, Items: itemset.New(0, 1, 2, 5)},
+		{TID: 3, Day: 1, Items: itemset.New(4, 5)},
+		{TID: 4, Day: 2, Items: itemset.New(4, 5, 7)},
+		{TID: 5, Day: 2, Items: itemset.New(7)},
+	}
+	return txdb.New(txs, 10)
+}
+
+func ExampleMineMIHP() {
+	res, err := core.MineMIHP(exampleDB(), mining.Options{MinSupCount: 3})
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range res.Frequent {
+		if len(c.Set) >= 2 {
+			fmt.Println(c.Set, "support", c.Count)
+		}
+	}
+	// Output:
+	// {0, 1} support 3
+	// {0, 1, 2} support 3
+	// {0, 2} support 3
+	// {1, 2} support 3
+}
+
+func ExampleMinePMIHP() {
+	par, err := core.MinePMIHP(exampleDB(),
+		core.PMIHPConfig{Nodes: 3},
+		mining.Options{MinSupCount: 3, MaxK: 3},
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("nodes:", len(par.Nodes))
+	fmt.Println("frequent 3-itemsets:", len(par.Result.FrequentOfSize(3)))
+	// Output:
+	// nodes: 3
+	// frequent 3-itemsets: 1
+}

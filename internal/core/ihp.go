@@ -1,0 +1,23 @@
+package core
+
+import (
+	"pmihp/internal/mining"
+	"pmihp/internal/txdb"
+)
+
+// MineIHP runs the Inverted Hashing and Pruning algorithm *without* the
+// Multipass partitioning (Holt & Chung, IPL 2002 — the paper's reference
+// [12], of which MIHP is the multipass refinement). MIHP degenerates to
+// plain IHP when every frequent item lands in a single partition: one set
+// of passes over the database with THT pruning, but candidate memory no
+// longer bounded by partitioning. The A8 ablation uses it to separate the
+// contributions of the two techniques.
+func MineIHP(db *txdb.DB, opts mining.Options) (*mining.Result, error) {
+	opts = opts.WithDefaults()
+	opts.PartitionSize = 1 << 30
+	res, err := MineMIHP(db, opts)
+	if res != nil {
+		res.Metrics.Algorithm = "ihp"
+	}
+	return res, err
+}

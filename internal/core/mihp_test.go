@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"pmihp/internal/apriori"
+	"pmihp/internal/corpus"
+	"pmihp/internal/mining"
+	"pmihp/internal/text"
+	"pmihp/internal/txdb"
+)
+
+// smallDB generates the Small-scale preset corpus used across core tests.
+func smallDB(t testing.TB, cfg corpus.Config) *txdb.DB {
+	t.Helper()
+	docs, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatalf("corpus.Generate: %v", err)
+	}
+	db, _ := text.ToDB(docs, nil)
+	return db
+}
+
+func TestMIHPMatchesBruteForce(t *testing.T) {
+	cfg := corpus.CorpusB(corpus.Small)
+	cfg.Docs, cfg.VocabSize, cfg.HeadCut, cfg.DocLenMean = 60, 400, 40, 20
+	db := smallDB(t, cfg)
+	opts := mining.Options{MinSupFrac: 0.05, PartitionSize: 7, THTEntries: 16}
+
+	want := mining.BruteForce(db, opts)
+	got, err := MineMIHP(db, opts)
+	if err != nil {
+		t.Fatalf("MineMIHP: %v", err)
+	}
+	if ok, diff := mining.SameFrequentSets(want, got); !ok {
+		t.Fatalf("MIHP differs from brute force: %s", diff)
+	}
+	if got.Metrics.Candidates() == 0 {
+		t.Fatal("MIHP reported zero candidates")
+	}
+}
+
+func TestMIHPMatchesApriori(t *testing.T) {
+	for _, minsup := range []float64{0.10, 0.06, 0.04} {
+		cfg := corpus.CorpusB(corpus.Small)
+		db := smallDB(t, cfg)
+		opts := mining.Options{MinSupFrac: minsup, MaxK: 4}
+
+		ap, err := apriori.Mine(db, opts)
+		if err != nil {
+			t.Fatalf("apriori: %v", err)
+		}
+		mi, err := MineMIHP(db, opts)
+		if err != nil {
+			t.Fatalf("mihp: %v", err)
+		}
+		if ok, diff := mining.SameFrequentSets(ap, mi); !ok {
+			t.Fatalf("minsup=%g: MIHP differs from Apriori: %s", minsup, diff)
+		}
+	}
+}
+
+func TestMIHPTrimmingOffSameAnswer(t *testing.T) {
+	cfg := corpus.CorpusB(corpus.Small)
+	db := smallDB(t, cfg)
+	on, err := MineMIHP(db, mining.Options{MinSupFrac: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := MineMIHP(db, mining.Options{MinSupFrac: 0.05, DisableTrimming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, diff := mining.SameFrequentSets(on, off); !ok {
+		t.Fatalf("trimming changed the answer: %s", diff)
+	}
+}

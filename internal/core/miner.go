@@ -1,0 +1,436 @@
+package core
+
+import (
+	"pmihp/internal/hashtree"
+	"pmihp/internal/itemset"
+	"pmihp/internal/mining"
+	"pmihp/internal/tht"
+	"pmihp/internal/txdb"
+)
+
+// localMiner runs the MIHP partition passes over one (local) database. The
+// sequential algorithm uses it with a single-segment THT cascade and equal
+// local/global thresholds; each PMIHP node uses it with the full cascade,
+// its node-local threshold, and an emit hook that classifies locally
+// frequent itemsets (section 2.4 step 5).
+type localMiner struct {
+	db   *txdb.DB
+	opts mining.Options
+
+	// minLocal is the frequency threshold on the local database; minPrune is
+	// the threshold the cascaded (global) THT bound must reach for a
+	// candidate to stay viable. Sequentially the two coincide.
+	minLocal int
+	minPrune int
+
+	global *tht.Global // cascaded THT view; segment self is this node's own
+	self   int
+
+	freqItems  []itemset.Item   // globally frequent items, ascending
+	freqArr    []bool           // indexed by item: globally frequent?
+	partitions [][]itemset.Item // Partition(freqItems, opts.PartitionSize)
+
+	metrics *mining.Metrics
+
+	// emit receives every locally frequent k-itemset (k >= 2) with its local
+	// support count.
+	emit func(set itemset.Itemset, count int)
+
+	// onPass, when non-nil, is called after every counting pass (PMIHP uses
+	// it to flush accumulated global-candidate batches and to fold work into
+	// the node clock).
+	onPass func()
+
+	// notePair, when non-nil, receives the packed key of every candidate
+	// 2-itemset this miner counts (the E9 experiment measures how many
+	// candidates are counted at more than one node).
+	notePair func(key uint64)
+
+	// accum2 holds every locally frequent 2-itemset found so far across
+	// partitions, packed for the specialized k=3 join.
+	accum2 mining.PairSet
+
+	// scratch counters for transaction trimming, indexed by item.
+	hits      []int32
+	hitsEpoch []int32
+	epoch     int32
+}
+
+// run executes all partition passes.
+func (lm *localMiner) run() {
+	lm.freqArr = make([]bool, lm.db.NumItems())
+	for _, it := range lm.freqItems {
+		lm.freqArr[it] = true
+	}
+	lm.hits = make([]int32, lm.db.NumItems())
+	lm.hitsEpoch = make([]int32, lm.db.NumItems())
+	lm.accum2 = make(mining.PairSet)
+
+	// Accumulated locally frequent itemsets per size, across partitions
+	// (F_k in the pseudo-code, initialized once and extended per partition).
+	accum := make(map[int]*itemset.Set)
+
+	for m := len(lm.partitions) - 1; m >= 0; m-- {
+		lm.minePartition(lm.partitions[m], accum)
+	}
+}
+
+// minePartition discovers every locally frequent itemset whose minimum item
+// lies in part (the items of partition P_m), extending into the previously
+// processed higher partitions via the accumulated frequent sets.
+func (lm *localMiner) minePartition(part []itemset.Item, accum map[int]*itemset.Set) {
+	work := lm.partitionWork(part[0])
+	prevM := lm.pass2(part, work, accum)
+
+	for k := 3; len(prevM) >= 1 && (lm.opts.MaxK == 0 || k <= lm.opts.MaxK); k++ {
+		var cands []itemset.Itemset
+		var potential, prunedSub int
+		if k == 3 {
+			// Specialized join over packed pair keys; accum2 spans all
+			// partitions processed so far, as line 24's subset check needs.
+			cands, potential, prunedSub = mining.Gen3(prevM, lm.accum2)
+		} else {
+			cands, potential, prunedSub = mining.AprioriGen(prevM, accum[k-1])
+		}
+		lm.metrics.Work.Charge(int64(potential), mining.CostCandidateGen)
+		lm.metrics.PrunedBySubset += int64(prunedSub)
+
+		// IHP pruning (lines 27-29): drop candidates whose THT bound shows
+		// they cannot reach the pruning threshold.
+		kept := cands[:0]
+		for _, c := range cands {
+			ok := lm.boundViable(c)
+			if ok {
+				kept = append(kept, c)
+			} else {
+				lm.metrics.PrunedByTHT++
+			}
+		}
+		cands = kept
+		if len(cands) == 0 {
+			break
+		}
+
+		lm.metrics.AddCandidates(k, len(cands))
+		lm.metrics.NoteCandidateBytes(mining.CandidateBytes(k, len(cands)))
+
+		tree := hashtree.Build(k, cands)
+		lm.metrics.Work.Charge(int64(len(cands)), mining.CostTreeInsert)
+		lm.countPassTree(tree, work, k)
+		lm.metrics.Work.Charge(tree.WalkCost(), 1)
+
+		prevM = prevM[:0]
+		acc := lm.accumFor(accum, k)
+		for i := 0; i < tree.Len(); i++ {
+			if c := tree.Count(i); c >= lm.minLocal {
+				set := tree.Candidate(i)
+				lm.emit(set, c)
+				acc.Add(set)
+				prevM = append(prevM, set)
+			}
+		}
+		itemset.Sort(prevM)
+		if lm.onPass != nil {
+			lm.onPass()
+		}
+	}
+}
+
+// partitionWork builds the per-partition working database: transactions
+// restricted to globally frequent items at or above the partition's first
+// item (items below the current partition belong to lower partitions and
+// cannot occur in this partition's candidates; section 2.1). The filtering
+// read is the pass-2 scan cost over the full transactions.
+func (lm *localMiner) partitionWork(first itemset.Item) *txdb.Work {
+	work := txdb.NewWork(lm.db)
+	scanned := int64(0)
+	work.EachIndexed(func(i int, _ txdb.TID, items itemset.Itemset) {
+		scanned += int64(len(items))
+		filtered := make(itemset.Itemset, 0, len(items))
+		for _, it := range items {
+			if it >= first && lm.freqArr[it] {
+				filtered = append(filtered, it)
+			}
+		}
+		if len(filtered) < 2 {
+			work.Prune(i)
+			return
+		}
+		work.Trim(i, filtered)
+	})
+	lm.metrics.Work.Charge(scanned, mining.CostScanItem)
+	return work
+}
+
+// pass2 generates, prunes, and counts the candidate 2-itemsets of the
+// partition: pairs whose first item is in part and whose second is any
+// larger frequent item. It returns the locally frequent 2-itemsets of the
+// partition in lexicographic order.
+func (lm *localMiner) pass2(part []itemset.Item, work *txdb.Work, accum map[int]*itemset.Set) []itemset.Itemset {
+	inPart := make(map[itemset.Item]bool, len(part))
+	for _, it := range part {
+		inPart[it] = true
+	}
+	selfSeg := lm.global.Segment(lm.self)
+
+	// Candidate generation with IHP pair pruning.
+	cands := make(map[uint64]int32) // pair key -> candidate index
+	var keys []uint64
+	pairsConsidered := int64(0)
+	slotsTotal := int64(0)
+	for _, a := range part {
+		if selfSeg.Row(a) == nil {
+			continue // item absent from the local database
+		}
+		for _, b := range lm.freqAbove(a) {
+			if selfSeg.Row(b) == nil {
+				continue
+			}
+			pairsConsidered++
+			ok, slots := selfSeg.PairBoundReachesItems(a, b, lm.minLocal)
+			slotsTotal += int64(slots)
+			if ok && lm.global.NumSegments() > 1 {
+				var gslots int
+				ok, gslots = lm.global.PairBoundReaches(a, b, lm.minPrune)
+				slotsTotal += int64(gslots)
+			}
+			if !ok {
+				lm.metrics.PrunedByTHT++
+				continue
+			}
+			cands[pairKey(a, b)] = int32(len(keys))
+			keys = append(keys, pairKey(a, b))
+		}
+	}
+	lm.metrics.Work.Charge(pairsConsidered, 1)
+	lm.metrics.Work.Charge(slotsTotal, mining.CostTHTSlot)
+	lm.metrics.AddCandidates(2, len(keys))
+	lm.metrics.NoteCandidateBytes(mining.CandidateBytes(2, len(keys)))
+	if lm.notePair != nil {
+		for _, k := range keys {
+			lm.notePair(k)
+		}
+	}
+
+	counts := make([]int32, len(keys))
+	lm.countPass2(cands, counts, inPart, work)
+
+	var frequent []itemset.Itemset
+	for i, key := range keys {
+		if int(counts[i]) >= lm.minLocal {
+			set := pairSet(key)
+			lm.emit(set, int(counts[i]))
+			lm.accum2.Add(set[0], set[1])
+			frequent = append(frequent, set)
+		}
+	}
+	itemset.Sort(frequent)
+	if lm.onPass != nil {
+		lm.onPass()
+	}
+	return frequent
+}
+
+// countPass2 scans the working database once, counting candidate pairs and
+// applying the weakened transaction trimming/pruning rule of section 2.3.
+func (lm *localMiner) countPass2(cands map[uint64]int32, counts []int32, inPart map[itemset.Item]bool, work *txdb.Work) {
+	lm.metrics.Passes++
+	treeWork, hitsN, scanned := int64(0), int64(0), int64(0)
+	trim := !lm.opts.DisableTrimming
+	work.EachIndexed(func(ti int, _ txdb.TID, items itemset.Itemset) {
+		scanned += int64(len(items))
+		lm.epoch++
+		matched := 0
+		txPairs := 0
+		for i := 0; i < len(items); i++ {
+			if !inPart[items[i]] {
+				continue
+			}
+			for j := i + 1; j < len(items); j++ {
+				txPairs++
+				idx, ok := cands[pairKey(items[i], items[j])]
+				if !ok {
+					continue
+				}
+				counts[idx]++
+				hitsN++
+				matched++
+				if trim {
+					lm.bumpHit(items[i])
+					lm.bumpHit(items[j])
+				}
+			}
+		}
+		// Charged as the equivalent hash-tree scan over this partition's
+		// candidate pairs (see mining.Pass2TreeCharge); txPairs bounds the
+		// distinct leaf paths this transaction can reach.
+		flen := pairCountToFlen(txPairs)
+		treeWork += mining.Pass2TreeCharge(flen, len(cands))
+		if trim {
+			lm.applyTrim(ti, items, inPart, matched, 2, work)
+		}
+	})
+	lm.metrics.Work.Charge(scanned, mining.CostScanItem)
+	lm.metrics.Work.Charge(treeWork, 1)
+	lm.metrics.Work.Charge(hitsN, mining.CostCandidateHit)
+}
+
+// pairCountToFlen inverts n*(n-1)/2 approximately, recovering the effective
+// frequent-item count Pass2TreeCharge expects from a pair count.
+func pairCountToFlen(pairs int) int {
+	if pairs <= 0 {
+		return 0
+	}
+	n := 2
+	for n*(n-1)/2 < pairs {
+		n++
+	}
+	return n
+}
+
+// countPassTree scans the working database with a hash tree for pass k >= 3,
+// again applying the trimming rule.
+func (lm *localMiner) countPassTree(tree *hashtree.Tree, work *txdb.Work, k int) {
+	lm.metrics.Passes++
+	hitsN, scanned := int64(0), int64(0)
+	trim := !lm.opts.DisableTrimming
+	work.EachIndexed(func(ti int, _ txdb.TID, items itemset.Itemset) {
+		scanned += int64(len(items))
+		lm.epoch++
+		matched := 0
+		tree.VisitTx(items, func(c int) {
+			tree.Counts()[c]++
+			hitsN++
+			matched++
+			if trim {
+				for _, it := range tree.Candidate(c) {
+					lm.bumpHit(it)
+				}
+			}
+		})
+		if trim {
+			lm.applyTrimTree(ti, items, matched, k, work)
+		}
+	})
+	lm.metrics.Work.Charge(scanned, mining.CostScanItem)
+	lm.metrics.Work.Charge(hitsN, mining.CostCandidateHit)
+}
+
+// bumpHit increments the per-transaction hit count of an item, using epochs
+// to avoid clearing the scratch array between transactions.
+func (lm *localMiner) bumpHit(it itemset.Item) {
+	if lm.hitsEpoch[it] != lm.epoch {
+		lm.hitsEpoch[it] = lm.epoch
+		lm.hits[it] = 0
+	}
+	lm.hits[it]++
+}
+
+func (lm *localMiner) hitCount(it itemset.Item) int32 {
+	if lm.hitsEpoch[it] != lm.epoch {
+		return 0
+	}
+	return lm.hits[it]
+}
+
+// applyTrim implements the weakened trimming rule after pass k over a
+// transaction: a current-partition item survives only as a member of at
+// least k matched candidates, any other item as a member of at least one;
+// the transaction itself survives only with at least k matched candidates
+// (every candidate of a partition pass contains a partition item, so the
+// paper's "candidates containing one or more partition items" is all of
+// them).
+func (lm *localMiner) applyTrim(ti int, items itemset.Itemset, inPart map[itemset.Item]bool, matched, k int, work *txdb.Work) {
+	if matched < k {
+		work.Prune(ti)
+		lm.metrics.PrunedTx++
+		return
+	}
+	kept := make(itemset.Itemset, 0, len(items))
+	for _, it := range items {
+		h := lm.hitCount(it)
+		need := int32(1)
+		if inPart[it] {
+			need = int32(k)
+		}
+		if h >= need {
+			kept = append(kept, it)
+		} else {
+			lm.metrics.TrimmedItems++
+		}
+	}
+	if len(kept) < k+1 {
+		work.Prune(ti)
+		lm.metrics.PrunedTx++
+		return
+	}
+	work.Trim(ti, kept)
+}
+
+// applyTrimTree is applyTrim for tree passes, where partition membership of
+// an item is implied by it having accumulated k hits (only partition items
+// can be a candidate's minimum, but non-minimum items may also reach k; the
+// weak rule only requires one hit for them, so the membership test reduces
+// to hit count >= 1 plus the transaction-level check).
+func (lm *localMiner) applyTrimTree(ti int, items itemset.Itemset, matched, k int, work *txdb.Work) {
+	if matched < k {
+		work.Prune(ti)
+		lm.metrics.PrunedTx++
+		return
+	}
+	kept := make(itemset.Itemset, 0, len(items))
+	for _, it := range items {
+		if lm.hitCount(it) >= 1 {
+			kept = append(kept, it)
+		} else {
+			lm.metrics.TrimmedItems++
+		}
+	}
+	if len(kept) < k+1 {
+		work.Prune(ti)
+		lm.metrics.PrunedTx++
+		return
+	}
+	work.Trim(ti, kept)
+}
+
+// boundViable applies the IHP bound checks to a candidate of size >= 3.
+func (lm *localMiner) boundViable(c itemset.Itemset) bool {
+	ok, slots := lm.global.Segment(lm.self).BoundReaches(c, lm.minLocal)
+	lm.metrics.Work.Charge(int64(slots), mining.CostTHTSlot)
+	if ok && lm.global.NumSegments() > 1 {
+		var gslots int
+		ok, gslots = lm.global.BoundReaches(c, lm.minPrune)
+		lm.metrics.Work.Charge(int64(gslots), mining.CostTHTSlot)
+	}
+	return ok
+}
+
+func (lm *localMiner) accumFor(accum map[int]*itemset.Set, k int) *itemset.Set {
+	s := accum[k]
+	if s == nil {
+		s = itemset.NewSet()
+		accum[k] = s
+	}
+	return s
+}
+
+// freqAbove returns the globally frequent items strictly greater than a.
+func (lm *localMiner) freqAbove(a itemset.Item) []itemset.Item {
+	lo, hi := 0, len(lm.freqItems)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if lm.freqItems[mid] <= a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lm.freqItems[lo:]
+}
+
+func pairKey(a, b itemset.Item) uint64 { return uint64(a)<<32 | uint64(b) }
+
+func pairSet(key uint64) itemset.Itemset {
+	return itemset.Itemset{itemset.Item(key >> 32), itemset.Item(key & 0xffffffff)}
+}

@@ -1,0 +1,71 @@
+// Package core implements the paper's contribution: the sequential MIHP
+// algorithm (Multipass-Apriori combined with Inverted Hashing and Pruning
+// and DHP-style transaction trimming, section 2.3) and its parallel version
+// PMIHP (section 2.4), in which asynchronous per-node miners exchange TID
+// hash tables, classify locally frequent itemsets into globally frequent
+// itemsets and global candidates, and poll exactly the peers whose THT
+// segments admit a positive count.
+package core
+
+import "pmihp/internal/itemset"
+
+// Partition splits the frequent 1-itemsets, already in increasing (lexical)
+// order, into partitions of at most size items each: P_1 holds the lexically
+// smallest items, P_p the largest. MIHP processes them P_p first (section
+// 2.1: itemsets under consideration for P_i have their minimum item in P_i,
+// and processing high partitions first makes subset-infrequency pruning
+// available when lower partitions extend into them).
+//
+// When the trailing partitions would be smaller than size/2 they are merged
+// into their neighbour, implementing the paper's remark that remaining
+// partitions can be merged "if the estimated number of candidate itemsets
+// … is small" to save database scans.
+func Partition(f1 []itemset.Item, size int) [][]itemset.Item {
+	if size <= 0 {
+		panic("core: Partition with non-positive size")
+	}
+	if len(f1) == 0 {
+		return nil
+	}
+	var parts [][]itemset.Item
+	for lo := 0; lo < len(f1); lo += size {
+		hi := lo + size
+		if hi > len(f1) {
+			hi = len(f1)
+		}
+		parts = append(parts, f1[lo:hi])
+	}
+	// Merge a short final partition (the lexically largest items) into its
+	// predecessor; it would otherwise cost a full extra round of passes for
+	// few candidates.
+	if n := len(parts); n >= 2 && len(parts[n-1]) < size/2 {
+		merged := append(append([]itemset.Item{}, parts[n-2]...), parts[n-1]...)
+		parts = append(parts[:n-2], merged)
+	}
+	return parts
+}
+
+// LocalMinCount returns the local minimum support count for a node holding
+// localLen of dbLen transactions when the global minimum support count is
+// globalMin: the floor of the proportional threshold, clamped to 1.
+//
+// Completeness (the pigeonhole argument behind the paper's "for an itemset
+// to be globally frequent in the whole database it must be frequent in at
+// least one local database") already holds at the tighter ceiling
+// ⌈globalMin·localLen/dbLen⌉: an itemset below that ceiling at every node
+// has global count strictly below globalMin. The floor is therefore also
+// complete (a lower threshold only admits more locally frequent itemsets).
+// We use the floor because the paper's measured behaviour implies it: its
+// 2-node configuration exhibits the largest global-candidate polling phase
+// (Figure 8), which can only happen when a node's threshold sits below the
+// proportional share of the global minimum.
+func LocalMinCount(globalMin, localLen, dbLen int) int {
+	if dbLen <= 0 || localLen <= 0 {
+		return 1
+	}
+	m := globalMin * localLen / dbLen
+	if m < 1 {
+		m = 1
+	}
+	return m
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"pmihp/internal/itemset"
+)
+
+func items(n int) []itemset.Item {
+	out := make([]itemset.Item, n)
+	for i := range out {
+		out[i] = itemset.Item(i * 3)
+	}
+	return out
+}
+
+func TestPartitionSizes(t *testing.T) {
+	parts := Partition(items(250), 100)
+	if len(parts) != 3 {
+		t.Fatalf("got %d partitions", len(parts))
+	}
+	if len(parts[0]) != 100 || len(parts[1]) != 100 || len(parts[2]) != 50 {
+		t.Fatalf("sizes = %d,%d,%d", len(parts[0]), len(parts[1]), len(parts[2]))
+	}
+}
+
+func TestPartitionMergesShortTail(t *testing.T) {
+	// 230 items at size 100: the 30-item tail merges into the previous
+	// partition (it is below half the partition size).
+	parts := Partition(items(230), 100)
+	if len(parts) != 2 {
+		t.Fatalf("got %d partitions", len(parts))
+	}
+	if len(parts[1]) != 130 {
+		t.Fatalf("tail partition = %d items", len(parts[1]))
+	}
+}
+
+func TestPartitionOrderingInvariant(t *testing.T) {
+	parts := Partition(items(97), 10)
+	total := 0
+	var last itemset.Item
+	first := true
+	for _, p := range parts {
+		if len(p) == 0 {
+			t.Fatal("empty partition")
+		}
+		total += len(p)
+		for _, it := range p {
+			if !first && it <= last {
+				t.Fatal("partition items not globally increasing")
+			}
+			last, first = it, false
+		}
+	}
+	if total != 97 {
+		t.Fatalf("items covered = %d", total)
+	}
+}
+
+func TestPartitionEmptyAndSingle(t *testing.T) {
+	if parts := Partition(nil, 100); parts != nil {
+		t.Fatalf("empty F1 gave %v", parts)
+	}
+	parts := Partition(items(5), 100)
+	if len(parts) != 1 || len(parts[0]) != 5 {
+		t.Fatalf("single partition wrong: %v", parts)
+	}
+}
+
+func TestLocalMinCount(t *testing.T) {
+	cases := []struct {
+		globalMin, localLen, dbLen, want int
+	}{
+		// The paper's corpus B: minsup count 2 over 1427 docs.
+		{2, 1427, 1427, 2}, // single node keeps the global threshold
+		{2, 714, 1427, 1},  // floor(1.0007) = 1
+		{2, 357, 1427, 1},
+		{2, 178, 1427, 1},
+		// Percentage regime: 2% of 2000 = 40; 8 nodes of 250.
+		{40, 250, 2000, 5},
+		{40, 2000, 2000, 40},
+		// Clamping.
+		{2, 10, 1000, 1},
+		{5, 0, 100, 1},
+	}
+	for _, c := range cases {
+		if got := LocalMinCount(c.globalMin, c.localLen, c.dbLen); got != c.want {
+			t.Errorf("LocalMinCount(%d,%d,%d) = %d, want %d",
+				c.globalMin, c.localLen, c.dbLen, got, c.want)
+		}
+	}
+}
+
+// TestLocalMinCompleteness is the pigeonhole property behind PMIHP: an
+// itemset below the local threshold at every node cannot reach the global
+// minimum count.
+func TestLocalMinCompleteness(t *testing.T) {
+	for _, tc := range []struct{ dbLen, nodes, globalMin int }{
+		{1427, 8, 2}, {1427, 2, 2}, {2000, 8, 40}, {96, 4, 2}, {101, 3, 7},
+	} {
+		per := tc.dbLen / tc.nodes
+		sizes := make([]int, tc.nodes)
+		rem := tc.dbLen
+		for i := range sizes {
+			sizes[i] = per
+			rem -= per
+		}
+		sizes[tc.nodes-1] += rem
+		worst := 0
+		for _, sz := range sizes {
+			worst += LocalMinCount(tc.globalMin, sz, tc.dbLen) - 1
+		}
+		if worst >= tc.globalMin {
+			t.Errorf("dbLen=%d nodes=%d globalMin=%d: max undetected count %d >= globalMin",
+				tc.dbLen, tc.nodes, tc.globalMin, worst)
+		}
+	}
+}

@@ -1,0 +1,570 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"pmihp/internal/cluster"
+	"pmihp/internal/itemset"
+	"pmihp/internal/mining"
+	"pmihp/internal/tht"
+	"pmihp/internal/txdb"
+)
+
+// PollMode selects when PMIHP resolves global candidate itemsets.
+type PollMode int
+
+const (
+	// Interleaved is the paper's normal operation: a node polls its peers as
+	// soon as GlobalCandidateBatch candidates accumulate, overlapping global
+	// support counting with local mining.
+	Interleaved PollMode = iota
+	// Deferred postpones all polling until every node has finished local
+	// mining, synchronizing first — the reconfiguration the paper uses to
+	// *measure* the global support counting time (Figure 8).
+	Deferred
+)
+
+// PMIHPConfig configures a parallel run.
+type PMIHPConfig struct {
+	// Nodes is the number of simulated processing nodes (the paper uses
+	// 1, 2, 4 and 8 on a logical binary n-cube).
+	Nodes int
+
+	// Net is the interconnect model; the zero value selects FastEthernet.
+	Net cluster.NetParams
+
+	// Mode selects interleaved (default) or deferred global counting.
+	Mode PollMode
+
+	// ApproxDirectCounts reproduces the paper's reporting of itemsets whose
+	// local count already reaches the global minimum: they are recorded
+	// immediately with the local count as a lower bound and never polled.
+	// When false (the default), such itemsets are polled too so every
+	// reported support is exact — required for rule confidences and for the
+	// cross-miner equivalence tests.
+	ApproxDirectCounts bool
+
+	// Split selects the database-to-node assignment; nil selects the
+	// paper's chronological split (txdb.SplitChronological). The A6
+	// ablation passes txdb.SplitRoundRobin / txdb.SplitSkewAware here.
+	Split func(db *txdb.DB, n int) []*txdb.DB
+
+	// Tally, when non-nil, records which nodes counted each candidate
+	// 2-itemset (local mining and poll service), enabling the "candidates
+	// counted at more than one node" statistic of the paper's 8-week
+	// experiment. Costs memory proportional to the distinct candidate
+	// count; leave nil except for that experiment.
+	Tally *PairTally
+}
+
+// NodeReport is the per-node outcome of a parallel run.
+type NodeReport struct {
+	Node     int
+	Docs     int // local database size
+	LocalMin int // local minimum support count
+
+	// Metrics merges the node's mining and poll-service accounting.
+	Metrics mining.Metrics
+
+	// Seconds is the node's final simulated clock.
+	Seconds float64
+
+	// PollServeUnits is the work spent answering peers' poll requests,
+	// included in Metrics.Work.
+	PollServeUnits int64
+}
+
+// ParallelResult is the outcome of a PMIHP (or Count Distribution) run.
+type ParallelResult struct {
+	// Result holds the merged globally frequent itemsets; its metrics are
+	// the node aggregates.
+	Result *mining.Result
+
+	Nodes []NodeReport
+
+	// TotalSeconds is the simulated total execution time (max node clock).
+	TotalSeconds float64
+
+	// GlobalCountSeconds is the measured global support counting phase; it
+	// is only meaningful in Deferred mode (Figure 8's methodology).
+	GlobalCountSeconds float64
+
+	// THTExchangeSeconds and FinalExchangeSeconds are the collective
+	// communication times of the table exchange and the final frequent-list
+	// exchange.
+	THTExchangeSeconds   float64
+	FinalExchangeSeconds float64
+}
+
+// AvgNodeSeconds returns the mean per-node simulated execution time
+// (Figure 9's quantity).
+func (r *ParallelResult) AvgNodeSeconds() float64 {
+	if len(r.Nodes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, n := range r.Nodes {
+		sum += n.Seconds
+	}
+	return sum / float64(len(r.Nodes))
+}
+
+// AvgCandidates returns the mean number of candidate k-itemsets counted per
+// node (Figures 10 and 11).
+func (r *ParallelResult) AvgCandidates(k int) float64 {
+	if len(r.Nodes) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, n := range r.Nodes {
+		sum += n.Metrics.CandidatesByK[k]
+	}
+	return float64(sum) / float64(len(r.Nodes))
+}
+
+// pollRequest asks a peer for the local support counts of a batch of
+// same-size itemsets. pos carries the requester's batch positions so the
+// reply can be folded in without a lookup.
+type pollRequest struct {
+	from  int
+	k     int
+	sets  []itemset.Itemset
+	pos   []int
+	state *batchState
+}
+
+// batchState tracks one flushed batch at the requester until every expected
+// reply has arrived.
+type batchState struct {
+	node      *pmihpNode
+	sets      []itemset.Itemset
+	totals    []int
+	remaining int // outstanding replies
+}
+
+// pmihpNode is the per-node state of a parallel run.
+type pmihpNode struct {
+	id       int
+	db       *txdb.DB
+	opts     mining.Options
+	localMin int
+	glMin    int
+	cfg      PMIHPConfig
+	fabric   *cluster.Fabric
+	global   *tht.Global
+	inboxes  []chan *pollRequest
+
+	miner   mining.Metrics // local-mining accounting
+	server  mining.Metrics // poll-service accounting
+	lastWrk int64          // clock-sync watermark for miner.Work
+
+	// inverted is the node's posting file, built at the first poll it
+	// serves (see postings.go).
+	inverted postings
+
+	// queue of locally frequent itemsets awaiting global resolution.
+	queueSets   []itemset.Itemset
+	queueCounts []int
+
+	// found accumulates this node's globally frequent itemsets; guarded by
+	// mu because batch finalization runs on the answering servers.
+	mu    sync.Mutex
+	found []itemset.Counted
+
+	pending sync.WaitGroup // outstanding poll replies
+}
+
+// MinePMIHP runs the parallel MIHP algorithm over the database split
+// chronologically across cfg.Nodes simulated processing nodes.
+func MinePMIHP(db *txdb.DB, cfg PMIHPConfig, opts mining.Options) (*ParallelResult, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("core: PMIHP needs at least one node, got %d", cfg.Nodes)
+	}
+	opts = opts.WithDefaults()
+	if cfg.Net == (cluster.NetParams{}) {
+		cfg.Net = cluster.FastEthernet
+	}
+	n := cfg.Nodes
+	globalMin := opts.MinCount(db.Len())
+	split := cfg.Split
+	if split == nil {
+		split = (*txdb.DB).SplitChronological
+	}
+	parts := split(db, n)
+	if len(parts) != n {
+		return nil, fmt.Errorf("core: splitter returned %d parts for %d nodes", len(parts), n)
+	}
+	fabric := cluster.New(n, cfg.Net)
+	out := &ParallelResult{}
+
+	// ---- Phase 1: local pass 1 at every node (counts + local THTs). ----
+	entries := opts.THTEntries / n
+	if entries < 4 {
+		entries = 4
+	}
+	locals := make([]*tht.Local, n)
+	nodeCounts := make([][]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			local, counts := tht.BuildLocal(parts[i], entries)
+			locals[i], nodeCounts[i] = local, counts
+			items := 0
+			parts[i].Each(func(t *txdb.Transaction) { items += len(t.Items) })
+			var w mining.Work
+			w.Charge(int64(items), mining.CostScanItem+mining.CostTHTSlot)
+			fabric.Clock(i).AdvanceWork(w.Units)
+		}(i)
+	}
+	wg.Wait()
+
+	// ---- Exchange: global item counts (all-reduce over the n-cube). ----
+	fabric.AllReduce(int64(4 * db.NumItems()))
+	globalCounts := make([]int, db.NumItems())
+	for i := 0; i < n; i++ {
+		for it, c := range nodeCounts[i] {
+			globalCounts[it] += c
+		}
+	}
+	freq := make([]bool, db.NumItems())
+	var f1 []itemset.Item
+	var f1Counted []itemset.Counted
+	for it, c := range globalCounts {
+		if c >= globalMin {
+			freq[it] = true
+			f1 = append(f1, itemset.Item(it))
+			f1Counted = append(f1Counted, itemset.Counted{
+				Set: itemset.Itemset{itemset.Item(it)}, Count: c,
+			})
+		}
+	}
+
+	// ---- Exchange: local THTs (all-gather), keeping frequent items. ----
+	maxTHTBytes := int64(0)
+	for i := 0; i < n; i++ {
+		locals[i].Retain(func(it itemset.Item) bool { return freq[it] })
+		locals[i].BuildMasks()
+		if b := int64(locals[i].Bytes()); b > maxTHTBytes {
+			maxTHTBytes = b
+		}
+	}
+	out.THTExchangeSeconds = fabric.AllGather(maxTHTBytes)
+	global := tht.NewGlobal(locals)
+
+	partitions := Partition(f1, opts.PartitionSize)
+
+	// ---- Phase 2: asynchronous local mining with classification. ----
+	nodes := make([]*pmihpNode, n)
+	inboxes := make([]chan *pollRequest, n)
+	for i := range inboxes {
+		inboxes[i] = make(chan *pollRequest, 64)
+	}
+	for i := 0; i < n; i++ {
+		nodes[i] = &pmihpNode{
+			id:       i,
+			db:       parts[i],
+			opts:     opts,
+			localMin: LocalMinCount(globalMin, parts[i].Len(), db.Len()),
+			glMin:    globalMin,
+			cfg:      cfg,
+			fabric:   fabric,
+			global:   global,
+			inboxes:  inboxes,
+			miner:    mining.NewMetrics("pmihp-miner"),
+			server:   mining.NewMetrics("pmihp-server"),
+		}
+	}
+
+	// Poll servers: one per node, answering until all miners are done.
+	var serverWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		serverWG.Add(1)
+		go func(nd *pmihpNode) {
+			defer serverWG.Done()
+			nd.servePolls()
+		}(nodes[i])
+	}
+
+	// Miners.
+	var mineWG sync.WaitGroup
+	var mineDone sync.WaitGroup
+	mineDone.Add(n)
+	startPolling := make(chan struct{})
+	if cfg.Mode == Interleaved {
+		close(startPolling) // no gate
+	}
+	for i := 0; i < n; i++ {
+		mineWG.Add(1)
+		go func(nd *pmihpNode) {
+			defer mineWG.Done()
+			nd.mine(f1, partitions)
+			mineDone.Done()
+			if cfg.Mode == Deferred {
+				<-startPolling
+			}
+			nd.flush(0) // flush any remainder
+			nd.pending.Wait()
+			nd.syncClock()
+		}(nodes[i])
+	}
+
+	if cfg.Mode == Deferred {
+		// Synchronize the nodes, stamp the phase start, then release the
+		// polling phase — the paper's measurement methodology for Figure 8.
+		mineDone.Wait()
+		t0 := fabric.Barrier()
+		close(startPolling)
+		mineWG.Wait()
+		out.GlobalCountSeconds = fabric.Barrier() - t0
+	} else {
+		mineWG.Wait()
+	}
+
+	for i := range inboxes {
+		close(inboxes[i])
+	}
+	serverWG.Wait()
+
+	// ---- Final exchange: globally frequent itemset lists (all-gather). ----
+	maxListBytes := int64(0)
+	for _, nd := range nodes {
+		b := int64(0)
+		for _, c := range nd.found {
+			b += int64(4*len(c.Set) + 8)
+		}
+		if b > maxListBytes {
+			maxListBytes = b
+		}
+	}
+	out.FinalExchangeSeconds = fabric.AllGather(maxListBytes)
+
+	// ---- Merge. ----
+	merged := make(map[string]int)
+	for _, nd := range nodes {
+		for _, c := range nd.found {
+			if prev, ok := merged[c.Set.Key()]; !ok || c.Count > prev {
+				merged[c.Set.Key()] = c.Count
+			}
+		}
+	}
+	res := &mining.Result{Metrics: mining.NewMetrics("pmihp")}
+	res.Frequent = append(res.Frequent, f1Counted...)
+	for key, count := range merged {
+		res.Frequent = append(res.Frequent, itemset.Counted{Set: itemset.FromKey(key), Count: count})
+	}
+	itemset.SortCounted(res.Frequent)
+
+	out.Nodes = make([]NodeReport, n)
+	for i, nd := range nodes {
+		rep := NodeReport{
+			Node:           i,
+			Docs:           parts[i].Len(),
+			LocalMin:       nd.localMin,
+			Seconds:        fabric.Clock(i).Now(),
+			PollServeUnits: nd.server.Work.Units,
+		}
+		rep.Metrics = mining.NewMetrics("pmihp-node")
+		rep.Metrics.Merge(&nd.miner)
+		rep.Metrics.Merge(&nd.server)
+		msgs, bytes := fabric.Stats(i).Snapshot()
+		rep.Metrics.MessagesSent = msgs
+		rep.Metrics.BytesSent = bytes
+		out.Nodes[i] = rep
+		res.Metrics.Merge(&rep.Metrics)
+	}
+	res.Metrics.Algorithm = "pmihp"
+	out.Result = res
+	out.TotalSeconds = fabric.MaxClock()
+	return out, nil
+}
+
+// mine runs the node's local MIHP passes, classifying each locally frequent
+// itemset as it is emitted.
+func (nd *pmihpNode) mine(f1 []itemset.Item, partitions [][]itemset.Item) {
+	lm := &localMiner{
+		db:         nd.db,
+		opts:       nd.opts,
+		minLocal:   nd.localMin,
+		minPrune:   nd.glMin,
+		global:     nd.global,
+		self:       nd.id,
+		freqItems:  f1,
+		partitions: partitions,
+		metrics:    &nd.miner,
+		emit:       nd.classify,
+		onPass:     nd.afterPass,
+	}
+	if nd.cfg.Tally != nil {
+		lm.notePair = func(key uint64) { nd.cfg.Tally.note(nd.id, key) }
+	}
+	lm.run()
+	nd.syncClock()
+}
+
+// classify implements section 2.4 step 5 for one locally frequent itemset.
+func (nd *pmihpNode) classify(set itemset.Itemset, count int) {
+	if count >= nd.glMin {
+		// Directly globally frequent. In exact mode it still goes through
+		// polling so the recorded support is the true global count.
+		if nd.cfg.ApproxDirectCounts {
+			nd.record(set, count)
+			return
+		}
+	} else {
+		nd.miner.GlobalCandidates++
+	}
+	nd.queueSets = append(nd.queueSets, set)
+	nd.queueCounts = append(nd.queueCounts, count)
+}
+
+// afterPass runs between counting passes: it folds new work into the node
+// clock and, in interleaved mode, flushes full batches (the paper flushes
+// "when certain number of global candidate itemsets are accumulated").
+func (nd *pmihpNode) afterPass() {
+	nd.syncClock()
+	if nd.cfg.Mode == Interleaved {
+		nd.flush(nd.opts.GlobalCandidateBatch)
+	}
+}
+
+// syncClock advances the node clock by the miner work accumulated since the
+// previous sync.
+func (nd *pmihpNode) syncClock() {
+	delta := nd.miner.Work.Units - nd.lastWrk
+	if delta > 0 {
+		nd.fabric.Clock(nd.id).AdvanceWork(delta)
+		nd.lastWrk = nd.miner.Work.Units
+	}
+}
+
+// flush sends poll requests for the queued itemsets once the queue reaches
+// threshold (0 forces a flush). Peers are selected per itemset from the
+// cascaded THT segments: "only the processing nodes that have a positive
+// TID hash count for the global candidate itemset will be polled."
+func (nd *pmihpNode) flush(threshold int) {
+	if len(nd.queueSets) == 0 || len(nd.queueSets) < threshold {
+		return
+	}
+	sets := nd.queueSets
+	counts := nd.queueCounts
+	nd.queueSets, nd.queueCounts = nil, nil
+
+	state := &batchState{node: nd, sets: sets, totals: counts}
+
+	// Group positions by (peer, k).
+	type peerK struct {
+		peer, k int
+	}
+	groups := make(map[peerK][]int)
+	slotsTotal := int64(0)
+	for pos, set := range sets {
+		for p := 0; p < nd.global.NumSegments(); p++ {
+			if p == nd.id {
+				continue
+			}
+			ok, slots := nd.global.Segment(p).BoundReaches(set, 1)
+			slotsTotal += int64(slots)
+			if ok {
+				groups[peerK{p, len(set)}] = append(groups[peerK{p, len(set)}], pos)
+			}
+		}
+	}
+	nd.miner.Work.Charge(slotsTotal, mining.CostTHTSlot)
+	nd.syncClock()
+
+	if len(groups) == 0 {
+		nd.finalizeBatch(state)
+		return
+	}
+	state.remaining = len(groups)
+	nd.pending.Add(len(groups))
+	nd.miner.PollRounds++
+	for gk, positions := range groups {
+		req := &pollRequest{from: nd.id, k: gk.k, pos: positions, state: state}
+		req.sets = make([]itemset.Itemset, len(positions))
+		bytes := int64(16)
+		for i, pos := range positions {
+			req.sets[i] = sets[pos]
+			bytes += int64(4 * gk.k)
+		}
+		nd.miner.MessagesSent++
+		nd.fabric.ChargeSend(nd.id, gk.peer, bytes)
+		nd.inboxes[gk.peer] <- req
+	}
+}
+
+// servePolls answers peers' poll requests against the node's original local
+// database (trimmed working copies are never consulted, so answers are
+// exact; the efficiency cost of serving polls is charged to this node's
+// clock, reflecting the paper's trade-off between polling and trimming).
+func (nd *pmihpNode) servePolls() {
+	for req := range nd.inboxes[nd.id] {
+		counts := nd.countBatch(req.k, req.sets)
+		replyBytes := int64(4*len(counts) + 16)
+		nd.fabric.ChargeSend(nd.id, req.from, replyBytes)
+		nd.applyReply(req, counts)
+	}
+}
+
+// countBatch counts the batch's itemsets over the local database by
+// intersecting posting lists (see postings.go).
+func (nd *pmihpNode) countBatch(k int, sets []itemset.Itemset) []int {
+	m := &nd.server
+	m.AddCandidates(k, len(sets))
+	if nd.cfg.Tally != nil {
+		nd.cfg.Tally.noteBatch(nd.id, k, sets)
+	}
+	before := m.Work.Units
+	if nd.inverted == nil {
+		// Single goroutine (the node's poll server) calls countBatch, so
+		// lazy construction needs no further synchronization.
+		nd.inverted = buildPostings(nd.db, m)
+	}
+	counts := make([]int, len(sets))
+	for i, s := range sets {
+		counts[i] = nd.inverted.count(s, m)
+	}
+	nd.fabric.Clock(nd.id).AdvanceWork(m.Work.Units - before)
+	return counts
+}
+
+// applyReply folds a peer's counts into the batch and finalizes it when the
+// last reply arrives. It runs on the answering node's server goroutine; the
+// batch state is owned by the requester and guarded by its mutex.
+func (nd *pmihpNode) applyReply(req *pollRequest, counts []int) {
+	st := req.state
+	owner := st.node
+	owner.mu.Lock()
+	for i, pos := range req.pos {
+		st.totals[pos] += counts[i]
+	}
+	st.remaining--
+	done := st.remaining == 0
+	owner.mu.Unlock()
+	if done {
+		owner.finalizeBatch(st)
+	}
+	owner.pending.Done()
+}
+
+// finalizeBatch records the batch's itemsets whose exact global support
+// reaches the global minimum.
+func (nd *pmihpNode) finalizeBatch(st *batchState) {
+	nd.mu.Lock()
+	for i, set := range st.sets {
+		if st.totals[i] >= nd.glMin {
+			nd.found = append(nd.found, itemset.Counted{Set: set, Count: st.totals[i]})
+		}
+	}
+	nd.mu.Unlock()
+}
+
+// record adds a globally frequent itemset found without polling.
+func (nd *pmihpNode) record(set itemset.Itemset, count int) {
+	nd.mu.Lock()
+	nd.found = append(nd.found, itemset.Counted{Set: set, Count: count})
+	nd.mu.Unlock()
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmihp/internal/corpus"
+	"pmihp/internal/itemset"
+	"pmihp/internal/mining"
+)
+
+func TestPMIHPMatchesMIHP(t *testing.T) {
+	cfg := corpus.CorpusB(corpus.Small)
+	db := smallDB(t, cfg)
+	// MaxK bounds the run as the paper's scaling experiments do ("to find
+	// frequent 3-itemsets"): at many nodes the local minimum support count
+	// reaches 1, where unbounded depth enumerates entire documents.
+	opts := mining.Options{MinSupFrac: 0.05, MaxK: 4}
+
+	seq, err := MineMIHP(db, opts)
+	if err != nil {
+		t.Fatalf("MIHP: %v", err)
+	}
+	for _, nodes := range []int{1, 2, 4, 8} {
+		par, err := MinePMIHP(db, PMIHPConfig{Nodes: nodes}, opts)
+		if err != nil {
+			t.Fatalf("PMIHP(%d): %v", nodes, err)
+		}
+		if ok, diff := mining.SameFrequentSets(seq, par.Result); !ok {
+			t.Fatalf("PMIHP(%d) differs from MIHP: %s", nodes, diff)
+		}
+		if par.TotalSeconds <= 0 {
+			t.Fatalf("PMIHP(%d): no simulated time recorded", nodes)
+		}
+	}
+}
+
+func TestPMIHPMinSupCount(t *testing.T) {
+	cfg := corpus.CorpusB(corpus.Small)
+	cfg.Docs = 96
+	db := smallDB(t, cfg)
+	// Paper-style absolute minimum support count (Corpus B uses 2).
+	opts := mining.Options{MinSupCount: 2, MaxK: 3}
+
+	seq, err := MineMIHP(db, opts)
+	if err != nil {
+		t.Fatalf("MIHP: %v", err)
+	}
+	for _, nodes := range []int{2, 4} {
+		par, err := MinePMIHP(db, PMIHPConfig{Nodes: nodes}, opts)
+		if err != nil {
+			t.Fatalf("PMIHP(%d): %v", nodes, err)
+		}
+		if ok, diff := mining.SameFrequentSets(seq, par.Result); !ok {
+			t.Fatalf("PMIHP(%d) differs from MIHP at minsup count 2: %s", nodes, diff)
+		}
+	}
+}
+
+func TestPMIHPDeferredMode(t *testing.T) {
+	cfg := corpus.CorpusB(corpus.Small)
+	db := smallDB(t, cfg)
+	opts := mining.Options{MinSupCount: 2, MaxK: 3}
+
+	inter, err := MinePMIHP(db, PMIHPConfig{Nodes: 4}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := MinePMIHP(db, PMIHPConfig{Nodes: 4, Mode: Deferred}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, diff := mining.SameFrequentSets(inter.Result, def.Result); !ok {
+		t.Fatalf("deferred mode changed the answer: %s", diff)
+	}
+	if def.GlobalCountSeconds < 0 {
+		t.Fatalf("negative global counting phase: %g", def.GlobalCountSeconds)
+	}
+}
+
+func TestPMIHPApproxDirectCountsMembership(t *testing.T) {
+	cfg := corpus.CorpusB(corpus.Small)
+	db := smallDB(t, cfg)
+	opts := mining.Options{MinSupCount: 2, MaxK: 3}
+
+	exact, err := MinePMIHP(db, PMIHPConfig{Nodes: 4}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := MinePMIHP(db, PMIHPConfig{Nodes: 4, ApproxDirectCounts: true}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Approx mode must find exactly the same itemsets; counts for directly
+	// global itemsets may be local lower bounds.
+	es, as := exact.Result.Set(), approx.Result.Set()
+	if es.Len() != as.Len() {
+		t.Fatalf("approx mode found %d itemsets, exact %d", as.Len(), es.Len())
+	}
+	for _, c := range exact.Result.Frequent {
+		if !as.Has(c.Set) {
+			t.Fatalf("approx mode missing %v", c.Set)
+		}
+	}
+	for _, c := range approx.Result.Frequent {
+		var exactCount int
+		for _, e := range exact.Result.Frequent {
+			if e.Set.Equal(c.Set) {
+				exactCount = e.Count
+				break
+			}
+		}
+		if c.Count > exactCount {
+			t.Fatalf("approx count %d exceeds exact %d for %v", c.Count, exactCount, c.Set)
+		}
+	}
+}
+
+// TestPostingsCountMatchesScan: the poll service's posting-intersection
+// counts must equal direct support counts for arbitrary itemsets.
+func TestPostingsCountMatchesScan(t *testing.T) {
+	cfg := corpus.CorpusB(corpus.Small)
+	db := smallDB(t, cfg)
+	m := mining.NewMetrics("test")
+	p := buildPostings(db, &m)
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + rng.Intn(3)
+		raw := make([]uint32, k)
+		for j := range raw {
+			raw[j] = uint32(rng.Intn(db.NumItems()))
+		}
+		x := itemset.New(raw...)
+		want := mining.CountSupport(db, x)
+		if got := p.count(x, &m); got != want {
+			t.Fatalf("postings count(%v) = %d, want %d", x, got, want)
+		}
+	}
+	if m.Work.Units <= 0 {
+		t.Fatal("posting work not charged")
+	}
+}

@@ -1,0 +1,126 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pmihp/internal/itemset"
+	"pmihp/internal/txdb"
+)
+
+// RetailConfig parameterizes a synthetic retail transaction database in the
+// style of the IBM Quest generator (the T10.I4-type workloads of the
+// Apriori and DHP papers). The paper's introduction contrasts text with
+// retail data — far fewer distinct items, far shorter transactions, and a
+// flatter frequency profile — and argues existing miners are tuned for the
+// latter; the A9 ablation uses this generator to show the contrast
+// directly.
+type RetailConfig struct {
+	Transactions int     // number of baskets
+	Items        int     // catalogue size (typically ~1000, vs 10^5 words)
+	AvgLen       int     // mean basket size (typically ~10, vs ~100+ words)
+	Patterns     int     // number of latent co-purchase patterns
+	PatternLen   int     // mean pattern size (the I in T10.I4)
+	Corr         float64 // fraction of a basket drawn from its patterns
+	Seed         int64
+}
+
+// RetailT10I4 returns the classic T10.I4 shape over the given number of
+// baskets.
+func RetailT10I4(transactions int) RetailConfig {
+	return RetailConfig{
+		Transactions: transactions,
+		Items:        1000,
+		AvgLen:       10,
+		Patterns:     200,
+		PatternLen:   4,
+		Corr:         0.5,
+		Seed:         1994, // the year of the Apriori paper
+	}
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c RetailConfig) Validate() error {
+	switch {
+	case c.Transactions <= 0:
+		return fmt.Errorf("corpus: retail Transactions=%d", c.Transactions)
+	case c.Items < 10:
+		return fmt.Errorf("corpus: retail Items=%d", c.Items)
+	case c.AvgLen < 1 || c.AvgLen > c.Items/2:
+		return fmt.Errorf("corpus: retail AvgLen=%d with Items=%d", c.AvgLen, c.Items)
+	case c.Patterns <= 0 || c.PatternLen <= 0:
+		return fmt.Errorf("corpus: retail Patterns=%d PatternLen=%d", c.Patterns, c.PatternLen)
+	case c.Corr < 0 || c.Corr > 1:
+		return fmt.Errorf("corpus: retail Corr=%g", c.Corr)
+	}
+	return nil
+}
+
+// GenerateRetail produces the transaction database directly (retail baskets
+// have no text pipeline). TIDs are sequential; Day spreads baskets evenly
+// over 10 "days" so the chronological splitter remains applicable.
+func GenerateRetail(cfg RetailConfig) (*txdb.DB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Latent patterns: geometric-ish sizes around PatternLen, items drawn
+	// with a mildly skewed (Zipf s=1.2 over the catalogue) popularity.
+	pop := rand.NewZipf(rng, 1.2, 8, uint64(cfg.Items-1))
+	patterns := make([][]itemset.Item, cfg.Patterns)
+	for p := range patterns {
+		size := 2 + rng.Intn(2*cfg.PatternLen-2)
+		seen := map[itemset.Item]struct{}{}
+		for len(seen) < size {
+			seen[itemset.Item(pop.Uint64())] = struct{}{}
+		}
+		pat := make([]itemset.Item, 0, size)
+		for it := range seen {
+			pat = append(pat, it)
+		}
+		patterns[p] = itemset.New(pat...)
+	}
+
+	days := 10
+	if cfg.Transactions < days {
+		days = 1
+	}
+	txs := make([]txdb.Transaction, cfg.Transactions)
+	for i := range txs {
+		// Basket size: Poisson-ish around AvgLen via binomial trick.
+		size := 1
+		for j := 0; j < 2*cfg.AvgLen; j++ {
+			if rng.Float64() < 0.5 {
+				size++
+			}
+		}
+		seen := map[itemset.Item]struct{}{}
+		for len(seen) < size {
+			if rng.Float64() < cfg.Corr {
+				pat := patterns[rng.Intn(len(patterns))]
+				// Take a prefix of the pattern (partial patterns model
+				// shoppers buying only part of a bundle).
+				take := 1 + rng.Intn(len(pat))
+				for _, it := range pat[:take] {
+					if len(seen) >= size {
+						break
+					}
+					seen[it] = struct{}{}
+				}
+			} else {
+				seen[itemset.Item(pop.Uint64())] = struct{}{}
+			}
+		}
+		items := make([]itemset.Item, 0, len(seen))
+		for it := range seen {
+			items = append(items, it)
+		}
+		txs[i] = txdb.Transaction{
+			TID:   txdb.TID(i),
+			Day:   i * days / cfg.Transactions,
+			Items: itemset.New(items...),
+		}
+	}
+	return txdb.New(txs, cfg.Items), nil
+}

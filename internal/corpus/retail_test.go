@@ -1,0 +1,67 @@
+package corpus
+
+import (
+	"testing"
+
+	"pmihp/internal/apriori"
+	"pmihp/internal/mining"
+)
+
+func TestRetailGeneratorShape(t *testing.T) {
+	db, err := GenerateRetail(RetailT10I4(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := db.ComputeStats()
+	if st.Docs != 1500 {
+		t.Fatalf("docs = %d", st.Docs)
+	}
+	// Retail shape: mean basket near the configured average, small
+	// catalogue — the opposite of the text corpora.
+	if st.MeanLen < 6 || st.MeanLen > 16 {
+		t.Fatalf("mean basket %g outside retail shape", st.MeanLen)
+	}
+	if st.UniqueItems > 1000 {
+		t.Fatalf("unique items %d exceeds catalogue", st.UniqueItems)
+	}
+}
+
+func TestRetailDeterministic(t *testing.T) {
+	a, _ := GenerateRetail(RetailT10I4(300))
+	b, _ := GenerateRetail(RetailT10I4(300))
+	for i := 0; i < a.Len(); i++ {
+		if !a.Tx(i).Items.Equal(b.Tx(i).Items) {
+			t.Fatalf("tx %d differs between runs", i)
+		}
+	}
+}
+
+func TestRetailHasPatternStructure(t *testing.T) {
+	// Co-purchase patterns must produce frequent itemsets beyond items.
+	db, _ := GenerateRetail(RetailT10I4(1500))
+	r, err := apriori.Mine(db, mining.Options{MinSupFrac: 0.01, MaxK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.FrequentOfSize(2)) == 0 {
+		t.Fatal("no frequent pairs in retail data")
+	}
+}
+
+func TestRetailValidate(t *testing.T) {
+	bad := []RetailConfig{
+		{},
+		{Transactions: 10, Items: 5, AvgLen: 2, Patterns: 1, PatternLen: 1},
+		{Transactions: 10, Items: 100, AvgLen: 60, Patterns: 1, PatternLen: 1},
+		{Transactions: 10, Items: 100, AvgLen: 5, Patterns: 0, PatternLen: 1},
+		{Transactions: 10, Items: 100, AvgLen: 5, Patterns: 1, PatternLen: 1, Corr: 2},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	if err := RetailT10I4(100).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

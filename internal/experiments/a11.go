@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"pmihp/internal/core"
+	"pmihp/internal/corpus"
+	"pmihp/internal/countdist"
+	"pmihp/internal/datadist"
+	"pmihp/internal/mining"
+)
+
+func init() {
+	register("a11", "Ablation: the Agrawal-Shafer family — Count vs Data Distribution vs PMIHP on 8 nodes", func(p Params) (fmt.Stringer, error) {
+		return RunA11(p)
+	})
+}
+
+// RunA11 extends Figure 5 with Data Distribution, the other parallel
+// Apriori of the paper's reference [2]: CD hits the memory wall first (it
+// replicates all candidates), DD survives longer on memory but pays the
+// per-pass database broadcast, and PMIHP avoids both.
+func RunA11(p Params) (fmt.Stringer, error) {
+	p = p.WithDefaults()
+	b, err := buildCorpus(corpus.CorpusA(p.Scale))
+	if err != nil {
+		return nil, err
+	}
+	budget := p.MemoryBudget
+	if budget == 0 {
+		budget = calibrateBudget(b.db)
+	}
+	const nodes = 8
+	out := &kvResult{
+		title: fmt.Sprintf("Ablation A11 — CD vs DD vs PMIHP on %d nodes (Corpus A, budget %.0f MB)", nodes, float64(budget)/(1<<20)),
+		note:  "expected shape: CD OOMs first; DD survives on memory but pays data broadcasts; PMIHP fastest at low support",
+		t:     &table{header: []string{"minsup", "CD (s)", "DD (s)", "PMIHP (s)", "DD MB sent"}},
+	}
+	for _, ms := range p.MinSups {
+		p.logf("a11: minsup %.2f%%", 100*ms)
+		bopts := mining.Options{MinSupFrac: ms, MemoryBudget: budget}
+
+		cdCell := "OOM"
+		if cd, err := countdist.Mine(b.db, countdist.Config{Nodes: nodes}, bopts); err == nil {
+			cdCell = secs(cd.TotalSeconds)
+		} else if !errors.Is(err, mining.ErrMemoryExceeded) {
+			return nil, err
+		}
+
+		ddCell, ddMB := "OOM", "-"
+		if dd, err := datadist.Mine(b.db, datadist.Config{Nodes: nodes}, bopts); err == nil {
+			ddCell = secs(dd.TotalSeconds)
+			bytes := int64(0)
+			for _, nrep := range dd.Nodes {
+				bytes += nrep.Metrics.BytesSent
+			}
+			ddMB = fmt.Sprintf("%.1f", float64(bytes)/(1<<20))
+		} else if !errors.Is(err, mining.ErrMemoryExceeded) {
+			return nil, err
+		}
+
+		pm, err := core.MinePMIHP(b.db, core.PMIHPConfig{Nodes: nodes}, mining.Options{MinSupFrac: ms})
+		if err != nil {
+			return nil, err
+		}
+		out.t.add(pct(ms), cdCell, ddCell, secs(pm.TotalSeconds), ddMB)
+	}
+	return out, nil
+}

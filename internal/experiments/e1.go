@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"pmihp/internal/apriori"
+	"pmihp/internal/core"
+	"pmihp/internal/corpus"
+	"pmihp/internal/dhp"
+	"pmihp/internal/fpgrowth"
+	"pmihp/internal/mining"
+	"pmihp/internal/txdb"
+)
+
+func init() {
+	register("e1", "Figure 4: Apriori vs FP-Growth vs MIHP, total time by minimum support (Corpus A)", func(p Params) (fmt.Stringer, error) {
+		return RunE1(p)
+	})
+}
+
+// AlgoRun is one sequential-miner measurement.
+type AlgoRun struct {
+	Seconds    float64 // simulated seconds (cost model)
+	OOM        bool    // exceeded the memory budget, as the paper observed
+	Candidates int     // total candidates counted
+	Frequent   int     // frequent itemsets found
+}
+
+// E1Row is one minimum-support level of Figure 4.
+type E1Row struct {
+	MinSup   float64
+	Apriori  AlgoRun
+	FPGrowth AlgoRun
+	MIHP     AlgoRun
+	DHP      AlgoRun // extra baseline cited in the paper's introduction
+}
+
+// E1Result reproduces Figure 4.
+type E1Result struct {
+	Corpus corpus.Config
+	Stats  txdb.Stats
+	Budget int64
+	Rows   []E1Row
+}
+
+// RunE1 runs the Figure 4 sweep.
+func RunE1(p Params) (*E1Result, error) {
+	p = p.WithDefaults()
+	cfg := corpus.CorpusA(p.Scale)
+	b, err := buildCorpus(cfg)
+	if err != nil {
+		return nil, err
+	}
+	budget := p.MemoryBudget
+	if budget == 0 {
+		budget = calibrateBudget(b.db)
+	}
+	res := &E1Result{Corpus: cfg, Stats: b.stats, Budget: budget}
+
+	for _, ms := range p.MinSups {
+		p.logf("e1: minsup %.2f%%", 100*ms)
+		row := E1Row{MinSup: ms}
+		opts := mining.Options{MinSupFrac: ms}
+
+		aOpts := opts
+		aOpts.MemoryBudget = budget
+		row.Apriori = runSequential(func() (*mining.Result, error) { return apriori.Mine(b.db, aOpts) })
+		row.DHP = runSequential(func() (*mining.Result, error) { return dhp.Mine(b.db, aOpts) })
+		row.FPGrowth = runSequential(func() (*mining.Result, error) { return fpgrowth.Mine(b.db, opts) })
+		row.MIHP = runSequential(func() (*mining.Result, error) { return core.MineMIHP(b.db, opts) })
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func runSequential(mine func() (*mining.Result, error)) AlgoRun {
+	r, err := mine()
+	run := AlgoRun{}
+	if r != nil {
+		run.Seconds = r.Metrics.Work.Seconds()
+		run.Candidates = r.Metrics.Candidates()
+		run.Frequent = len(r.Frequent)
+	}
+	if errors.Is(err, mining.ErrMemoryExceeded) {
+		run.OOM = true
+	}
+	return run
+}
+
+func fmtAlgo(a AlgoRun) string {
+	if a.OOM {
+		return "OOM"
+	}
+	return secs(a.Seconds)
+}
+
+func (r *E1Result) String() string {
+	t := &table{header: []string{"minsup", "Apriori", "DHP", "FP-Growth", "MIHP", "|F| (MIHP)"}}
+	for _, row := range r.Rows {
+		t.add(pct(row.MinSup), fmtAlgo(row.Apriori), fmtAlgo(row.DHP),
+			fmtAlgo(row.FPGrowth), fmtAlgo(row.MIHP), count(row.MIHP.Frequent))
+	}
+	return fmt.Sprintf("Figure 4 — total execution time (simulated s) to find all frequent itemsets\ncorpus %s: %d docs, %d unique words (budget %.0f MB for Apriori/DHP)\n\n%s",
+		r.Corpus.Name, r.Stats.Docs, r.Stats.UniqueItems, float64(r.Budget)/(1<<20), t.String())
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"pmihp/internal/core"
+	"pmihp/internal/corpus"
+	"pmihp/internal/countdist"
+	"pmihp/internal/mining"
+	"pmihp/internal/txdb"
+)
+
+func init() {
+	register("e2", "Figure 5: Count Distribution vs PMIHP on 8 nodes, total time by minimum support (Corpus A)", func(p Params) (fmt.Stringer, error) {
+		return RunE2(p)
+	})
+}
+
+// E2Row is one minimum-support level of Figure 5.
+type E2Row struct {
+	MinSup    float64
+	CDSeconds float64
+	CDOOM     bool
+	PMIHPSecs float64
+	// Average candidates counted per node, the driver of the gap.
+	CDCandPerNode    float64
+	PMIHPCandPerNode float64
+}
+
+// E2Result reproduces Figure 5.
+type E2Result struct {
+	Corpus corpus.Config
+	Stats  txdb.Stats
+	Nodes  int
+	Budget int64
+	Rows   []E2Row
+}
+
+// RunE2 runs the Figure 5 sweep on 8 simulated nodes.
+func RunE2(p Params) (*E2Result, error) {
+	p = p.WithDefaults()
+	cfg := corpus.CorpusA(p.Scale)
+	b, err := buildCorpus(cfg)
+	if err != nil {
+		return nil, err
+	}
+	budget := p.MemoryBudget
+	if budget == 0 {
+		budget = calibrateBudget(b.db)
+	}
+	const nodes = 8
+	res := &E2Result{Corpus: cfg, Stats: b.stats, Nodes: nodes, Budget: budget}
+
+	for _, ms := range p.MinSups {
+		p.logf("e2: minsup %.2f%%", 100*ms)
+		row := E2Row{MinSup: ms}
+
+		cdOpts := mining.Options{MinSupFrac: ms, MemoryBudget: budget}
+		cd, err := countdist.Mine(b.db, countdist.Config{Nodes: nodes}, cdOpts)
+		if errors.Is(err, mining.ErrMemoryExceeded) {
+			row.CDOOM = true
+		} else if err != nil {
+			return nil, fmt.Errorf("countdist at %.4f: %w", ms, err)
+		}
+		if cd != nil {
+			row.CDSeconds = cd.TotalSeconds
+			row.CDCandPerNode = avgCand(cd)
+		}
+
+		pm, err := core.MinePMIHP(b.db, core.PMIHPConfig{Nodes: nodes}, mining.Options{MinSupFrac: ms})
+		if err != nil {
+			return nil, fmt.Errorf("pmihp at %.4f: %w", ms, err)
+		}
+		row.PMIHPSecs = pm.TotalSeconds
+		row.PMIHPCandPerNode = avgCand(pm)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func avgCand(r *core.ParallelResult) float64 {
+	sum := 0
+	for _, n := range r.Nodes {
+		sum += n.Metrics.Candidates()
+	}
+	if len(r.Nodes) == 0 {
+		return 0
+	}
+	return float64(sum) / float64(len(r.Nodes))
+}
+
+func (r *E2Result) String() string {
+	t := &table{header: []string{"minsup", "CD", "PMIHP", "CD cand/node", "PMIHP cand/node"}}
+	for _, row := range r.Rows {
+		cd := secs(row.CDSeconds)
+		cdc := fcount(row.CDCandPerNode)
+		if row.CDOOM {
+			cd, cdc = "OOM", "OOM"
+		}
+		t.add(pct(row.MinSup), cd, secs(row.PMIHPSecs), cdc, fcount(row.PMIHPCandPerNode))
+	}
+	return fmt.Sprintf("Figure 5 — total execution time (simulated s) on %d nodes\ncorpus %s: %d docs, %d unique words (budget %.0f MB for CD)\n\n%s",
+		r.Nodes, r.Corpus.Name, r.Stats.Docs, r.Stats.UniqueItems, float64(r.Budget)/(1<<20), t.String())
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pmihp/internal/apriori"
+	"pmihp/internal/core"
+	"pmihp/internal/corpus"
+	"pmihp/internal/mining"
+	"pmihp/internal/stats"
+	"pmihp/internal/txdb"
+)
+
+func init() {
+	register("e3", "Figure 6: PMIHP total execution time vs number of nodes (Corpus B, minsup count 2, 3-itemsets)", renderScaling(fig6))
+	register("e4", "Figure 7: PMIHP speedup vs number of nodes", renderScaling(fig7))
+	register("e5", "Figure 8: global support counting time (deferred-polling measurement)", renderScaling(fig8))
+	register("e6", "Figure 9: average execution time per node", renderScaling(fig9))
+	register("e7", "Figure 10: average candidate 2-itemsets per node", renderScaling(fig10))
+	register("e8", "Figure 11: average candidate 3-itemsets per node (incl. Apriori)", renderScaling(fig11))
+	register("scaling", "Figures 6-11 in one run (Corpus B scaling study)", func(p Params) (fmt.Stringer, error) {
+		s, err := RunScaling(p)
+		if err != nil {
+			return nil, err
+		}
+		return renderAll{s}, nil
+	})
+}
+
+// ScalingResult holds the shared measurements behind Figures 6–11: PMIHP on
+// 1, 2, 4 and 8 nodes over Corpus B at a global minimum support count of 2
+// documents, mining up to frequent 3-itemsets.
+type ScalingResult struct {
+	Corpus corpus.Config
+	Stats  txdb.Stats
+	Nodes  []int
+
+	TotalSecs   []float64 // Fig 6: total execution time per node count
+	Speedups    []float64 // Fig 7: over the 1-node run
+	AvgNodeSecs []float64 // Fig 9
+	AvgCand2    []float64 // Fig 10
+	AvgCand3    []float64 // Fig 11
+
+	// Deferred-mode measurements (nodes >= 2), Fig 8.
+	DeferNodes  []int
+	GlobalSecs  []float64
+	GlobalPct   []float64 // fraction of that run's total time
+	AprioriC3   int       // Fig 11 reference: sequential Apriori candidates
+	FrequentCnt int       // |F| found (sanity, constant across node counts)
+}
+
+var scalingCache = map[corpus.Scale]*ScalingResult{}
+
+// RunScaling performs the shared Corpus B scaling study (memoized per scale
+// within the process).
+func RunScaling(p Params) (*ScalingResult, error) {
+	p = p.WithDefaults()
+	corpusMu.Lock()
+	cached := scalingCache[p.Scale]
+	corpusMu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+
+	cfg := corpus.CorpusB(p.Scale)
+	b, err := buildCorpus(cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts := mining.Options{MinSupCount: 2, MaxK: 3}
+	res := &ScalingResult{Corpus: cfg, Stats: b.stats, Nodes: p.Nodes}
+
+	for _, n := range p.Nodes {
+		p.logf("scaling: PMIHP on %d node(s)", n)
+		run, err := core.MinePMIHP(b.db, core.PMIHPConfig{Nodes: n}, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.TotalSecs = append(res.TotalSecs, run.TotalSeconds)
+		res.AvgNodeSecs = append(res.AvgNodeSecs, run.AvgNodeSeconds())
+		res.AvgCand2 = append(res.AvgCand2, run.AvgCandidates(2))
+		res.AvgCand3 = append(res.AvgCand3, run.AvgCandidates(3))
+		res.FrequentCnt = len(run.Result.Frequent)
+
+		if n >= 2 {
+			p.logf("scaling: PMIHP deferred on %d node(s)", n)
+			def, err := core.MinePMIHP(b.db, core.PMIHPConfig{Nodes: n, Mode: core.Deferred}, opts)
+			if err != nil {
+				return nil, err
+			}
+			res.DeferNodes = append(res.DeferNodes, n)
+			res.GlobalSecs = append(res.GlobalSecs, def.GlobalCountSeconds)
+			if def.TotalSeconds > 0 {
+				res.GlobalPct = append(res.GlobalPct, def.GlobalCountSeconds/def.TotalSeconds)
+			} else {
+				res.GlobalPct = append(res.GlobalPct, 0)
+			}
+		}
+	}
+	res.Speedups = stats.Speedup(res.TotalSecs[0], res.TotalSecs)
+
+	p.logf("scaling: Apriori (MaxK=3) reference for Fig 11")
+	ap, err := apriori.Mine(b.db, opts)
+	if err == nil {
+		res.AprioriC3 = ap.Metrics.CandidatesByK[3]
+	} else if !mining.IsMemoryErr(err) {
+		return nil, err
+	} else {
+		res.AprioriC3 = -1 // could not run, like the paper's low-support cases
+	}
+
+	corpusMu.Lock()
+	scalingCache[p.Scale] = res
+	corpusMu.Unlock()
+	return res, nil
+}
+
+type scalingRender func(*ScalingResult) string
+
+func renderScaling(f scalingRender) func(Params) (fmt.Stringer, error) {
+	return func(p Params) (fmt.Stringer, error) {
+		s, err := RunScaling(p)
+		if err != nil {
+			return nil, err
+		}
+		return stringerFunc(f(s)), nil
+	}
+}
+
+type stringerFunc string
+
+func (s stringerFunc) String() string { return string(s) }
+
+type renderAll struct{ s *ScalingResult }
+
+func (r renderAll) String() string {
+	return fig6(r.s) + "\n" + fig7(r.s) + "\n" + fig8(r.s) + "\n" +
+		fig9(r.s) + "\n" + fig10(r.s) + "\n" + fig11(r.s)
+}
+
+func scalingHeader(s *ScalingResult, fig string) string {
+	return fmt.Sprintf("%s\ncorpus %s: %d docs, %d unique words, minsup count 2, frequent itemsets up to size 3\n",
+		fig, s.Corpus.Name, s.Stats.Docs, s.Stats.UniqueItems)
+}
+
+func fig6(s *ScalingResult) string {
+	t := &table{header: []string{"nodes", "total time (s)"}}
+	for i, n := range s.Nodes {
+		t.add(count(n), secs(s.TotalSecs[i]))
+	}
+	return scalingHeader(s, "Figure 6 — PMIHP total execution time") + "\n" + t.String()
+}
+
+func fig7(s *ScalingResult) string {
+	t := &table{header: []string{"nodes", "speedup", "rate vs prev"}}
+	rates := stats.GrowthRates(s.Speedups)
+	for i, n := range s.Nodes {
+		rate := "-"
+		if i > 0 {
+			rate = fmt.Sprintf("%.2fx", rates[i-1])
+		}
+		t.add(count(n), fmt.Sprintf("%.2f", s.Speedups[i]), rate)
+	}
+	return scalingHeader(s, "Figure 7 — PMIHP speedup over sequential (1-node)") + "\n" + t.String()
+}
+
+func fig8(s *ScalingResult) string {
+	t := &table{header: []string{"nodes", "global counting (s)", "share of total"}}
+	for i, n := range s.DeferNodes {
+		t.add(count(n), secs(s.GlobalSecs[i]), pct(s.GlobalPct[i]))
+	}
+	return scalingHeader(s, "Figure 8 — global support counting time (deferred, synchronized measurement)") + "\n" + t.String()
+}
+
+func fig9(s *ScalingResult) string {
+	t := &table{header: []string{"nodes", "avg time per node (s)"}}
+	for i, n := range s.Nodes {
+		t.add(count(n), secs(s.AvgNodeSecs[i]))
+	}
+	return scalingHeader(s, "Figure 9 — average execution time per node") + "\n" + t.String()
+}
+
+func fig10(s *ScalingResult) string {
+	t := &table{header: []string{"config", "avg candidate 2-itemsets per node"}}
+	for i, n := range s.Nodes {
+		label := fmt.Sprintf("%d-node PMIHP", n)
+		if n == 1 {
+			label = "MIHP"
+		}
+		t.add(label, fcount(s.AvgCand2[i]))
+	}
+	return scalingHeader(s, "Figure 10 — average number of candidate 2-itemsets per node") + "\n" + t.String()
+}
+
+func fig11(s *ScalingResult) string {
+	t := &table{header: []string{"config", "avg candidate 3-itemsets per node"}}
+	ap := "OOM"
+	if s.AprioriC3 >= 0 {
+		ap = count(s.AprioriC3)
+	}
+	t.add("Apriori", ap)
+	for i, n := range s.Nodes {
+		label := fmt.Sprintf("%d-node PMIHP", n)
+		if n == 1 {
+			label = "MIHP"
+		}
+		t.add(label, fcount(s.AvgCand3[i]))
+	}
+	return scalingHeader(s, "Figure 11 — average number of candidate 3-itemsets per node") + "\n" + t.String()
+}

@@ -1,0 +1,123 @@
+package fpgrowth
+
+import (
+	"testing"
+
+	"pmihp/internal/corpus"
+	"pmihp/internal/itemset"
+	"pmihp/internal/mining"
+	"pmihp/internal/text"
+	"pmihp/internal/txdb"
+)
+
+func TestKnownAnswer(t *testing.T) {
+	db := txdb.New([]txdb.Transaction{
+		{TID: 0, Items: itemset.New(1, 2, 3)},
+		{TID: 1, Items: itemset.New(1, 2)},
+		{TID: 2, Items: itemset.New(1, 3)},
+		{TID: 3, Items: itemset.New(2, 3)},
+		{TID: 4, Items: itemset.New(1, 2, 3)},
+	}, 5)
+	r, err := Mine(db, mining.Options{MinSupCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mining.BruteForce(db, mining.Options{MinSupCount: 3})
+	if ok, diff := mining.SameFrequentSets(want, r); !ok {
+		t.Fatal(diff)
+	}
+}
+
+func TestMatchesBruteForceOnCorpus(t *testing.T) {
+	cfg := corpus.CorpusB(corpus.Small)
+	cfg.Docs, cfg.VocabSize, cfg.HeadCut, cfg.DocLenMean = 70, 600, 40, 18
+	docs := corpus.MustGenerate(cfg)
+	db, _ := text.ToDB(docs, nil)
+	for _, minsup := range []float64{0.10, 0.05} {
+		opts := mining.Options{MinSupFrac: minsup}
+		want := mining.BruteForce(db, opts)
+		got, err := Mine(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, diff := mining.SameFrequentSets(want, got); !ok {
+			t.Fatalf("minsup=%g: %s", minsup, diff)
+		}
+	}
+}
+
+func TestMaxK(t *testing.T) {
+	cfg := corpus.CorpusB(corpus.Small)
+	docs := corpus.MustGenerate(cfg)
+	db, _ := text.ToDB(docs, nil)
+	r, err := Mine(db, mining.Options{MinSupCount: 4, MaxK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Frequent {
+		if len(c.Set) > 2 {
+			t.Fatalf("MaxK=2 violated: %v", c.Set)
+		}
+	}
+	// MaxK=1 returns exactly the frequent items.
+	r1, err := Mine(db, mining.Options{MinSupCount: 4, MaxK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r1.Frequent {
+		if len(c.Set) != 1 {
+			t.Fatalf("MaxK=1 violated: %v", c.Set)
+		}
+	}
+}
+
+func TestNoDuplicateItemsets(t *testing.T) {
+	cfg := corpus.CorpusB(corpus.Small)
+	docs := corpus.MustGenerate(cfg)
+	db, _ := text.ToDB(docs, nil)
+	r, err := Mine(db, mining.Options{MinSupCount: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := itemset.NewSet()
+	for _, c := range r.Frequent {
+		if seen.Has(c.Set) {
+			t.Fatalf("duplicate itemset %v", c.Set)
+		}
+		seen.Add(c.Set)
+	}
+}
+
+func TestTreeNodeAccountingGrowsAtLowSupport(t *testing.T) {
+	cfg := corpus.CorpusB(corpus.Small)
+	docs := corpus.MustGenerate(cfg)
+	db, _ := text.ToDB(docs, nil)
+	hi, err := Mine(db, mining.Options{MinSupCount: 12, MaxK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := Mine(db, mining.Options{MinSupCount: 3, MaxK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Metrics.FPTreeNodes <= hi.Metrics.FPTreeNodes {
+		t.Fatalf("FP-tree nodes did not grow as support dropped: %d vs %d",
+			lo.Metrics.FPTreeNodes, hi.Metrics.FPTreeNodes)
+	}
+	if lo.Metrics.Work.Units <= hi.Metrics.Work.Units {
+		t.Fatal("work did not grow as support dropped")
+	}
+}
+
+func TestEmptyAndTinyDatabases(t *testing.T) {
+	db := txdb.New(nil, 3)
+	r, err := Mine(db, mining.Options{MinSupCount: 1})
+	if err != nil || len(r.Frequent) != 0 {
+		t.Fatalf("empty db: %v, %v", r.Frequent, err)
+	}
+	one := txdb.New([]txdb.Transaction{{TID: 0, Items: itemset.New(1)}}, 3)
+	r, err = Mine(one, mining.Options{MinSupCount: 1})
+	if err != nil || len(r.Frequent) != 1 {
+		t.Fatalf("single-item db: %v, %v", r.Frequent, err)
+	}
+}

@@ -1,0 +1,61 @@
+package hashtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmihp/internal/itemset"
+)
+
+func benchTree(b *testing.B, k, nCands int) (*Tree, []itemset.Itemset) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	seen := itemset.NewSet()
+	var cands []itemset.Itemset
+	for len(cands) < nCands {
+		c := randItemset(rng, k, 3000)
+		if !seen.Has(c) {
+			seen.Add(c)
+			cands = append(cands, c)
+		}
+	}
+	var txs []itemset.Itemset
+	for i := 0; i < 64; i++ {
+		txs = append(txs, randItemset(rng, 80, 3000))
+	}
+	return Build(k, cands), txs
+}
+
+func BenchmarkCountTxK3Small(b *testing.B) {
+	tree, txs := benchTree(b, 3, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.CountTx(txs[i%len(txs)])
+	}
+}
+
+func BenchmarkCountTxK3Large(b *testing.B) {
+	tree, txs := benchTree(b, 3, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.CountTx(txs[i%len(txs)])
+	}
+}
+
+func BenchmarkBuildK3(b *testing.B) {
+	_, _ = benchTree(b, 3, 1) // warm rand path
+	rng := rand.New(rand.NewSource(2))
+	var cands []itemset.Itemset
+	seen := itemset.NewSet()
+	for len(cands) < 20000 {
+		c := randItemset(rng, 3, 3000)
+		if !seen.Has(c) {
+			seen.Add(c)
+			cands = append(cands, c)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(3, cands)
+	}
+}

@@ -1,0 +1,182 @@
+// Package hashtree implements the Apriori hash tree used to count the
+// occurrences of candidate k-itemsets during a database scan (Agrawal &
+// Srikant 1994, cited as the counting structure in the MIHP pseudo-code:
+// "they can be stored in a hash tree where the hash value of each item
+// occupies a level in the tree").
+//
+// Interior nodes hash one item per level; leaves hold small buckets of
+// candidates. Counting a transaction visits only the subtrees reachable
+// through the transaction's own items, so the cost per transaction is far
+// below the naive |C_k| subset tests.
+package hashtree
+
+import (
+	"pmihp/internal/itemset"
+)
+
+// Fanout is the branching factor of interior nodes.
+const Fanout = 8
+
+// LeafCap is the number of candidates a leaf holds before it is split into
+// an interior node (leaves at depth k can never split and grow unbounded).
+const LeafCap = 16
+
+type node struct {
+	// children is non-nil for interior nodes.
+	children []*node
+	// cands holds candidate indexes for leaf nodes.
+	cands []int32
+	// lastVisit guards against processing the same leaf twice for one
+	// transaction (a leaf can be reachable through several item paths).
+	lastVisit int64
+}
+
+// Tree is a hash tree over a fixed list of candidate k-itemsets.
+type Tree struct {
+	k      int
+	cands  []itemset.Itemset
+	counts []int
+	root   *node
+	visit  int64 // current transaction serial for lastVisit guarding
+
+	// walkCost accumulates the structural work of counting scans: one unit
+	// per interior node hop and per leaf candidate examined. It is the
+	// quantity the cost model charges for tree-based counting — the cost
+	// that blows up when a huge candidate set piles into the leaves, which
+	// is the regime where the paper's Apriori drowns.
+	walkCost int64
+}
+
+// Build constructs a hash tree over the candidates, which must all be
+// k-itemsets of the same size k >= 1. The candidate slice is referenced, not
+// copied.
+func Build(k int, cands []itemset.Itemset) *Tree {
+	t := &Tree{
+		k:      k,
+		cands:  cands,
+		counts: make([]int, len(cands)),
+		root:   &node{lastVisit: -1},
+	}
+	for i := range cands {
+		t.insert(t.root, int32(i), 0)
+	}
+	return t
+}
+
+// Len returns the number of candidates in the tree.
+func (t *Tree) Len() int { return len(t.cands) }
+
+// K returns the candidate size the tree was built for.
+func (t *Tree) K() int { return t.k }
+
+func hash(it itemset.Item) int { return int(it) % Fanout }
+
+func (t *Tree) insert(n *node, cand int32, depth int) {
+	if n.children != nil {
+		child := n.children[hash(t.cands[cand][depth])]
+		t.insert(child, cand, depth+1)
+		return
+	}
+	n.cands = append(n.cands, cand)
+	if len(n.cands) > LeafCap && depth < t.k {
+		// Split: redistribute candidates one level deeper.
+		old := n.cands
+		n.cands = nil
+		n.children = make([]*node, Fanout)
+		for i := range n.children {
+			n.children[i] = &node{lastVisit: -1}
+		}
+		for _, c := range old {
+			t.insert(n.children[hash(t.cands[c][depth])], c, depth+1)
+		}
+	}
+}
+
+// CountTx adds 1 to the count of every candidate contained in items, which
+// must be a sorted transaction. It returns the number of candidates matched.
+func (t *Tree) CountTx(items itemset.Itemset) int {
+	matched := 0
+	t.VisitTx(items, func(cand int) {
+		t.counts[cand]++
+		matched++
+	})
+	return matched
+}
+
+// VisitTx calls fn with the index of every candidate contained in the sorted
+// transaction items. Each contained candidate is reported exactly once.
+func (t *Tree) VisitTx(items itemset.Itemset, fn func(cand int)) {
+	if len(items) < t.k {
+		return
+	}
+	t.visit++
+	t.walk(t.root, items, items, 0, fn)
+}
+
+// walk descends the tree. depth is how many items of the candidate prefix
+// have been consumed; items holds the transaction items still usable for
+// deeper hashing, full the whole transaction. Leaves verify the *entire*
+// candidate against the full transaction: different candidates sharing a
+// hash path need not share actual prefix items, so a suffix-only check
+// would miscount under collisions. The lastVisit guard keeps the exactly-
+// once property when several paths reach the same leaf.
+func (t *Tree) walk(n *node, items, full itemset.Itemset, depth int, fn func(cand int)) {
+	if n.children == nil {
+		if n.lastVisit == t.visit {
+			return
+		}
+		n.lastVisit = t.visit
+		t.walkCost += int64(len(n.cands))
+		for _, c := range n.cands {
+			if t.cands[c].SubsetOf(full) {
+				fn(int(c))
+			}
+		}
+		return
+	}
+	// Need at least k-depth items remaining to complete a candidate.
+	need := t.k - depth
+	for i := 0; i+need <= len(items); i++ {
+		t.walkCost++
+		child := n.children[hash(items[i])]
+		t.walk(child, items[i+1:], full, depth+1, fn)
+	}
+}
+
+// WalkCost returns the accumulated structural counting work (interior hops
+// plus leaf entries examined) across all CountTx/VisitTx calls so far.
+func (t *Tree) WalkCost() int64 { return t.walkCost }
+
+// Count returns the accumulated count for candidate index i.
+func (t *Tree) Count(i int) int { return t.counts[i] }
+
+// Counts returns the full count slice, indexed like the candidate list
+// passed to Build. The slice is owned by the tree.
+func (t *Tree) Counts() []int { return t.counts }
+
+// SetCounts overwrites the count slice (used by Count Distribution after the
+// all-reduce merges per-node counts). The argument must have one entry per
+// candidate.
+func (t *Tree) SetCounts(counts []int) {
+	if len(counts) != len(t.cands) {
+		panic("hashtree: SetCounts length mismatch")
+	}
+	copy(t.counts, counts)
+}
+
+// Candidate returns candidate i.
+func (t *Tree) Candidate(i int) itemset.Itemset { return t.cands[i] }
+
+// Frequent returns, in lexicographic order, the (candidate, count) pairs
+// whose count reaches minCount.
+func (t *Tree) Frequent(minCount int) []itemset.Counted {
+	var out []itemset.Counted
+	for i, c := range t.counts {
+		if c >= minCount {
+			out = append(out, itemset.Counted{Set: t.cands[i], Count: c})
+		}
+	}
+	// Candidates were inserted in caller order; normalize.
+	itemset.SortCounted(out)
+	return out
+}

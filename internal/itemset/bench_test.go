@@ -1,0 +1,37 @@
+package itemset
+
+import "testing"
+
+func BenchmarkSetHas(b *testing.B) {
+	s := NewSet()
+	var probe []Itemset
+	for i := 0; i < 10000; i++ {
+		is := New(Item(i), Item(i+7), Item(i+19))
+		s.Add(is)
+		probe = append(probe, is)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Has(probe[i%len(probe)])
+	}
+}
+
+func BenchmarkJoin(b *testing.B) {
+	x, y := New(1, 2, 9), New(1, 2, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Join(x, y)
+	}
+}
+
+func BenchmarkSubsetOf(b *testing.B) {
+	small := New(10, 400, 900)
+	big := make(Itemset, 0, 200)
+	for i := 0; i < 200; i++ {
+		big = append(big, Item(i*5))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		small.SubsetOf(big)
+	}
+}

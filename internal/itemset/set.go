@@ -1,0 +1,157 @@
+package itemset
+
+import "sort"
+
+// Set is a collection of distinct itemsets keyed by their compact encoding.
+// It is the representation used for the frequent sets F_k and for membership
+// tests during subset-infrequency pruning. The zero value is not ready to
+// use; call NewSet.
+type Set struct {
+	m map[string]struct{}
+}
+
+// NewSet returns an empty Set.
+func NewSet() *Set { return &Set{m: make(map[string]struct{})} }
+
+// SetOf returns a Set holding the given itemsets.
+func SetOf(sets ...Itemset) *Set {
+	s := NewSet()
+	for _, is := range sets {
+		s.Add(is)
+	}
+	return s
+}
+
+// Add inserts the itemset. Adding an itemset twice is a no-op.
+func (s *Set) Add(is Itemset) { s.m[is.Key()] = struct{}{} }
+
+// AddKey inserts an itemset by its pre-computed Key.
+func (s *Set) AddKey(key string) { s.m[key] = struct{}{} }
+
+// Has reports whether the itemset is in the set. The lookup key is built in
+// a stack buffer so the check does not allocate (it sits on the candidate-
+// generation hot path).
+func (s *Set) Has(is Itemset) bool {
+	var arr [64]byte
+	buf := arr[:0]
+	if len(is) > 16 {
+		buf = make([]byte, 0, 4*len(is))
+	}
+	_, ok := s.m[string(appendKey(buf, is))]
+	return ok
+}
+
+// HasKey reports whether an itemset with the given Key is in the set.
+func (s *Set) HasKey(key string) bool {
+	_, ok := s.m[key]
+	return ok
+}
+
+// Remove deletes the itemset from the set if present.
+func (s *Set) Remove(is Itemset) { delete(s.m, is.Key()) }
+
+// Len returns the number of itemsets in the set.
+func (s *Set) Len() int { return len(s.m) }
+
+// Slice returns the itemsets in lexicographic order.
+func (s *Set) Slice() []Itemset {
+	out := make([]Itemset, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, FromKey(k))
+	}
+	Sort(out)
+	return out
+}
+
+// Each calls fn for every itemset in the set in unspecified order.
+func (s *Set) Each(fn func(Itemset)) {
+	for k := range s.m {
+		fn(FromKey(k))
+	}
+}
+
+// Merge adds every itemset of t into s.
+func (s *Set) Merge(t *Set) {
+	for k := range t.m {
+		s.m[k] = struct{}{}
+	}
+}
+
+// Counter accumulates support counts per itemset. It is the generic
+// count-collection structure used when hash-tree counting is not required
+// (e.g. merging per-node counts, or counting small candidate batches).
+type Counter struct {
+	m map[string]int
+}
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter { return &Counter{m: make(map[string]int)} }
+
+// Add increases the count of the itemset by n.
+func (c *Counter) Add(is Itemset, n int) { c.m[is.Key()] += n }
+
+// AddKey increases the count of the itemset with the given Key by n.
+func (c *Counter) AddKey(key string, n int) { c.m[key] += n }
+
+// Count returns the accumulated count for the itemset (0 when absent).
+func (c *Counter) Count(is Itemset) int { return c.m[is.Key()] }
+
+// CountKey returns the accumulated count for the itemset Key (0 when absent).
+func (c *Counter) CountKey(key string) int { return c.m[key] }
+
+// Len returns the number of distinct itemsets with a recorded count.
+func (c *Counter) Len() int { return len(c.m) }
+
+// Each calls fn for every (itemset, count) pair in unspecified order.
+func (c *Counter) Each(fn func(is Itemset, count int)) {
+	for k, n := range c.m {
+		fn(FromKey(k), n)
+	}
+}
+
+// Merge adds every count of other into c.
+func (c *Counter) Merge(other *Counter) {
+	for k, n := range other.m {
+		c.m[k] += n
+	}
+}
+
+// AtLeast returns, in lexicographic order, the itemsets whose count is
+// greater than or equal to min.
+func (c *Counter) AtLeast(min int) []Itemset {
+	var out []Itemset
+	for k, n := range c.m {
+		if n >= min {
+			out = append(out, FromKey(k))
+		}
+	}
+	Sort(out)
+	return out
+}
+
+// Counted is a (itemset, support) pair, the unit of mining results.
+type Counted struct {
+	Set   Itemset
+	Count int
+}
+
+// SortCounted orders pairs by descending count, breaking ties
+// lexicographically by itemset, which gives deterministic output.
+func SortCounted(cs []Counted) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Count != cs[j].Count {
+			return cs[i].Count > cs[j].Count
+		}
+		return Compare(cs[i].Set, cs[j].Set) < 0
+	})
+}
+
+// CountedSlice extracts all pairs of a Counter in deterministic order.
+func (c *Counter) CountedSlice() []Counted {
+	out := make([]Counted, 0, len(c.m))
+	for k, n := range c.m {
+		out = append(out, Counted{Set: FromKey(k), Count: n})
+	}
+	SortCounted(out)
+	return out
+}

@@ -1,0 +1,121 @@
+package mining
+
+import "pmihp/internal/itemset"
+
+// AprioriGen implements candidate generation shared by Apriori, Count
+// Distribution, DHP and MIHP: the prefix self-join of the frequent
+// (k-1)-itemsets followed by subset-infrequency pruning (every (k-1)-subset
+// of a surviving candidate must be in prevSet).
+//
+// prev must be sorted lexicographically (itemset.Sort order); prevSet must
+// contain at least the itemsets of prev (MIHP passes the accumulated F_{k-1}
+// across partitions, which is a superset). It returns the surviving
+// candidates in lexicographic order, the number of potential candidates the
+// join produced, and the number removed by subset pruning.
+func AprioriGen(prev []itemset.Itemset, prevSet *itemset.Set) (cands []itemset.Itemset, potential, pruned int) {
+	if len(prev) == 0 {
+		return nil, 0, 0
+	}
+	k := len(prev[0]) + 1
+	subBuf := make(itemset.Itemset, k-1)
+	candBuf := make(itemset.Itemset, k)
+	// Joinable itemsets share their first k-2 items and are adjacent in
+	// lexicographic order, so scan prefix groups.
+	for lo := 0; lo < len(prev); {
+		hi := lo + 1
+		for hi < len(prev) && samePrefix(prev[lo], prev[hi]) {
+			hi++
+		}
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < hi; j++ {
+				// prev is sorted, so within a prefix group the final items
+				// are distinct and ascending: the join is the shared prefix
+				// plus both final items in order.
+				copy(candBuf, prev[i])
+				candBuf[k-1] = prev[j][k-2]
+				potential++
+				if hasAllSubsetsBuf(candBuf, prevSet, subBuf) {
+					cands = append(cands, candBuf.Clone())
+				} else {
+					pruned++
+				}
+			}
+		}
+		lo = hi
+	}
+	return cands, potential, pruned
+}
+
+// PairSet is a set of 2-itemsets packed into uint64 keys — the compact
+// membership structure behind the k=3 join, which dominates generation cost
+// on text databases (F2 runs into the hundreds of thousands at low support).
+type PairSet map[uint64]struct{}
+
+// Add inserts the pair (a < b assumed).
+func (s PairSet) Add(a, b itemset.Item) { s[uint64(a)<<32|uint64(b)] = struct{}{} }
+
+// Has reports membership of the pair (a < b assumed).
+func (s PairSet) Has(a, b itemset.Item) bool {
+	_, ok := s[uint64(a)<<32|uint64(b)]
+	return ok
+}
+
+// Gen3 is AprioriGen specialized to k=3: prev holds frequent 2-itemsets in
+// lexicographic order, all2 the membership set of every frequent 2-itemset
+// usable for subset pruning (a superset of prev for MIHP, where pairs from
+// already-processed partitions participate). It avoids the generic path's
+// string-key subset checks, which dominate real runtime at text-database
+// F2 sizes.
+func Gen3(prev []itemset.Itemset, all2 PairSet) (cands []itemset.Itemset, potential, pruned int) {
+	for lo := 0; lo < len(prev); {
+		hi := lo + 1
+		a := prev[lo][0]
+		for hi < len(prev) && prev[hi][0] == a {
+			hi++
+		}
+		for i := lo; i < hi; i++ {
+			b := prev[i][1]
+			for j := i + 1; j < hi; j++ {
+				c := prev[j][1]
+				potential++
+				if all2.Has(b, c) {
+					cands = append(cands, itemset.Itemset{a, b, c})
+				} else {
+					pruned++
+				}
+			}
+		}
+		lo = hi
+	}
+	return cands, potential, pruned
+}
+
+// samePrefix reports whether a and b (same length) agree on all but the
+// final item.
+func samePrefix(a, b itemset.Itemset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasAllSubsetsBuf reports whether every (k-1)-subset of cand is in prevSet,
+// writing scratch subsets into buf (len k-1). The two subsets obtained by
+// dropping one of the final two items equal the join parents and are
+// skipped.
+func hasAllSubsetsBuf(cand itemset.Itemset, prevSet *itemset.Set, buf itemset.Itemset) bool {
+	k := len(cand)
+	for i := 0; i < k-2; i++ {
+		copy(buf, cand[:i])
+		copy(buf[i:], cand[i+1:])
+		if !prevSet.Has(buf) {
+			return false
+		}
+	}
+	return true
+}

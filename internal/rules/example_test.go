@@ -1,0 +1,24 @@
+package rules_test
+
+import (
+	"fmt"
+
+	"pmihp/internal/itemset"
+	"pmihp/internal/rules"
+)
+
+func ExampleGenerate() {
+	// Frequent itemsets with exact supports over a 10-document corpus:
+	// "beer" (item 0) in 5, "diapers" (item 1) in 6, both together in 4.
+	frequent := []itemset.Counted{
+		{Set: itemset.New(0), Count: 5},
+		{Set: itemset.New(1), Count: 6},
+		{Set: itemset.New(0, 1), Count: 4},
+	}
+	names := []string{"beer", "diapers"}
+	for _, r := range rules.Generate(frequent, 10, 0.7) {
+		fmt.Println(r.Render(func(it itemset.Item) string { return names[it] }))
+	}
+	// Output:
+	// beer => diapers (sup=4, conf=0.80)
+}

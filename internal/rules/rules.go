@@ -1,0 +1,144 @@
+// Package rules implements the second step of association mining — forming
+// association rules from the frequent itemsets (section 1 of the paper,
+// following Agrawal & Srikant): for every frequent itemset f and non-empty
+// proper subset a, emit a ⇒ f−a when support(f)/support(a) reaches the
+// minimum confidence.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pmihp/internal/itemset"
+)
+
+// Rule is an association rule Antecedent ⇒ Consequent.
+type Rule struct {
+	Antecedent itemset.Itemset
+	Consequent itemset.Itemset
+
+	// Support is the number of transactions containing both sides; Frac is
+	// the same as a fraction of the database.
+	Support int
+	Frac    float64
+
+	// Confidence is support(A ∪ C) / support(A).
+	Confidence float64
+
+	// Lift is confidence / P(C): how much more often the consequent occurs
+	// with the antecedent than on its own (an extension beyond the paper,
+	// useful for ranking thesaurus expansions).
+	Lift float64
+}
+
+// String renders the rule as "{1, 2} => {3} (sup=5, conf=0.83)".
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup=%d, conf=%.2f)", r.Antecedent, r.Consequent, r.Support, r.Confidence)
+}
+
+// Render renders the rule with words resolved through name, e.g.
+// "beer => diapers (sup=5, conf=0.83)".
+func (r Rule) Render(name func(itemset.Item) string) string {
+	var b strings.Builder
+	writeSide := func(s itemset.Itemset) {
+		for i, it := range s {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(name(it))
+		}
+	}
+	writeSide(r.Antecedent)
+	b.WriteString(" => ")
+	writeSide(r.Consequent)
+	fmt.Fprintf(&b, " (sup=%d, conf=%.2f)", r.Support, r.Confidence)
+	return b.String()
+}
+
+// Generate forms all rules meeting minConf from the frequent itemsets.
+// frequent must contain every frequent itemset with its exact support
+// (including the 1-itemsets, which seed the support lookups); dbLen is the
+// number of transactions. Rules are returned ranked by confidence, then
+// support, then antecedent order, so output is deterministic.
+func Generate(frequent []itemset.Counted, dbLen int, minConf float64) []Rule {
+	support := make(map[string]int, len(frequent))
+	for _, c := range frequent {
+		support[c.Set.Key()] = c.Count
+	}
+	var out []Rule
+	for _, c := range frequent {
+		if len(c.Set) < 2 {
+			continue
+		}
+		for _, ante := range c.Set.ProperSubsets() {
+			supA, ok := support[ante.Key()]
+			if !ok || supA == 0 {
+				// A subset of a frequent itemset is always frequent; a
+				// missing entry means the caller passed a truncated list
+				// (e.g. a MaxK-bounded result without its 1-itemsets).
+				continue
+			}
+			conf := float64(c.Count) / float64(supA)
+			if conf < minConf {
+				continue
+			}
+			cons := diff(c.Set, ante)
+			r := Rule{
+				Antecedent: ante,
+				Consequent: cons,
+				Support:    c.Count,
+				Confidence: conf,
+			}
+			if dbLen > 0 {
+				r.Frac = float64(c.Count) / float64(dbLen)
+				if supC, ok := support[cons.Key()]; ok && supC > 0 {
+					r.Lift = conf / (float64(supC) / float64(dbLen))
+				}
+			}
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if c := itemset.Compare(out[i].Antecedent, out[j].Antecedent); c != 0 {
+			return c < 0
+		}
+		return itemset.Compare(out[i].Consequent, out[j].Consequent) < 0
+	})
+	return out
+}
+
+// diff returns the items of f not in a (both sorted).
+func diff(f, a itemset.Itemset) itemset.Itemset {
+	out := make(itemset.Itemset, 0, len(f)-len(a))
+	j := 0
+	for _, it := range f {
+		for j < len(a) && a[j] < it {
+			j++
+		}
+		if j < len(a) && a[j] == it {
+			continue
+		}
+		out = append(out, it)
+	}
+	return out
+}
+
+// WithConsequent filters rules to those whose consequent is exactly the
+// given single item — the shape used for query expansion (B ⇒ C lets a
+// search for C pull in documents mentioning only B).
+func WithConsequent(rs []Rule, c itemset.Item) []Rule {
+	var out []Rule
+	for _, r := range rs {
+		if len(r.Consequent) == 1 && r.Consequent[0] == c {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package search
+
+import (
+	"testing"
+
+	"pmihp/internal/itemset"
+	"pmihp/internal/text"
+)
+
+// rankFixture: "futures market" is a genuine collocation (3 joint docs);
+// "bank" co-occurs with nothing.
+func rankFixture() (*Index, *text.Vocabulary) {
+	docs := []text.Document{
+		{Words: []string{"futures", "market"}},
+		{Words: []string{"futures", "market", "trading"}},
+		{Words: []string{"futures", "market"}},
+		{Words: []string{"bank", "market"}},
+		{Words: []string{"bank", "futures"}},
+		{Words: []string{"bank"}},
+		{Words: []string{"trading"}},
+	}
+	db, vocab := text.ToDB(docs, nil)
+	return Build(db, vocab), vocab
+}
+
+func TestRankBaseIDF(t *testing.T) {
+	idx, _ := rankFixture()
+	got := idx.Rank([]string{"bank", "trading"}, nil, 0)
+	if len(got) != 5 {
+		t.Fatalf("ranked %d docs", len(got))
+	}
+	// Doc 1 holds "trading" only; docs 3,4,5 hold "bank" only; "trading"
+	// (df 2) is rarer than "bank" (df 3) so idf ranks trading docs higher.
+	if got[0].TID != 1 && got[0].TID != 6 {
+		t.Fatalf("top doc = %d", got[0].TID)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatal("not sorted by score")
+		}
+	}
+}
+
+func TestRankItemsetBonus(t *testing.T) {
+	idx, vocab := rankFixture()
+	fid, _ := vocab.ID("futures")
+	mid, _ := vocab.ID("market")
+	frequent := []itemset.Counted{
+		{Set: itemset.Itemset{fid, mid}, Count: 3},
+	}
+	// Query: futures, market, bank. Without the bonus, a {bank, market}
+	// doc and a {futures, market} doc score similarly (bank and futures
+	// have equal df). The itemset bonus must push joint futures+market
+	// documents above the bank+market one.
+	base := idx.Rank([]string{"futures", "market", "bank"}, nil, 0)
+	boosted := idx.Rank([]string{"futures", "market", "bank"}, frequent, 0)
+
+	pos := func(rs []RankedDoc, tid uint32) int {
+		for i, r := range rs {
+			if r.TID == tid {
+				return i
+			}
+		}
+		return -1
+	}
+	// Doc 0 ({futures, market}) must outrank doc 3 ({bank, market}) once
+	// the collocation evidence is in.
+	if pos(boosted, 0) > pos(boosted, 3) {
+		t.Fatalf("bonus did not prefer the collocated doc: %v", boosted)
+	}
+	// The bonus only raises scores.
+	for _, b := range boosted {
+		if bs := scoreOf(base, b.TID); b.Score < bs {
+			t.Fatalf("score of %d dropped: %g -> %g", b.TID, bs, b.Score)
+		}
+	}
+}
+
+func scoreOf(rs []RankedDoc, tid uint32) float64 {
+	for _, r := range rs {
+		if r.TID == tid {
+			return r.Score
+		}
+	}
+	return 0
+}
+
+func TestRankLimitsAndUnknowns(t *testing.T) {
+	idx, _ := rankFixture()
+	if got := idx.Rank([]string{"nonexistent"}, nil, 0); got != nil {
+		t.Fatalf("unknown query ranked %v", got)
+	}
+	got := idx.Rank([]string{"market"}, nil, 2)
+	if len(got) != 2 {
+		t.Fatalf("limit ignored: %d", len(got))
+	}
+}
+
+func TestRankDeterministicTies(t *testing.T) {
+	idx, _ := rankFixture()
+	a := idx.Rank([]string{"market"}, nil, 0)
+	b := idx.Rank([]string{"market"}, nil, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic ranking")
+		}
+	}
+	// Equal-scored docs in ascending TID order.
+	for i := 1; i < len(a); i++ {
+		if a[i].Score == a[i-1].Score && a[i].TID < a[i-1].TID {
+			t.Fatal("tie order not by TID")
+		}
+	}
+}
+
+func TestIDF(t *testing.T) {
+	idx, _ := rankFixture()
+	if idx.IDF("nonexistent") != 0 {
+		t.Fatal("idf of unknown word")
+	}
+	if idx.IDF("market") >= idx.IDF("trading") {
+		t.Fatal("common word should have lower idf")
+	}
+}

@@ -1,0 +1,157 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmihp/internal/corpus"
+	"pmihp/internal/itemset"
+	"pmihp/internal/rules"
+	"pmihp/internal/text"
+	"pmihp/internal/txdb"
+)
+
+// fixture corpus: four tiny documents with a B=>C structure ("futures"
+// implies "market", and one document mentions futures without market).
+func fixture() (*txdb.DB, *text.Vocabulary) {
+	docs := []text.Document{
+		{Day: 0, Words: []string{"bank", "market", "stock"}},
+		{Day: 0, Words: []string{"futures", "market"}},
+		{Day: 1, Words: []string{"futures", "market", "trading"}},
+		{Day: 1, Words: []string{"futures", "trading"}},
+	}
+	return text.ToDB(docs, nil)
+}
+
+func TestPostingsAndDocFreq(t *testing.T) {
+	db, vocab := fixture()
+	idx := Build(db, vocab)
+	if idx.Docs() != 4 {
+		t.Fatalf("Docs = %d", idx.Docs())
+	}
+	if idx.DocFreq("market") != 3 || idx.DocFreq("bank") != 1 || idx.DocFreq("missing") != 0 {
+		t.Fatalf("DocFreq wrong: market=%d bank=%d", idx.DocFreq("market"), idx.DocFreq("bank"))
+	}
+	p := idx.Postings("futures")
+	if len(p) != 3 || p[0] != 1 || p[1] != 2 || p[2] != 3 {
+		t.Fatalf("Postings(futures) = %v", p)
+	}
+}
+
+func TestSearchAll(t *testing.T) {
+	db, vocab := fixture()
+	idx := Build(db, vocab)
+	got := idx.SearchAll("futures", "market")
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("SearchAll = %v", got)
+	}
+	if idx.SearchAll("market", "missing") != nil {
+		t.Fatal("unknown term should empty the conjunction")
+	}
+	if idx.SearchAll() != nil {
+		t.Fatal("empty query should return nothing")
+	}
+}
+
+func TestSearchAny(t *testing.T) {
+	db, vocab := fixture()
+	idx := Build(db, vocab)
+	got := idx.SearchAny("bank", "trading")
+	if len(got) != 3 { // docs 0, 2, 3
+		t.Fatalf("SearchAny = %v", got)
+	}
+}
+
+func TestExpansionFindsExtraDocuments(t *testing.T) {
+	db, vocab := fixture()
+	idx := Build(db, vocab)
+
+	// Rule: futures => market (conf 2/3) — the paper's B => C example.
+	fid, _ := vocab.ID("futures")
+	mid, _ := vocab.ID("market")
+	rs := []rules.Rule{{
+		Antecedent: itemset.Itemset{fid},
+		Consequent: itemset.Itemset{mid},
+		Support:    2, Confidence: 2.0 / 3,
+	}}
+	exp := NewExpander(rs, vocab)
+
+	expansions := exp.Expand(5, "market")
+	if len(expansions) != 1 || len(expansions[0].Terms) != 1 || expansions[0].Terms[0].Word != "futures" {
+		t.Fatalf("Expand = %+v", expansions)
+	}
+
+	all, extra := exp.ExpandedSearch(idx, 5, "market")
+	// Direct: docs 0,1,2. Expansion adds doc 3 (futures-only).
+	if len(all) != 4 {
+		t.Fatalf("expanded search found %d docs", len(all))
+	}
+	if len(extra) != 1 || extra[0] != 3 {
+		t.Fatalf("extra docs = %v", extra)
+	}
+}
+
+func TestExpandUnknownWord(t *testing.T) {
+	db, vocab := fixture()
+	_ = Build(db, vocab)
+	exp := NewExpander(nil, vocab)
+	got := exp.Expand(3, "nonexistent")
+	if len(got) != 1 || len(got[0].Terms) != 0 {
+		t.Fatalf("Expand unknown = %+v", got)
+	}
+}
+
+func TestExpandLimit(t *testing.T) {
+	db, vocab := fixture()
+	_ = db
+	mid, _ := vocab.ID("market")
+	var rs []rules.Rule
+	for _, w := range []string{"bank", "futures", "stock", "trading"} {
+		id, _ := vocab.ID(w)
+		rs = append(rs, rules.Rule{
+			Antecedent: itemset.Itemset{id},
+			Consequent: itemset.Itemset{mid},
+			Confidence: 0.9,
+		})
+	}
+	exp := NewExpander(rs, vocab)
+	got := exp.Expand(2, "market")
+	if len(got[0].Terms) != 2 {
+		t.Fatalf("limit ignored: %d terms", len(got[0].Terms))
+	}
+}
+
+func TestIndexAgainstBruteForce(t *testing.T) {
+	// Postings-based conjunctive search must agree with scanning the raw
+	// transactions, across many random queries.
+	docs := corpus.MustGenerate(corpus.CorpusB(corpus.Small))
+	db, vocab := text.ToDB(docs, nil)
+	idx := Build(db, vocab)
+
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(3)
+		var words []string
+		var ids itemset.Itemset
+		for len(words) < n {
+			id := itemset.Item(rng.Intn(vocab.Size()))
+			words = append(words, vocab.Word(id))
+			ids = itemset.Union(ids, itemset.Itemset{id})
+		}
+		got := idx.SearchAll(words...)
+		var want []txdb.TID
+		db.Each(func(tx *txdb.Transaction) {
+			if ids.SubsetOf(tx.Items) {
+				want = append(want, tx.TID)
+			}
+		})
+		if len(got) != len(want) {
+			t.Fatalf("query %v: %d hits, want %d", words, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %v: hit %d = %d, want %d", words, i, got[i], want[i])
+			}
+		}
+	}
+}

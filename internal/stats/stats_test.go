@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if !almost(StdDev([]float64{2, 2, 2}), 0) {
+		t.Fatal("constant series has nonzero stddev")
+	}
+	if !almost(StdDev([]float64{1, 3}), 1) {
+		t.Fatalf("StdDev = %g", StdDev([]float64{1, 3}))
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("singleton stddev")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if !almost(Median([]float64{3, 1, 2}), 2) {
+		t.Fatal("odd median")
+	}
+	if !almost(Median([]float64{4, 1, 2, 3}), 2.5) {
+		t.Fatal("even median")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("Median(nil)")
+	}
+	// Input must not be reordered.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	got := Speedup(80, []float64{80, 48.5, 21.3, 0})
+	if !almost(got[0], 1) || !almost(got[1], 80/48.5) || got[3] != 0 {
+		t.Fatalf("Speedup = %v", got)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	got := Efficiency([]float64{1, 1.88, 4.29}, []int{1, 2, 4})
+	if !almost(got[2], 4.29/4) {
+		t.Fatalf("Efficiency = %v", got)
+	}
+}
+
+func TestGrowthRates(t *testing.T) {
+	got := GrowthRates([]float64{1, 1.65, 3.76})
+	if len(got) != 2 || !almost(got[0], 1.65) || !almost(got[1], 3.76/1.65) {
+		t.Fatalf("GrowthRates = %v", got)
+	}
+	if GrowthRates([]float64{1}) != nil {
+		t.Fatal("short series should give nil")
+	}
+	zero := GrowthRates([]float64{0, 5})
+	if zero[0] != 0 {
+		t.Fatal("division by zero not guarded")
+	}
+}

@@ -1,0 +1,75 @@
+package text
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDocumentsRoundTrip(t *testing.T) {
+	docs := []Document{
+		{Day: 0, Words: []string{"bank", "market"}},
+		{Day: 1, Words: []string{"bond", "rates", "report"}},
+		{Day: 1, Words: []string{"zebra"}},
+	}
+	var buf bytes.Buffer
+	if err := WriteDocuments(&buf, docs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDocuments(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(docs) {
+		t.Fatalf("got %d docs", len(got))
+	}
+	for i := range docs {
+		if got[i].Day != docs[i].Day || len(got[i].Words) != len(docs[i].Words) {
+			t.Fatalf("doc %d: %+v vs %+v", i, got[i], docs[i])
+		}
+		for j := range docs[i].Words {
+			if got[i].Words[j] != docs[i].Words[j] {
+				t.Fatalf("doc %d word %d: %q vs %q", i, j, got[i].Words[j], docs[i].Words[j])
+			}
+		}
+	}
+}
+
+func TestReadDocumentsNormalizes(t *testing.T) {
+	in := "0 Market BANK market\n\n# comment\n2 zeta alpha\n"
+	got, err := ReadDocuments(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d docs", len(got))
+	}
+	if len(got[0].Words) != 2 || got[0].Words[0] != "bank" || got[0].Words[1] != "market" {
+		t.Fatalf("doc 0 words = %v", got[0].Words)
+	}
+	if got[1].Words[0] != "alpha" {
+		t.Fatalf("doc 1 not sorted: %v", got[1].Words)
+	}
+}
+
+func TestReadDocumentsBadDay(t *testing.T) {
+	if _, err := ReadDocuments(strings.NewReader("notaday word\n")); err == nil {
+		t.Fatal("bad day accepted")
+	}
+}
+
+func TestSaveLoadDocuments(t *testing.T) {
+	docs := []Document{{Day: 3, Words: []string{"alpha", "beta"}}}
+	path := filepath.Join(t.TempDir(), "docs.txt")
+	if err := SaveDocuments(path, docs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDocuments(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Day != 3 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}

@@ -1,0 +1,79 @@
+// Package text turns raw documents into the transactions the miners
+// consume, following the paper's preprocessing: words are monocased, not
+// stemmed, and filtered through a Fox-style stop-word list; each document
+// becomes the set of its distinct remaining words.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits a document into lowercase word tokens. A token is a
+// maximal run of letters (digits and punctuation separate tokens); the paper
+// monocases but does not stem, and neither do we. Tokens shorter than
+// MinTokenLen are discarded.
+func Tokenize(doc string) []string {
+	var tokens []string
+	start := -1
+	flush := func(end int) {
+		if start >= 0 && end-start >= MinTokenLen {
+			tokens = append(tokens, strings.ToLower(doc[start:end]))
+		}
+		start = -1
+	}
+	for i, r := range doc {
+		if unicode.IsLetter(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(doc))
+	return tokens
+}
+
+// MinTokenLen is the minimum length of a token kept by Tokenize. Single
+// letters carry no content and behave as noise in association mining.
+const MinTokenLen = 2
+
+// ContentWords tokenizes a document and removes stop words, returning the
+// content words in document order (with duplicates preserved).
+func ContentWords(doc string) []string {
+	toks := Tokenize(doc)
+	out := toks[:0]
+	for _, t := range toks {
+		if !IsStopWord(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// DistinctContentWords returns the sorted distinct content words of a
+// document — the word set that becomes the document's transaction.
+func DistinctContentWords(doc string) []string {
+	words := ContentWords(doc)
+	seen := make(map[string]struct{}, len(words))
+	out := words[:0]
+	for _, w := range words {
+		if _, dup := seen[w]; !dup {
+			seen[w] = struct{}{}
+			out = append(out, w)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+// sortStrings is an insertion sort adequate for per-document word lists;
+// documents have hundreds of distinct words at most.
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package text
+
+import (
+	"sort"
+
+	"pmihp/internal/itemset"
+	"pmihp/internal/txdb"
+)
+
+// Vocabulary maps words to item identifiers. Identifiers are assigned in
+// lexical word order so that the numeric order of items is the lexical
+// order the Multipass partitioning relies on ("assume without loss of
+// generality that the frequent 1-itemsets are ordered lexically").
+type Vocabulary struct {
+	words []string
+	ids   map[string]itemset.Item
+}
+
+// BuildVocabulary assigns ids to the distinct words of the corpus, in
+// lexical order.
+func BuildVocabulary(docs []Document) *Vocabulary {
+	seen := make(map[string]struct{})
+	for i := range docs {
+		for _, w := range docs[i].Words {
+			seen[w] = struct{}{}
+		}
+	}
+	words := make([]string, 0, len(seen))
+	for w := range seen {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	ids := make(map[string]itemset.Item, len(words))
+	for i, w := range words {
+		ids[w] = itemset.Item(i)
+	}
+	return &Vocabulary{words: words, ids: ids}
+}
+
+// Size returns the number of distinct words.
+func (v *Vocabulary) Size() int { return len(v.words) }
+
+// ID returns the item id of a word; ok is false for unknown words.
+func (v *Vocabulary) ID(word string) (itemset.Item, bool) {
+	id, ok := v.ids[word]
+	return id, ok
+}
+
+// Word returns the word with the given item id.
+func (v *Vocabulary) Word(id itemset.Item) string { return v.words[id] }
+
+// Words renders an itemset as its word forms.
+func (v *Vocabulary) Words(s itemset.Itemset) []string {
+	out := make([]string, len(s))
+	for i, it := range s {
+		out[i] = v.words[it]
+	}
+	return out
+}
+
+// Document is a preprocessed document: its publication day and the sorted
+// distinct content words it contains.
+type Document struct {
+	Day   int
+	Words []string
+}
+
+// PrepareDocument preprocesses a raw document body: tokenize, monocase,
+// stop-filter, deduplicate, sort.
+func PrepareDocument(day int, body string) Document {
+	return Document{Day: day, Words: DistinctContentWords(body)}
+}
+
+// ToDB converts preprocessed documents into a transaction database using
+// (and if nil, building) a vocabulary. TIDs are assigned sequentially in
+// document order. It returns the database and the vocabulary used.
+func ToDB(docs []Document, vocab *Vocabulary) (*txdb.DB, *Vocabulary) {
+	if vocab == nil {
+		vocab = BuildVocabulary(docs)
+	}
+	txs := make([]txdb.Transaction, len(docs))
+	for i := range docs {
+		items := make(itemset.Itemset, 0, len(docs[i].Words))
+		for _, w := range docs[i].Words {
+			if id, ok := vocab.ID(w); ok {
+				items = append(items, id)
+			}
+		}
+		// Words are sorted lexically and ids are assigned in lexical order,
+		// so items are already sorted; assert the invariant cheaply.
+		if !items.Valid() {
+			sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		}
+		txs[i] = txdb.Transaction{TID: txdb.TID(i), Day: docs[i].Day, Items: items}
+	}
+	return txdb.New(txs, vocab.Size()), vocab
+}

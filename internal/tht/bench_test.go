@@ -1,0 +1,60 @@
+package tht
+
+import (
+	"testing"
+
+	"pmihp/internal/itemset"
+)
+
+func benchLocal(b *testing.B, entries int, masks bool) *Local {
+	b.Helper()
+	db := makeDB(1, 400, 2000, 60)
+	l, _ := BuildLocal(db, entries)
+	if masks {
+		l.BuildMasks()
+	}
+	return l
+}
+
+func BenchmarkPairBoundMasked(b *testing.B) {
+	l := benchLocal(b, 400, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := itemset.Item(i % 2000)
+		c := itemset.Item((i*7 + 1) % 2000)
+		if a != c {
+			l.PairBoundReachesItems(a, c, 2)
+		}
+	}
+}
+
+func BenchmarkPairBoundMaskless(b *testing.B) {
+	l := benchLocal(b, 400, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := itemset.Item(i % 2000)
+		c := itemset.Item((i*7 + 1) % 2000)
+		if a != c {
+			l.PairBoundReachesItems(a, c, 2)
+		}
+	}
+}
+
+func BenchmarkTripleBoundMasked(b *testing.B) {
+	l := benchLocal(b, 400, true)
+	x := make(itemset.Itemset, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = x[:0]
+		x = append(x, itemset.Item(i%1900), itemset.Item(i%1900+50), itemset.Item(i%1900+90))
+		l.BoundReaches(x, 2)
+	}
+}
+
+func BenchmarkBuildLocal(b *testing.B) {
+	db := makeDB(1, 400, 2000, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildLocal(db, 400)
+	}
+}

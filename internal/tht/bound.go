@@ -1,0 +1,236 @@
+package tht
+
+import (
+	"math/bits"
+
+	"pmihp/internal/itemset"
+)
+
+// Threshold-bounded evaluation of the IHP upper bound. All entry points
+// answer "does GetMaxPossibleCount(x) reach threshold?" while examining as
+// little of the tables as possible:
+//
+//   - without occupancy masks, the slot-minimum sum is accumulated with an
+//     early exit once it reaches the threshold;
+//   - with masks (see mask.go), the intersection of the items' occupancy
+//     masks is computed first: an empty intersection proves a zero bound, a
+//     popcount at or above the threshold proves the bound reaches it (every
+//     intersecting slot contributes at least one), and otherwise only the
+//     few intersecting slots are summed.
+//
+// The masked path makes the evaluation cost proportional to the number of
+// slots where the items actually co-hash rather than to the table size —
+// which is what keeps the paper's claim that "the sizes of the partitions
+// and THT are not critical for the overall performance" true in the cost
+// model as well (ablation A3).
+
+// BoundReaches reports whether the IHP upper bound for the itemset reaches
+// threshold. slots is the number of table slots (or mask words, charged at
+// the same rate) examined. A false result proves MaxPossible(x) < threshold.
+func (l *Local) BoundReaches(x itemset.Itemset, threshold int) (reaches bool, slots int) {
+	sum, cost := l.boundUpTo(x, threshold)
+	return sum >= threshold, cost
+}
+
+// boundUpTo accumulates the slot-minimum sum until it reaches stop, and
+// returns the (possibly truncated) sum with the evaluation cost.
+func (l *Local) boundUpTo(x itemset.Itemset, stop int) (sum, cost int) {
+	if len(x) == 0 || stop <= 0 {
+		return 0, 0
+	}
+	rows := make([][]uint32, len(x))
+	for i, it := range x {
+		rows[i] = l.counts[it]
+		if rows[i] == nil {
+			return 0, 0
+		}
+	}
+	if l.masks != nil {
+		var scratch [16]uint64
+		inter, words, ok := l.intersection(x, scratch[:0])
+		cost += words
+		if !ok {
+			return 0, cost
+		}
+		pc := 0
+		for _, w := range inter {
+			pc += bits.OnesCount64(w)
+		}
+		if pc == 0 {
+			return 0, cost
+		}
+		if pc >= stop {
+			return stop, cost
+		}
+		// Fewer intersecting slots than the threshold: sum exactly those.
+		for wi, w := range inter {
+			for ; w != 0; w &= w - 1 {
+				j := wi*64 + bits.TrailingZeros64(w)
+				cost++
+				min := rows[0][j]
+				for i := 1; i < len(rows) && min > 0; i++ {
+					if rows[i][j] < min {
+						min = rows[i][j]
+					}
+				}
+				sum += int(min)
+				if sum >= stop {
+					return sum, cost
+				}
+			}
+		}
+		return sum, cost
+	}
+	// Maskless path: linear scan with early exit.
+	for j := 0; j < l.entries; j++ {
+		cost++
+		min := rows[0][j]
+		for i := 1; i < len(rows) && min > 0; i++ {
+			if rows[i][j] < min {
+				min = rows[i][j]
+			}
+		}
+		sum += int(min)
+		if sum >= stop {
+			return sum, cost
+		}
+	}
+	return sum, cost
+}
+
+// intersection ANDs the occupancy masks of the itemset's members into buf.
+// ok is false when an item has no mask (no row) or the intersection is
+// provably empty part-way through.
+func (l *Local) intersection(x itemset.Itemset, buf []uint64) (inter []uint64, words int, ok bool) {
+	for i, it := range x {
+		m := l.masks[it]
+		if m == nil {
+			return nil, words, false
+		}
+		if i == 0 {
+			buf = append(buf, m...)
+			continue
+		}
+		any := uint64(0)
+		for j := range buf {
+			buf[j] &= m[j]
+			any |= buf[j]
+		}
+		words += len(buf)
+		if any == 0 {
+			return nil, words, false
+		}
+	}
+	return buf, words, true
+}
+
+// BoundReaches is the cascaded-table analogue: per-segment partial sums
+// accumulate across segments and evaluation stops as soon as the running
+// total reaches threshold.
+func (g *Global) BoundReaches(x itemset.Itemset, threshold int) (reaches bool, slots int) {
+	sum, total := 0, 0
+	for _, seg := range g.segments {
+		s, n := seg.boundUpTo(x, threshold-sum)
+		sum += s
+		total += n
+		if sum >= threshold {
+			return true, total
+		}
+	}
+	return false, total
+}
+
+// PairBoundReaches is the cascaded pair bound.
+func (g *Global) PairBoundReaches(a, b itemset.Item, threshold int) (reaches bool, slots int) {
+	sum, total := 0, 0
+	for _, seg := range g.segments {
+		s, n := seg.pairBoundUpTo(a, b, threshold-sum)
+		sum += s
+		total += n
+		if sum >= threshold {
+			return true, total
+		}
+	}
+	return false, total
+}
+
+// PairBoundReachesItems evaluates the local pair bound by item id, taking
+// the masked fast path when masks are built.
+func (l *Local) PairBoundReachesItems(a, b itemset.Item, threshold int) (reaches bool, slots int) {
+	sum, cost := l.pairBoundUpTo(a, b, threshold)
+	return sum >= threshold, cost
+}
+
+// pairBoundUpTo is boundUpTo specialized for a pair, avoiding per-call
+// slice allocation in the pass-2 generation hot loop.
+func (l *Local) pairBoundUpTo(a, b itemset.Item, stop int) (sum, cost int) {
+	if stop <= 0 {
+		return 0, 0
+	}
+	rowA, rowB := l.counts[a], l.counts[b]
+	if rowA == nil || rowB == nil {
+		return 0, 0
+	}
+	if l.masks != nil {
+		ma, mb := l.masks[a], l.masks[b]
+		pc := 0
+		for j := range ma {
+			pc += bits.OnesCount64(ma[j] & mb[j])
+		}
+		cost += len(ma)
+		if pc == 0 {
+			return 0, cost
+		}
+		if pc >= stop {
+			return stop, cost
+		}
+		for wi := range ma {
+			for w := ma[wi] & mb[wi]; w != 0; w &= w - 1 {
+				j := wi*64 + bits.TrailingZeros64(w)
+				cost++
+				min := rowA[j]
+				if rowB[j] < min {
+					min = rowB[j]
+				}
+				sum += int(min)
+				if sum >= stop {
+					return sum, cost
+				}
+			}
+		}
+		return sum, cost
+	}
+	for j := range rowA {
+		cost++
+		min := rowA[j]
+		if rowB[j] < min {
+			min = rowB[j]
+		}
+		sum += int(min)
+		if sum >= stop {
+			return sum, cost
+		}
+	}
+	return sum, cost
+}
+
+// PairBoundReaches evaluates the pair bound over two pre-fetched rows
+// (maskless; retained for callers holding raw rows).
+func PairBoundReaches(rowA, rowB []uint32, threshold int) (reaches bool, slots int) {
+	if rowA == nil || rowB == nil {
+		return threshold <= 0, 0
+	}
+	sum := 0
+	for j := range rowA {
+		slots++
+		min := rowA[j]
+		if rowB[j] < min {
+			min = rowB[j]
+		}
+		sum += int(min)
+		if sum >= threshold {
+			return true, slots
+		}
+	}
+	return false, slots
+}

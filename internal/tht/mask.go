@@ -1,0 +1,87 @@
+package tht
+
+import "pmihp/internal/itemset"
+
+// Per-item occupancy bitmasks over the THT slots. Intersecting the masks of
+// an itemset's members decides "can the IHP bound be nonzero at all?" in a
+// handful of word operations instead of a full slot scan — the decisive
+// fast path when the pruning threshold is 1 or 2 (the low-support regime the
+// paper targets), where most candidate pairs never co-hash at all. The mask
+// is an implementation device for the same table the paper defines; work
+// charging for mask words uses the same CostTHTSlot rate as slot scans.
+
+// maskWords returns the number of 64-bit words covering the slot space.
+func (l *Local) maskWords() int { return (l.entries + 63) / 64 }
+
+// BuildMasks materializes the occupancy masks for every current row. Call
+// after Retain; AddOccurrence after BuildMasks keeps masks in sync.
+func (l *Local) BuildMasks() {
+	w := l.maskWords()
+	l.masks = make(map[itemset.Item][]uint64, len(l.counts))
+	for it, row := range l.counts {
+		mask := make([]uint64, w)
+		for j, c := range row {
+			if c > 0 {
+				mask[j/64] |= 1 << (j % 64)
+			}
+		}
+		l.masks[it] = mask
+	}
+}
+
+// HasMasks reports whether BuildMasks has been called.
+func (l *Local) HasMasks() bool { return l.masks != nil }
+
+// Mask returns the occupancy mask of an item (nil when masks are not built
+// or the item has no row).
+func (l *Local) Mask(it itemset.Item) []uint64 {
+	if l.masks == nil {
+		return nil
+	}
+	return l.masks[it]
+}
+
+// MasksIntersect reports whether every item of x has a row and the rows
+// share at least one occupied slot, along with the number of mask words
+// examined (charged at the slot rate). When masks are not built it returns
+// intersect=true, words=0 so callers fall through to the slot scan.
+func (l *Local) MasksIntersect(x itemset.Itemset) (intersect bool, words int) {
+	if l.masks == nil {
+		return true, 0
+	}
+	w := l.maskWords()
+	var acc []uint64
+	for _, it := range x {
+		m := l.masks[it]
+		if m == nil {
+			return false, words
+		}
+		if acc == nil {
+			acc = append(acc[:0:0], m...)
+			continue
+		}
+		any := uint64(0)
+		for j := 0; j < w; j++ {
+			acc[j] &= m[j]
+			any |= acc[j]
+		}
+		words += w
+		if any == 0 {
+			return false, words
+		}
+	}
+	return true, words
+}
+
+// PairMasksIntersect is MasksIntersect for two pre-fetched masks.
+func PairMasksIntersect(a, b []uint64) (intersect bool, words int) {
+	if a == nil || b == nil {
+		return true, 0
+	}
+	for j := range a {
+		if a[j]&b[j] != 0 {
+			return true, j + 1
+		}
+	}
+	return false, len(a)
+}

@@ -1,0 +1,212 @@
+// Package tht implements the TID Hash Tables of the Inverted Hashing and
+// Pruning technique (Holt & Chung, IPL 2002; section 2.2 of the IPDPS 2004
+// paper).
+//
+// A THT for an item is a small array of counters: entry j holds the number
+// of transactions whose TID hashes to j and that contain the item. For a
+// candidate itemset x, summing over entries the minimum counter among x's
+// items yields an upper bound on x's support (GetMaxPossibleCount in the
+// paper); candidates whose bound is below the minimum support are pruned
+// without a counting scan.
+//
+// In the parallel algorithm the global THT of an item is the *linear
+// cascade* (concatenation) of the per-node local THTs rather than an
+// entrywise sum. The cascade is deliberately lossless across nodes: it both
+// tightens the bound and reveals exactly which peers can possibly contain an
+// itemset, which drives the polling step of PMIHP.
+package tht
+
+import (
+	"fmt"
+
+	"pmihp/internal/itemset"
+	"pmihp/internal/txdb"
+)
+
+// Local is the TID hash table set of one processing node: one counter array
+// of Entries slots per item that occurs in the node's local database.
+type Local struct {
+	entries int
+	counts  map[itemset.Item][]uint32
+	masks   map[itemset.Item][]uint64 // occupancy masks, see mask.go
+}
+
+// NewLocal returns an empty Local with the given number of hash entries per
+// item. The paper uses 400 entries for the global table, i.e. 400/N per node
+// on N nodes.
+func NewLocal(entries int) *Local {
+	if entries <= 0 {
+		panic(fmt.Sprintf("tht: NewLocal(%d)", entries))
+	}
+	return &Local{entries: entries, counts: make(map[itemset.Item][]uint32)}
+}
+
+// Entries returns the number of hash slots per item.
+func (l *Local) Entries() int { return l.entries }
+
+// NumItems returns the number of items that currently have a table.
+func (l *Local) NumItems() int { return len(l.counts) }
+
+// hash maps a TID to a slot. TIDs are assigned sequentially in document
+// order, so modulo hashing spreads them uniformly.
+func (l *Local) hash(tid txdb.TID) int { return int(tid) % l.entries }
+
+// AddOccurrence records that the transaction with the given TID contains the
+// item. It is called while counting 1-itemsets during the first pass.
+func (l *Local) AddOccurrence(it itemset.Item, tid txdb.TID) {
+	row := l.counts[it]
+	if row == nil {
+		row = make([]uint32, l.entries)
+		l.counts[it] = row
+	}
+	j := l.hash(tid)
+	row[j]++
+	if l.masks != nil {
+		m := l.masks[it]
+		if m == nil {
+			m = make([]uint64, l.maskWords())
+			l.masks[it] = m
+		}
+		m[j/64] |= 1 << (j % 64)
+	}
+}
+
+// BuildLocal scans a database once and returns the completed Local alongside
+// the per-item occurrence counts (support of each 1-itemset).
+func BuildLocal(db *txdb.DB, entries int) (*Local, []int) {
+	l := NewLocal(entries)
+	counts := make([]int, db.NumItems())
+	db.Each(func(t *txdb.Transaction) {
+		for _, it := range t.Items {
+			counts[it]++
+			l.AddOccurrence(it, t.TID)
+		}
+	})
+	return l, counts
+}
+
+// Row returns the counter array of an item, or nil when the item has no
+// table (never occurred, or its table was dropped). The returned slice is
+// owned by the table.
+func (l *Local) Row(it itemset.Item) []uint32 { return l.counts[it] }
+
+// Retain drops the table of every item for which keep returns false —
+// "after the first pass we can remove the THTs of the items which are not
+// contained in the set of frequent 1-itemsets", and more generally after
+// pass k for items in no frequent k-itemset.
+func (l *Local) Retain(keep func(itemset.Item) bool) {
+	for it := range l.counts {
+		if !keep(it) {
+			delete(l.counts, it)
+			delete(l.masks, it)
+		}
+	}
+}
+
+// MaxPossible returns the IHP upper bound on the local support of the
+// itemset: the sum over slots of the minimum counter among the itemset's
+// items. An item without a table bounds the count at zero.
+func (l *Local) MaxPossible(x itemset.Itemset) int {
+	if len(x) == 0 {
+		return 0
+	}
+	rows := make([][]uint32, len(x))
+	for i, it := range x {
+		rows[i] = l.counts[it]
+		if rows[i] == nil {
+			return 0
+		}
+	}
+	total := 0
+	for j := 0; j < l.entries; j++ {
+		min := rows[0][j]
+		for i := 1; i < len(rows); i++ {
+			if rows[i][j] < min {
+				min = rows[i][j]
+			}
+		}
+		total += int(min)
+	}
+	return total
+}
+
+// Bytes approximates the wire size of the table set when exchanged between
+// nodes (4 bytes per slot plus a 4-byte item id per row). Used by the
+// cluster cost model.
+func (l *Local) Bytes() int { return len(l.counts) * (4 + 4*l.entries) }
+
+// Clone returns a deep copy (exchanged tables must not alias the sender's).
+func (l *Local) Clone() *Local {
+	c := NewLocal(l.entries)
+	for it, row := range l.counts {
+		r := make([]uint32, len(row))
+		copy(r, row)
+		c.counts[it] = r
+	}
+	return c
+}
+
+// Global is the cascaded global THT view of one node: the local THTs of all
+// nodes in node order. Segment p corresponds to processing node p.
+type Global struct {
+	segments []*Local
+}
+
+// NewGlobal assembles the cascade from per-node locals, in node order.
+func NewGlobal(segments []*Local) *Global {
+	if len(segments) == 0 {
+		panic("tht: NewGlobal with no segments")
+	}
+	return &Global{segments: segments}
+}
+
+// NumSegments returns the number of nodes contributing to the cascade.
+func (g *Global) NumSegments() int { return len(g.segments) }
+
+// Segment returns node p's contribution.
+func (g *Global) Segment(p int) *Local { return g.segments[p] }
+
+// MaxPossible returns the IHP upper bound on the *global* support of the
+// itemset: the bound of the cascaded table, which equals the sum of the
+// per-segment bounds.
+func (g *Global) MaxPossible(x itemset.Itemset) int {
+	total := 0
+	for _, seg := range g.segments {
+		total += seg.MaxPossible(x)
+	}
+	return total
+}
+
+// SegmentMax returns the per-segment upper bounds for the itemset, indexed
+// by node. A zero at node p proves node p's local database cannot contain
+// the itemset, so p need not be polled.
+func (g *Global) SegmentMax(x itemset.Itemset) []int {
+	out := make([]int, len(g.segments))
+	for p, seg := range g.segments {
+		out[p] = seg.MaxPossible(x)
+	}
+	return out
+}
+
+// PositivePeers returns the nodes (other than self) whose segment bound for
+// the itemset is positive — exactly the peers PMIHP polls for local support
+// counts.
+func (g *Global) PositivePeers(x itemset.Itemset, self int) []int {
+	var peers []int
+	for p, seg := range g.segments {
+		if p == self {
+			continue
+		}
+		if seg.MaxPossible(x) > 0 {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
+// Retain drops per-item rows across every segment.
+func (g *Global) Retain(keep func(itemset.Item) bool) {
+	for _, seg := range g.segments {
+		seg.Retain(keep)
+	}
+}

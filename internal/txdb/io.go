@@ -1,0 +1,157 @@
+package txdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"pmihp/internal/itemset"
+)
+
+// Binary transaction-database format, for round-tripping preprocessed
+// databases without re-tokenizing: a fixed header followed by per-
+// transaction records. All integers are little-endian uint32; items are
+// delta-encoded within a transaction (they are strictly increasing).
+//
+//	magic "PMDB" | version | numItems | numTxs
+//	per tx: tid | day | n | item deltas[n]
+
+const (
+	dbMagic   = "PMDB"
+	dbVersion = 1
+)
+
+// Encode serializes the database.
+func (d *DB) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(dbMagic); err != nil {
+		return err
+	}
+	var u [4]byte
+	put := func(v uint32) error {
+		binary.LittleEndian.PutUint32(u[:], v)
+		_, err := bw.Write(u[:])
+		return err
+	}
+	if err := put(dbVersion); err != nil {
+		return err
+	}
+	if err := put(uint32(d.numItems)); err != nil {
+		return err
+	}
+	if err := put(uint32(len(d.txs))); err != nil {
+		return err
+	}
+	for i := range d.txs {
+		t := &d.txs[i]
+		if err := put(t.TID); err != nil {
+			return err
+		}
+		if err := put(uint32(t.Day)); err != nil {
+			return err
+		}
+		if err := put(uint32(len(t.Items))); err != nil {
+			return err
+		}
+		prev := uint32(0)
+		for _, it := range t.Items {
+			if err := put(it - prev); err != nil {
+				return err
+			}
+			prev = it
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDB deserializes a database written by Encode.
+func ReadDB(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("txdb: reading magic: %w", err)
+	}
+	if string(magic) != dbMagic {
+		return nil, fmt.Errorf("txdb: bad magic %q", magic)
+	}
+	var u [4]byte
+	get := func() (uint32, error) {
+		if _, err := io.ReadFull(br, u[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(u[:]), nil
+	}
+	version, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if version != dbVersion {
+		return nil, fmt.Errorf("txdb: unsupported version %d", version)
+	}
+	numItems, err := get()
+	if err != nil {
+		return nil, err
+	}
+	numTxs, err := get()
+	if err != nil {
+		return nil, err
+	}
+	txs := make([]Transaction, numTxs)
+	for i := range txs {
+		tid, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("txdb: tx %d: %w", i, err)
+		}
+		day, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("txdb: tx %d: %w", i, err)
+		}
+		n, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("txdb: tx %d: %w", i, err)
+		}
+		items := make(itemset.Itemset, n)
+		prev := uint32(0)
+		for j := range items {
+			delta, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("txdb: tx %d item %d: %w", i, j, err)
+			}
+			prev += delta
+			if prev >= numItems {
+				return nil, fmt.Errorf("txdb: tx %d item %d: id %d out of range", i, j, prev)
+			}
+			items[j] = prev
+		}
+		if !items.Valid() {
+			return nil, fmt.Errorf("txdb: tx %d: items not strictly increasing", i)
+		}
+		txs[i] = Transaction{TID: tid, Day: int(day), Items: items}
+	}
+	return New(txs, int(numItems)), nil
+}
+
+// Save writes the database to a file.
+func (d *DB) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a database from a file written by Save.
+func Load(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDB(f)
+}

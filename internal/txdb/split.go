@@ -1,0 +1,199 @@
+package txdb
+
+import (
+	"sort"
+
+	"pmihp/internal/itemset"
+)
+
+// Alternative database-to-node assignments. The paper observes that
+// PMIHP's advantage grows with the skewness of the word distribution
+// across local databases and cites Cheung et al. (TKDE 2002) for
+// partitioning approaches that *increase* skewness; these splitters
+// implement that direction (ablation A6 compares them):
+//
+//   - SplitChronological (txdb.go) is the paper's own assignment;
+//   - SplitRoundRobin deals days cyclically, destroying skew — the
+//     adversarial baseline;
+//   - SplitSkewAware clusters vocabulary-similar days onto the same node,
+//     increasing skew beyond plain chronology when topics recur on
+//     non-adjacent days.
+
+// dayGroup is a run of consecutive transactions sharing a Day.
+type dayGroup struct {
+	lo, hi int // transaction index range [lo, hi)
+}
+
+func (d *DB) dayGroups() []dayGroup {
+	var groups []dayGroup
+	for lo := 0; lo < len(d.txs); {
+		hi := lo + 1
+		for hi < len(d.txs) && d.txs[hi].Day == d.txs[lo].Day {
+			hi++
+		}
+		groups = append(groups, dayGroup{lo, hi})
+		lo = hi
+	}
+	return groups
+}
+
+// assemble builds per-node databases from day-group assignments,
+// preserving chronological order within each node.
+func (d *DB) assemble(assign [][]dayGroup) []*DB {
+	out := make([]*DB, len(assign))
+	for p, groups := range assign {
+		sort.Slice(groups, func(i, j int) bool { return groups[i].lo < groups[j].lo })
+		var txs []Transaction
+		for _, g := range groups {
+			txs = append(txs, d.txs[g.lo:g.hi]...)
+		}
+		out[p] = New(txs, d.numItems)
+	}
+	return out
+}
+
+// SplitRoundRobin deals the day groups cyclically across n nodes. Every
+// node sees every period of the corpus, so per-node vocabularies converge —
+// the minimum-skew assignment.
+func (d *DB) SplitRoundRobin(n int) []*DB {
+	if n <= 1 {
+		return []*DB{d}
+	}
+	groups := d.dayGroups()
+	assign := make([][]dayGroup, n)
+	for i, g := range groups {
+		assign[i%n] = append(assign[i%n], g)
+	}
+	// Degenerate day structure (fewer groups than nodes): fall back to a
+	// plain count split so no node is empty.
+	for _, a := range assign {
+		if len(a) == 0 {
+			return d.SplitChronological(n)
+		}
+	}
+	return d.assemble(assign)
+}
+
+// SplitSkewAware assigns day groups to nodes greedily, placing each day on
+// the node whose accumulated vocabulary it overlaps most (subject to a
+// document-count balance cap), which clusters topically similar days and
+// maximizes cross-node vocabulary disjointness.
+func (d *DB) SplitSkewAware(n int) []*DB {
+	if n <= 1 {
+		return []*DB{d}
+	}
+	groups := d.dayGroups()
+	if len(groups) < n {
+		return d.SplitChronological(n)
+	}
+
+	// Per-day vocabularies.
+	vocab := make([]map[itemset.Item]struct{}, len(groups))
+	for i, g := range groups {
+		v := make(map[itemset.Item]struct{})
+		for t := g.lo; t < g.hi; t++ {
+			for _, it := range d.txs[t].Items {
+				v[it] = struct{}{}
+			}
+		}
+		vocab[i] = v
+	}
+
+	// Largest days first, so the balance cap binds late.
+	order := make([]int, len(groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ga, gb := groups[order[a]], groups[order[b]]
+		if ga.hi-ga.lo != gb.hi-gb.lo {
+			return ga.hi-ga.lo > gb.hi-gb.lo
+		}
+		return order[a] < order[b]
+	})
+
+	capDocs := (len(d.txs)*6)/(5*n) + 1 // 20% imbalance allowance
+	nodeVocab := make([]map[itemset.Item]struct{}, n)
+	nodeDocs := make([]int, n)
+	assign := make([][]dayGroup, n)
+	for p := range nodeVocab {
+		nodeVocab[p] = make(map[itemset.Item]struct{})
+	}
+
+	for _, gi := range order {
+		g := groups[gi]
+		docs := g.hi - g.lo
+		best, bestOverlap := -1, -1
+		for p := 0; p < n; p++ {
+			if nodeDocs[p] > 0 && nodeDocs[p]+docs > capDocs {
+				continue
+			}
+			overlap := 0
+			for it := range vocab[gi] {
+				if _, ok := nodeVocab[p][it]; ok {
+					overlap++
+				}
+			}
+			// Prefer the highest overlap; break ties toward the emptier
+			// node so early days seed distinct clusters.
+			if overlap > bestOverlap || (overlap == bestOverlap && best >= 0 && nodeDocs[p] < nodeDocs[best]) {
+				best, bestOverlap = p, overlap
+			}
+		}
+		if best < 0 {
+			// Every node at capacity: place on the least-loaded one.
+			for p := 0; p < n; p++ {
+				if best < 0 || nodeDocs[p] < nodeDocs[best] {
+					best = p
+				}
+			}
+		}
+		assign[best] = append(assign[best], g)
+		nodeDocs[best] += docs
+		for it := range vocab[gi] {
+			nodeVocab[best][it] = struct{}{}
+		}
+	}
+	for _, a := range assign {
+		if len(a) == 0 {
+			return d.SplitChronological(n)
+		}
+	}
+	return d.assemble(assign)
+}
+
+// VocabOverlap measures the mean pairwise Jaccard similarity of the
+// vocabularies of the given local databases — the (inverse) skew statistic
+// the A6 ablation reports. Lower overlap means higher skew.
+func VocabOverlap(parts []*DB) float64 {
+	vocabs := make([]map[itemset.Item]struct{}, len(parts))
+	for i, p := range parts {
+		v := make(map[itemset.Item]struct{})
+		p.Each(func(t *Transaction) {
+			for _, it := range t.Items {
+				v[it] = struct{}{}
+			}
+		})
+		vocabs[i] = v
+	}
+	sum, pairs := 0.0, 0
+	for i := 0; i < len(vocabs); i++ {
+		for j := i + 1; j < len(vocabs); j++ {
+			inter := 0
+			for it := range vocabs[i] {
+				if _, ok := vocabs[j][it]; ok {
+					inter++
+				}
+			}
+			union := len(vocabs[i]) + len(vocabs[j]) - inter
+			if union > 0 {
+				sum += float64(inter) / float64(union)
+			}
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return sum / float64(pairs)
+}

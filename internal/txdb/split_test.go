@@ -1,0 +1,176 @@
+package txdb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmihp/internal/itemset"
+)
+
+// topical builds a corpus whose days alternate between two disjoint
+// vocabulary clusters, so a skew-aware splitter has structure to exploit.
+func topical(docsPerDay, days int) *DB {
+	var txs []Transaction
+	tid := TID(0)
+	for d := 0; d < days; d++ {
+		// Clusters alternate in pairs of days (A,A,B,B,…) so that neither
+		// round-robin nor chronological splitting separates them, while a
+		// vocabulary-aware splitter can.
+		base := itemset.Item(0)
+		if (d/2)%2 == 1 {
+			base = 1000
+		}
+		for i := 0; i < docsPerDay; i++ {
+			items := itemset.New(
+				base+itemset.Item(i%17), base+itemset.Item((i*3+1)%17),
+				base+itemset.Item((i*5+2)%17), base+itemset.Item((i*7+3)%17),
+			)
+			txs = append(txs, Transaction{TID: tid, Day: d, Items: items})
+			tid++
+		}
+	}
+	return New(txs, 2000)
+}
+
+func checkPartition(t *testing.T, db *DB, parts []*DB, n int) {
+	t.Helper()
+	if len(parts) != n {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	seen := map[TID]bool{}
+	total := 0
+	for _, p := range parts {
+		if p.Len() == 0 {
+			t.Fatal("empty part")
+		}
+		total += p.Len()
+		last := -1
+		p.Each(func(tx *Transaction) {
+			if seen[tx.TID] {
+				t.Fatalf("TID %d assigned twice", tx.TID)
+			}
+			seen[tx.TID] = true
+			// Chronological order within each node.
+			if int(tx.TID) <= last {
+				t.Fatal("within-node order broken")
+			}
+			last = int(tx.TID)
+		})
+	}
+	if total != db.Len() {
+		t.Fatalf("parts cover %d of %d", total, db.Len())
+	}
+}
+
+func TestSplitRoundRobinPartition(t *testing.T) {
+	db := topical(20, 8)
+	for _, n := range []int{2, 3, 4, 8} {
+		checkPartition(t, db, db.SplitRoundRobin(n), n)
+	}
+	// Single node returns the database itself.
+	if parts := db.SplitRoundRobin(1); len(parts) != 1 || parts[0].Len() != db.Len() {
+		t.Fatal("1-node round robin wrong")
+	}
+}
+
+func TestSplitSkewAwarePartition(t *testing.T) {
+	db := topical(20, 8)
+	for _, n := range []int{2, 4} {
+		checkPartition(t, db, db.SplitSkewAware(n), n)
+	}
+}
+
+func TestSkewAwareBeatsRoundRobinOnTopicalData(t *testing.T) {
+	db := topical(25, 8)
+	rr := VocabOverlap(db.SplitRoundRobin(2))
+	sa := VocabOverlap(db.SplitSkewAware(2))
+	if sa >= rr {
+		t.Fatalf("skew-aware overlap %.3f not below round-robin %.3f", sa, rr)
+	}
+	// On this alternating corpus the two clusters are perfectly separable.
+	if sa > 0.01 {
+		t.Fatalf("skew-aware failed to separate clusters: overlap %.3f", sa)
+	}
+}
+
+func TestSkewAwareBalance(t *testing.T) {
+	db := topical(30, 12)
+	parts := db.SplitSkewAware(4)
+	for _, p := range parts {
+		if p.Len() > db.Len()*6/(5*4)+1 {
+			t.Fatalf("part of %d docs exceeds balance cap", p.Len())
+		}
+	}
+}
+
+func TestSplitFallbacksWhenFewDays(t *testing.T) {
+	db := build(40, 2, 30) // 2 days, 4 nodes
+	checkPartition(t, db, db.SplitSkewAware(4), 4)
+	checkPartition(t, db, db.SplitRoundRobin(4), 4)
+}
+
+func TestVocabOverlapBounds(t *testing.T) {
+	db := topical(10, 4)
+	parts := db.SplitChronological(2)
+	o := VocabOverlap(parts)
+	if o < 0 || o > 1 {
+		t.Fatalf("overlap %g out of range", o)
+	}
+	if VocabOverlap(parts[:1]) != 0 {
+		t.Fatal("single part should have zero pairwise overlap")
+	}
+	// Identical halves overlap fully.
+	same := []*DB{parts[0], parts[0]}
+	if VocabOverlap(same) != 1 {
+		t.Fatalf("identical parts overlap %g", VocabOverlap(same))
+	}
+}
+
+// TestSplitPropertyQuick drives every splitter with randomized database
+// shapes and checks the partition invariants (cover, disjoint, non-empty,
+// ordered) under testing/quick.
+func TestSplitPropertyQuick(t *testing.T) {
+	f := func(docsRaw, daysRaw, nRaw, itemsRaw uint8) bool {
+		docs := 8 + int(docsRaw)%200
+		days := 1 + int(daysRaw)%20
+		n := 1 + int(nRaw)%8
+		if n > docs {
+			n = docs
+		}
+		numItems := 10 + int(itemsRaw)%100
+		db := build(docs, days, numItems)
+		for _, split := range []func(int) []*DB{
+			db.SplitChronological, db.SplitRoundRobin, db.SplitSkewAware,
+		} {
+			parts := split(n)
+			if len(parts) != n {
+				return false
+			}
+			seen := map[TID]bool{}
+			total := 0
+			for _, p := range parts {
+				if p.Len() == 0 {
+					return false
+				}
+				total += p.Len()
+				ok := true
+				p.Each(func(tx *Transaction) {
+					if seen[tx.TID] {
+						ok = false
+					}
+					seen[tx.TID] = true
+				})
+				if !ok {
+					return false
+				}
+			}
+			if total != docs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+// Package txdb provides the in-memory transaction database used by every
+// miner in this module. A transaction is a document reduced to the sorted
+// set of its distinct items (word identifiers); the database preserves the
+// chronological document order the paper relies on when distributing text
+// to processing nodes.
+package txdb
+
+import (
+	"fmt"
+
+	"pmihp/internal/itemset"
+)
+
+// TID identifies a transaction. TIDs are globally unique across a corpus,
+// including after the database is split across simulated nodes, so TID hash
+// tables built at different nodes hash consistently.
+type TID = uint32
+
+// Transaction is one document: its global TID, the day it was published
+// (used for chronological distribution), and its distinct items in
+// increasing order.
+type Transaction struct {
+	TID   TID
+	Day   int
+	Items itemset.Itemset
+}
+
+// DB is an ordered collection of transactions.
+type DB struct {
+	txs []Transaction
+	// numItems is one greater than the largest item id that may occur, i.e.
+	// the vocabulary size. Kept so per-item arrays can be sized without
+	// scanning.
+	numItems int
+}
+
+// New returns a DB over the given transactions. numItems is the vocabulary
+// size (all item ids must be < numItems). The slice is used directly, not
+// copied.
+func New(txs []Transaction, numItems int) *DB {
+	return &DB{txs: txs, numItems: numItems}
+}
+
+// Len returns the number of transactions.
+func (d *DB) Len() int { return len(d.txs) }
+
+// NumItems returns the vocabulary size the database was declared with.
+func (d *DB) NumItems() int { return d.numItems }
+
+// Tx returns the i-th transaction.
+func (d *DB) Tx(i int) *Transaction { return &d.txs[i] }
+
+// Each calls fn for every transaction in order.
+func (d *DB) Each(fn func(t *Transaction)) {
+	for i := range d.txs {
+		fn(&d.txs[i])
+	}
+}
+
+// MinSupCount converts a fractional minimum support level (e.g. 0.02 for 2%)
+// into the absolute transaction count it denotes over this database,
+// rounding up so that count/len >= frac always holds. A fraction that
+// denotes fewer than one transaction is clamped to 1.
+func (d *DB) MinSupCount(frac float64) int {
+	n := int(frac*float64(len(d.txs)) + 0.999999)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ItemCounts returns the number of transactions containing each item,
+// indexed by item id.
+func (d *DB) ItemCounts() []int {
+	counts := make([]int, d.numItems)
+	for i := range d.txs {
+		for _, it := range d.txs[i].Items {
+			counts[it]++
+		}
+	}
+	return counts
+}
+
+// FrequentItems returns, in increasing item order, the items contained in at
+// least minCount transactions.
+func (d *DB) FrequentItems(minCount int) []itemset.Item {
+	var out []itemset.Item
+	for it, c := range d.ItemCounts() {
+		if c >= minCount {
+			out = append(out, itemset.Item(it))
+		}
+	}
+	return out
+}
+
+// SplitChronological divides the database into n local databases of nearly
+// equal document counts, preserving order — the paper's "sequentially
+// distributed … by assigning the articles of 16 or 17 days to each node".
+// Day boundaries are respected when possible: the split point is moved to
+// the nearest day boundary that keeps every part non-empty; when the
+// database has no day structure (all Day==0) the split is purely by count.
+func (d *DB) SplitChronological(n int) []*DB {
+	if n <= 0 {
+		panic(fmt.Sprintf("txdb: SplitChronological(%d)", n))
+	}
+	if n == 1 {
+		return []*DB{d}
+	}
+	// Compute day boundaries (indexes where Day changes).
+	boundaries := []int{0}
+	for i := 1; i < len(d.txs); i++ {
+		if d.txs[i].Day != d.txs[i-1].Day {
+			boundaries = append(boundaries, i)
+		}
+	}
+	boundaries = append(boundaries, len(d.txs))
+
+	// Even count cuts, snapped to a day boundary when one is close enough
+	// that every part stays non-empty and near its even share.
+	maxShift := len(d.txs) / (4 * n)
+	cuts := make([]int, 0, n+1)
+	cuts = append(cuts, 0)
+	for p := 1; p < n; p++ {
+		target := p * len(d.txs) / n
+		cut := target
+		if b := nearestBoundary(boundaries, target); abs(b-target) <= maxShift {
+			cut = b
+		}
+		// Keep cuts strictly increasing so every part is non-empty.
+		if min := cuts[len(cuts)-1] + 1; cut < min {
+			cut = min
+		}
+		if max := len(d.txs) - (n - p); cut > max {
+			cut = max
+		}
+		cuts = append(cuts, cut)
+	}
+	cuts = append(cuts, len(d.txs))
+
+	parts := make([]*DB, n)
+	for p := 0; p < n; p++ {
+		parts[p] = New(d.txs[cuts[p]:cuts[p+1]], d.numItems)
+	}
+	return parts
+}
+
+// nearestBoundary returns the element of boundaries closest to target.
+// boundaries is sorted ascending and non-empty.
+func nearestBoundary(boundaries []int, target int) int {
+	lo, hi := 0, len(boundaries)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if boundaries[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	best := boundaries[lo]
+	if lo > 0 && target-boundaries[lo-1] < best-target {
+		best = boundaries[lo-1]
+	}
+	return best
+}
+
+// Stats summarizes a database for reporting.
+type Stats struct {
+	Docs          int     // number of transactions
+	Days          int     // number of distinct days
+	UniqueItems   int     // items occurring at least once
+	TotalItems    int     // sum of transaction lengths
+	MeanLen       float64 // mean transaction length
+	MedianDocsDay float64 // median documents per day
+}
+
+// ComputeStats scans the database once and returns its summary.
+func (d *DB) ComputeStats() Stats {
+	var s Stats
+	s.Docs = len(d.txs)
+	seen := make([]bool, d.numItems)
+	perDay := make(map[int]int)
+	for i := range d.txs {
+		t := &d.txs[i]
+		s.TotalItems += len(t.Items)
+		perDay[t.Day]++
+		for _, it := range t.Items {
+			seen[it] = true
+		}
+	}
+	for _, b := range seen {
+		if b {
+			s.UniqueItems++
+		}
+	}
+	s.Days = len(perDay)
+	if s.Docs > 0 {
+		s.MeanLen = float64(s.TotalItems) / float64(s.Docs)
+	}
+	if len(perDay) > 0 {
+		counts := make([]int, 0, len(perDay))
+		for _, c := range perDay {
+			counts = append(counts, c)
+		}
+		insertionSort(counts)
+		mid := len(counts) / 2
+		if len(counts)%2 == 1 {
+			s.MedianDocsDay = float64(counts[mid])
+		} else {
+			s.MedianDocsDay = float64(counts[mid-1]+counts[mid]) / 2
+		}
+	}
+	return s
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package txdb
+
+import "pmihp/internal/itemset"
+
+// Work is a mutable working copy of a database used during a multipass scan.
+// Transaction trimming replaces a transaction's item list with a shorter
+// one; transaction pruning deactivates the transaction entirely. The
+// original DB is never modified, so a fresh Work can be taken per item
+// partition (MIHP resets trimming state when it moves to the next F1
+// partition, because earlier passes may have trimmed items that the next
+// partition still needs).
+type Work struct {
+	tids   []TID
+	items  []itemset.Itemset
+	active []bool
+	live   int
+}
+
+// NewWork returns a working copy of db. The per-transaction item slices
+// alias the originals until first trimmed.
+func NewWork(db *DB) *Work {
+	w := &Work{
+		tids:   make([]TID, db.Len()),
+		items:  make([]itemset.Itemset, db.Len()),
+		active: make([]bool, db.Len()),
+		live:   db.Len(),
+	}
+	for i := 0; i < db.Len(); i++ {
+		t := db.Tx(i)
+		w.tids[i] = t.TID
+		w.items[i] = t.Items
+		w.active[i] = true
+	}
+	return w
+}
+
+// Len returns the total number of transactions, active or not.
+func (w *Work) Len() int { return len(w.tids) }
+
+// Live returns the number of still-active transactions.
+func (w *Work) Live() int { return w.live }
+
+// Each calls fn for every active transaction.
+func (w *Work) Each(fn func(tid TID, items itemset.Itemset)) {
+	for i := range w.tids {
+		if w.active[i] {
+			fn(w.tids[i], w.items[i])
+		}
+	}
+}
+
+// EachIndexed calls fn for every active transaction with its internal index,
+// which Trim and Prune accept.
+func (w *Work) EachIndexed(fn func(i int, tid TID, items itemset.Itemset)) {
+	for i := range w.tids {
+		if w.active[i] {
+			fn(i, w.tids[i], w.items[i])
+		}
+	}
+}
+
+// Trim replaces the item list of transaction i. The new list must be sorted;
+// it may alias memory owned by the caller.
+func (w *Work) Trim(i int, items itemset.Itemset) { w.items[i] = items }
+
+// Prune deactivates transaction i; it is skipped by future Each calls.
+func (w *Work) Prune(i int) {
+	if w.active[i] {
+		w.active[i] = false
+		w.live--
+	}
+}
+
+// TotalItems returns the summed length of all active transactions — the cost
+// proxy for a counting scan over the working database.
+func (w *Work) TotalItems() int {
+	n := 0
+	for i := range w.items {
+		if w.active[i] {
+			n += len(w.items[i])
+		}
+	}
+	return n
+}
