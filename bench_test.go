@@ -46,6 +46,7 @@ func benchDBs(b *testing.B) (dbA, dbB, dbC *txdb.DB) {
 func BenchmarkE1Fig4_Apriori(b *testing.B) {
 	dbA, _, _ := benchDBs(b)
 	opts := mining.Options{MinSupFrac: 0.02, MaxK: 4}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := apriori.Mine(dbA, opts); err != nil {
@@ -57,6 +58,7 @@ func BenchmarkE1Fig4_Apriori(b *testing.B) {
 func BenchmarkE1Fig4_DHP(b *testing.B) {
 	dbA, _, _ := benchDBs(b)
 	opts := mining.Options{MinSupFrac: 0.02, MaxK: 4}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dhp.Mine(dbA, opts); err != nil {
@@ -68,6 +70,7 @@ func BenchmarkE1Fig4_DHP(b *testing.B) {
 func BenchmarkE1Fig4_FPGrowth(b *testing.B) {
 	dbA, _, _ := benchDBs(b)
 	opts := mining.Options{MinSupFrac: 0.02, MaxK: 4}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := fpgrowth.Mine(dbA, opts); err != nil {
@@ -79,6 +82,7 @@ func BenchmarkE1Fig4_FPGrowth(b *testing.B) {
 func BenchmarkE1Fig4_MIHP(b *testing.B) {
 	dbA, _, _ := benchDBs(b)
 	opts := mining.Options{MinSupFrac: 0.02, MaxK: 4}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.MineMIHP(dbA, opts); err != nil {
@@ -92,6 +96,7 @@ func BenchmarkE1Fig4_MIHP(b *testing.B) {
 func BenchmarkE2Fig5_CountDistribution(b *testing.B) {
 	dbA, _, _ := benchDBs(b)
 	opts := mining.Options{MinSupFrac: 0.02, MaxK: 4}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := countdist.Mine(dbA, countdist.Config{Nodes: 8}, opts); err != nil {
@@ -103,6 +108,7 @@ func BenchmarkE2Fig5_CountDistribution(b *testing.B) {
 func BenchmarkE2Fig5_PMIHP(b *testing.B) {
 	dbA, _, _ := benchDBs(b)
 	opts := mining.Options{MinSupFrac: 0.02, MaxK: 4}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.MinePMIHP(dbA, core.PMIHPConfig{Nodes: 8}, opts); err != nil {
@@ -116,6 +122,7 @@ func BenchmarkE2Fig5_PMIHP(b *testing.B) {
 func benchScaling(b *testing.B, nodes int) {
 	_, dbB, _ := benchDBs(b)
 	opts := mining.Options{MinSupCount: 2, MaxK: 3}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := core.MinePMIHP(dbB, core.PMIHPConfig{Nodes: nodes}, opts)
@@ -137,6 +144,7 @@ func BenchmarkE3Fig6_PMIHP8(b *testing.B) { benchScaling(b, 8) }
 func BenchmarkE5Fig8_DeferredPolling(b *testing.B) {
 	_, dbB, _ := benchDBs(b)
 	opts := mining.Options{MinSupCount: 2, MaxK: 3}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := core.MinePMIHP(dbB, core.PMIHPConfig{Nodes: 4, Mode: core.Deferred}, opts)
@@ -152,6 +160,7 @@ func BenchmarkE5Fig8_DeferredPolling(b *testing.B) {
 func BenchmarkE8Fig11_AprioriC3(b *testing.B) {
 	_, dbB, _ := benchDBs(b)
 	opts := mining.Options{MinSupCount: 2, MaxK: 3}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := apriori.Mine(dbB, opts)
@@ -167,6 +176,7 @@ func BenchmarkE8Fig11_AprioriC3(b *testing.B) {
 func BenchmarkE9EightWeek_PMIHP1(b *testing.B) {
 	_, _, dbC := benchDBs(b)
 	opts := mining.Options{MinSupCount: 2, MaxK: 2}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.MinePMIHP(dbC, core.PMIHPConfig{Nodes: 1}, opts); err != nil {
@@ -178,6 +188,7 @@ func BenchmarkE9EightWeek_PMIHP1(b *testing.B) {
 func BenchmarkE9EightWeek_PMIHP8(b *testing.B) {
 	_, _, dbC := benchDBs(b)
 	opts := mining.Options{MinSupCount: 2, MaxK: 2}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.MinePMIHP(dbC, core.PMIHPConfig{Nodes: 8}, opts); err != nil {
@@ -194,6 +205,7 @@ func BenchmarkRuleGeneration(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rules.Generate(res.Frequent, dbB.Len(), 0.8)
@@ -202,6 +214,7 @@ func BenchmarkRuleGeneration(b *testing.B) {
 
 func BenchmarkCorpusGeneration(b *testing.B) {
 	cfg := corpus.CorpusB(corpus.Small)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := corpus.Generate(cfg); err != nil {

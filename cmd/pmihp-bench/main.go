@@ -6,24 +6,35 @@
 //	pmihp-bench -list
 //	pmihp-bench -exp e1 [-scale small|harness|paper] [-v]
 //	pmihp-bench -exp all
+//	pmihp-bench -benchjson BENCH_dev.json [-rev dev] [-baseline BENCH_baseline.json]
+//
+// The -benchjson mode runs the E1–E9 benchmark workloads under the standard
+// Go benchmark driver and writes ns/op, allocs/op, and simulated seconds per
+// figure as JSON. With -baseline it exits nonzero when any workload's
+// wall-clock regresses by more than 20% or any simulated time drifts.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"pmihp/internal/benchharness"
 	"pmihp/internal/corpus"
 	"pmihp/internal/experiments"
 )
 
 func main() {
 	var (
-		expID   = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		scale   = flag.String("scale", "harness", "corpus scale: small, harness, or paper")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		verbose = flag.Bool("v", false, "log progress to stderr")
+		expID     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale     = flag.String("scale", "harness", "corpus scale: small, harness, or paper")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		verbose   = flag.Bool("v", false, "log progress to stderr")
+		benchJSON = flag.String("benchjson", "", "run the benchmark harness and write results to this JSON file")
+		rev       = flag.String("rev", "dev", "revision label recorded in -benchjson output")
+		baseline  = flag.String("baseline", "", "baseline JSON to compare -benchjson results against")
 	)
 	flag.Parse()
 
@@ -33,14 +44,19 @@ func main() {
 		}
 		return
 	}
-	if *expID == "" {
-		fmt.Fprintln(os.Stderr, "pmihp-bench: -exp required (or -list); e.g. -exp e1")
-		os.Exit(2)
-	}
 
 	sc, err := corpus.ParseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
+		os.Exit(2)
+	}
+
+	if *benchJSON != "" {
+		runBenchHarness(*benchJSON, *rev, *baseline, sc, *verbose)
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "pmihp-bench: -exp required (or -list, -benchjson); e.g. -exp e1")
 		os.Exit(2)
 	}
 	params := experiments.Params{Scale: sc}
@@ -70,4 +86,40 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+}
+
+// runBenchHarness measures the E1–E9 workloads, writes the JSON report, and
+// (when a baseline is given) fails on wall-clock regressions beyond 20% or
+// any simulated-time drift.
+func runBenchHarness(path, rev, baselinePath string, sc corpus.Scale, verbose bool) {
+	var log io.Writer
+	if verbose {
+		log = os.Stderr
+	}
+	rep, err := benchharness.Run(rev, sc, log)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
+		os.Exit(1)
+	}
+	if err := rep.WriteJSON(path); err != nil {
+		fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d workloads, rev %s, scale %s)\n", path, len(rep.Workloads), rep.Rev, rep.Scale)
+	if baselinePath == "" {
+		return
+	}
+	base, err := benchharness.ReadJSON(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
+		os.Exit(1)
+	}
+	if bad := benchharness.Compare(base, rep, 0.20); len(bad) > 0 {
+		fmt.Fprintln(os.Stderr, "pmihp-bench: regressions vs", baselinePath)
+		for _, line := range bad {
+			fmt.Fprintln(os.Stderr, "  "+line)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("no regressions vs %s\n", baselinePath)
 }

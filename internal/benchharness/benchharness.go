@@ -1,0 +1,241 @@
+// Package benchharness runs the repository's per-figure benchmark workloads
+// (the E1–E9 experiments behind the paper's evaluation) under the standard
+// testing.Benchmark driver and reports machine-readable results: wall-clock
+// ns/op, allocations per op, and — for the simulated-cluster workloads —
+// the simulated seconds of the modeled run.
+//
+// cmd/pmihp-bench exposes it via -benchjson, writing BENCH_<rev>.json files
+// that scripts/bench.sh diffs against a committed baseline to catch
+// wall-clock regressions; the simulated seconds double as a determinism
+// check, since they must not drift at all across revisions that only change
+// physical implementation.
+package benchharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"pmihp/internal/apriori"
+	"pmihp/internal/core"
+	"pmihp/internal/corpus"
+	"pmihp/internal/countdist"
+	"pmihp/internal/dhp"
+	"pmihp/internal/fpgrowth"
+	"pmihp/internal/mining"
+	"pmihp/internal/text"
+	"pmihp/internal/txdb"
+)
+
+// Result is the measurement of one workload.
+type Result struct {
+	Name        string  `json:"name"`
+	Fig         string  `json:"fig"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// SimSeconds is the simulated execution time of the modeled run (total
+	// cluster time for parallel workloads), 0 when the workload does not
+	// simulate a cluster. It is implementation-independent: any change here
+	// means the cost model's behavior changed, not just its speed.
+	SimSeconds float64 `json:"sim_seconds,omitempty"`
+}
+
+// Report is a full harness run.
+type Report struct {
+	Rev        string   `json:"rev"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Scale      string   `json:"scale"`
+	Workloads  []Result `json:"workloads"`
+}
+
+// workload is one benchmark entry: run executes a single mining run and
+// returns the simulated seconds (0 when not applicable).
+type workload struct {
+	name string
+	fig  string
+	run  func(dbA, dbB, dbC *txdb.DB) (simSeconds float64, err error)
+}
+
+// workloads mirrors bench_test.go's per-figure benchmarks, at the given
+// corpus scale.
+func workloads() []workload {
+	optsA := mining.Options{MinSupFrac: 0.02, MaxK: 4}
+	optsB := mining.Options{MinSupCount: 2, MaxK: 3}
+	optsC := mining.Options{MinSupCount: 2, MaxK: 2}
+	seq := func(mine func(*txdb.DB, mining.Options) (*mining.Result, error), opts mining.Options, which int) func(dbA, dbB, dbC *txdb.DB) (float64, error) {
+		return func(dbA, dbB, dbC *txdb.DB) (float64, error) {
+			db := dbA
+			switch which {
+			case 1:
+				db = dbB
+			case 2:
+				db = dbC
+			}
+			_, err := mine(db, opts)
+			return 0, err
+		}
+	}
+	pmihp := func(nodes int, mode core.PollMode, opts mining.Options, which int) func(dbA, dbB, dbC *txdb.DB) (float64, error) {
+		return func(dbA, dbB, dbC *txdb.DB) (float64, error) {
+			db := dbA
+			switch which {
+			case 1:
+				db = dbB
+			case 2:
+				db = dbC
+			}
+			r, err := core.MinePMIHP(db, core.PMIHPConfig{Nodes: nodes, Mode: mode}, opts)
+			if err != nil {
+				return 0, err
+			}
+			return r.TotalSeconds, nil
+		}
+	}
+	return []workload{
+		{"E1Fig4_Apriori", "fig4", seq(apriori.Mine, optsA, 0)},
+		{"E1Fig4_DHP", "fig4", seq(dhp.Mine, optsA, 0)},
+		{"E1Fig4_FPGrowth", "fig4", seq(fpgrowth.Mine, optsA, 0)},
+		{"E1Fig4_MIHP", "fig4", seq(core.MineMIHP, optsA, 0)},
+		{"E2Fig5_CountDistribution", "fig5", func(dbA, dbB, dbC *txdb.DB) (float64, error) {
+			r, err := countdist.Mine(dbA, countdist.Config{Nodes: 8}, optsA)
+			if err != nil {
+				return 0, err
+			}
+			return r.TotalSeconds, nil
+		}},
+		{"E2Fig5_PMIHP", "fig5", pmihp(8, core.Interleaved, optsA, 0)},
+		{"E3Fig6_PMIHP1", "fig6", pmihp(1, core.Interleaved, optsB, 1)},
+		{"E3Fig6_PMIHP2", "fig6", pmihp(2, core.Interleaved, optsB, 1)},
+		{"E3Fig6_PMIHP4", "fig6", pmihp(4, core.Interleaved, optsB, 1)},
+		{"E3Fig6_PMIHP8", "fig6", pmihp(8, core.Interleaved, optsB, 1)},
+		{"E5Fig8_DeferredPolling", "fig8", pmihp(4, core.Deferred, optsB, 1)},
+		{"E8Fig11_AprioriC3", "fig11", seq(apriori.Mine, optsB, 1)},
+		{"E9EightWeek_PMIHP1", "sec3", pmihp(1, core.Interleaved, optsC, 2)},
+		{"E9EightWeek_PMIHP8", "sec3", pmihp(8, core.Interleaved, optsC, 2)},
+	}
+}
+
+// Run generates the corpora at the given scale and measures every workload.
+// log, when non-nil, receives one progress line per workload.
+func Run(rev string, scale corpus.Scale, log io.Writer) (*Report, error) {
+	docsA, err := corpus.Generate(corpus.CorpusA(scale))
+	if err != nil {
+		return nil, err
+	}
+	dbA, _ := text.ToDB(docsA, nil)
+	docsB, err := corpus.Generate(corpus.CorpusB(scale))
+	if err != nil {
+		return nil, err
+	}
+	dbB, _ := text.ToDB(docsB, nil)
+	docsC, err := corpus.Generate(corpus.CorpusC(scale))
+	if err != nil {
+		return nil, err
+	}
+	dbC, _ := text.ToDB(docsC, nil)
+
+	rep := &Report{
+		Rev:        rev,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale.String(),
+	}
+	for _, w := range workloads() {
+		var sim float64
+		var runErr error
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := w.run(dbA, dbB, dbC)
+				if err != nil {
+					runErr = err
+					b.FailNow()
+				}
+				sim = s
+			}
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("benchharness: %s: %w", w.name, runErr)
+		}
+		res := Result{
+			Name:        w.name,
+			Fig:         w.fig,
+			Iterations:  br.N,
+			NsPerOp:     float64(br.NsPerOp()),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			SimSeconds:  sim,
+		}
+		rep.Workloads = append(rep.Workloads, res)
+		if log != nil {
+			fmt.Fprintf(log, "%-28s %12.0f ns/op %9d allocs/op %10.4f sim-s\n",
+				w.name, res.NsPerOp, res.AllocsPerOp, res.SimSeconds)
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadJSON loads a report written by WriteJSON.
+func ReadJSON(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchharness: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// simTol is the relative tolerance for comparing simulated seconds. Node
+// clocks are float accumulators fed in the asynchronous fabric's service
+// order, so repeated runs can differ by a few ULPs; any genuine cost-model
+// change moves the totals by many orders of magnitude more than this.
+const simTol = 1e-9
+
+// Compare reports the workloads of cur that regressed against base: ns/op
+// worse by more than tolFrac (e.g. 0.20 for 20%), or simulated seconds that
+// differ beyond float accumulation noise (the cost model must be stable).
+// Workloads missing from either report are skipped.
+func Compare(base, cur *Report, tolFrac float64) []string {
+	byName := make(map[string]Result, len(base.Workloads))
+	for _, w := range base.Workloads {
+		byName[w.Name] = w
+	}
+	var bad []string
+	for _, w := range cur.Workloads {
+		b, ok := byName[w.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 && w.NsPerOp > b.NsPerOp*(1+tolFrac) {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%)",
+				w.Name, w.NsPerOp, b.NsPerOp, 100*(w.NsPerOp/b.NsPerOp-1)))
+		}
+		if d := w.SimSeconds - b.SimSeconds; d > simTol*(w.SimSeconds+b.SimSeconds) || -d > simTol*(w.SimSeconds+b.SimSeconds) {
+			bad = append(bad, fmt.Sprintf("%s: simulated %v s vs baseline %v s (cost model drift)",
+				w.Name, w.SimSeconds, b.SimSeconds))
+		}
+	}
+	return bad
+}

@@ -19,7 +19,7 @@ func MineMIHP(db *txdb.DB, opts mining.Options) (*mining.Result, error) {
 	m := &res.Metrics
 
 	// Pass 1 (pseudo-code lines 5-12): count items and build the THTs.
-	local, counts := tht.BuildLocal(db, opts.THTEntries)
+	local, counts := tht.BuildLocalShards(db, opts.THTEntries, opts.Workers())
 	m.Passes++
 	m.AddCandidates(1, db.NumItems())
 	totalItems := 0

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"pmihp/internal/hashtree"
 	"pmihp/internal/itemset"
 	"pmihp/internal/mining"
@@ -13,6 +15,14 @@ import (
 // local/global thresholds; each PMIHP node uses it with the full cascade,
 // its node-local threshold, and an emit hook that classifies locally
 // frequent itemsets (section 2.4 step 5).
+//
+// The counting kernels are allocation-free on their hot paths: candidate
+// pairs live in a flat open-addressing table, partition membership in a
+// plain bool array, per-transaction filtered item lists in a reusable
+// arena, and trimming compacts item lists in place. Counting scans shard
+// their transaction range across Options.IntraNodeWorkers OS-level workers
+// with per-shard count arrays merged in shard order, so results and
+// simulated-clock charges are identical for every worker count.
 type localMiner struct {
 	db   *txdb.DB
 	opts mining.Options
@@ -47,24 +57,90 @@ type localMiner struct {
 	notePair func(key uint64)
 
 	// accum2 holds every locally frequent 2-itemset found so far across
-	// partitions, packed for the specialized k=3 join.
-	accum2 mining.PairSet
+	// partitions, packed for the specialized k=3 join. nil when MaxK < 3
+	// makes the join unreachable.
+	accum2 *mining.PairTable
 
-	// scratch counters for transaction trimming, indexed by item.
+	// workers is the resolved intra-node worker bound; shards holds one
+	// scratch state per worker, reused across passes.
+	workers int
+	shards  []*minerShard
+
+	// Reusable pass-2 state: the candidate pair table, its key list and
+	// count array, and the partition-membership array.
+	pairTab *mining.PairTable
+	keys    []uint64
+	counts2 []int32
+	inPart  []bool
+
+	// arena backs the per-transaction filtered item lists of partitionWork
+	// (pre-sized to the database's total item count, so filling it never
+	// reallocates); setArena backs emitted 2-itemsets, which outlive the
+	// pass.
+	arena    []itemset.Item
+	setArena mining.Arena
+}
+
+// minerShard is the per-worker scratch of a sharded counting scan: the
+// transaction-trimming hit counters, a private candidate count array, the
+// hash-tree visit state, and the work accumulators that merge — in shard
+// order — into the miner's metrics after the shards join.
+type minerShard struct {
 	hits      []int32
 	hitsEpoch []int32
 	epoch     int32
+
+	counts []int32
+	visit  hashtree.VisitState
+
+	scanned  int64
+	treeWork int64
+	hitsN    int64
+	trimmed  int64
+	prunedTx int64
+}
+
+func (sh *minerShard) reset(numItems int) {
+	if len(sh.hits) < numItems {
+		sh.hits = make([]int32, numItems)
+		sh.hitsEpoch = make([]int32, numItems)
+	}
+	sh.scanned, sh.treeWork, sh.hitsN, sh.trimmed, sh.prunedTx = 0, 0, 0, 0, 0
+}
+
+// countsFor returns the shard's private count array, zeroed, with n slots.
+func (sh *minerShard) countsFor(n int) []int32 {
+	if cap(sh.counts) < n {
+		sh.counts = make([]int32, n)
+	} else {
+		sh.counts = sh.counts[:n]
+		clear(sh.counts)
+	}
+	return sh.counts
 }
 
 // run executes all partition passes.
 func (lm *localMiner) run() {
-	lm.freqArr = make([]bool, lm.db.NumItems())
+	numItems := lm.db.NumItems()
+	lm.freqArr = make([]bool, numItems)
 	for _, it := range lm.freqItems {
 		lm.freqArr[it] = true
 	}
-	lm.hits = make([]int32, lm.db.NumItems())
-	lm.hitsEpoch = make([]int32, lm.db.NumItems())
-	lm.accum2 = make(mining.PairSet)
+	lm.inPart = make([]bool, numItems)
+	if lm.opts.MaxK == 0 || lm.opts.MaxK >= 3 {
+		lm.accum2 = mining.NewPairTable(0)
+	}
+	lm.pairTab = mining.NewPairTable(0)
+
+	lm.workers = lm.opts.Workers()
+	lm.shards = make([]*minerShard, mining.NumShards(lm.db.Len(), lm.workers))
+	for i := range lm.shards {
+		lm.shards[i] = &minerShard{}
+	}
+
+	total := 0
+	lm.db.Each(func(t *txdb.Transaction) { total += len(t.Items) })
+	lm.arena = make([]itemset.Item, 0, total)
 
 	// Accumulated locally frequent itemsets per size, across partitions
 	// (F_k in the pseudo-code, initialized once and extended per partition).
@@ -120,12 +196,20 @@ func (lm *localMiner) minePartition(part []itemset.Item, accum map[int]*itemset.
 		lm.metrics.Work.Charge(tree.WalkCost(), 1)
 
 		prevM = prevM[:0]
-		acc := lm.accumFor(accum, k)
+		// Extending the accumulated F_k is only useful while a later pass
+		// can read it: candidate generation for k+1 consults accum[k].
+		extend := lm.opts.MaxK == 0 || k < lm.opts.MaxK
+		var acc *itemset.Set
+		if extend {
+			acc = lm.accumFor(accum, k)
+		}
 		for i := 0; i < tree.Len(); i++ {
 			if c := tree.Count(i); c >= lm.minLocal {
 				set := tree.Candidate(i)
 				lm.emit(set, c)
-				acc.Add(set)
+				if extend {
+					acc.Add(set)
+				}
 				prevM = append(prevM, set)
 			}
 		}
@@ -140,24 +224,30 @@ func (lm *localMiner) minePartition(part []itemset.Item, accum map[int]*itemset.
 // restricted to globally frequent items at or above the partition's first
 // item (items below the current partition belong to lower partitions and
 // cannot occur in this partition's candidates; section 2.1). The filtering
-// read is the pass-2 scan cost over the full transactions.
+// read is the pass-2 scan cost over the full transactions. Filtered item
+// lists are carved from the miner's arena, which is re-filled per partition;
+// trimming later compacts them in place, so a partition's passes allocate
+// no per-transaction lists at all.
 func (lm *localMiner) partitionWork(first itemset.Item) *txdb.Work {
 	work := txdb.NewWork(lm.db)
+	arena := lm.arena[:0]
 	scanned := int64(0)
 	work.EachIndexed(func(i int, _ txdb.TID, items itemset.Itemset) {
 		scanned += int64(len(items))
-		filtered := make(itemset.Itemset, 0, len(items))
+		start := len(arena)
 		for _, it := range items {
 			if it >= first && lm.freqArr[it] {
-				filtered = append(filtered, it)
+				arena = append(arena, it)
 			}
 		}
-		if len(filtered) < 2 {
+		if len(arena)-start < 2 {
+			arena = arena[:start]
 			work.Prune(i)
 			return
 		}
-		work.Trim(i, filtered)
+		work.Trim(i, arena[start:len(arena):len(arena)])
 	})
+	lm.arena = arena
 	lm.metrics.Work.Charge(scanned, mining.CostScanItem)
 	return work
 }
@@ -167,27 +257,36 @@ func (lm *localMiner) partitionWork(first itemset.Item) *txdb.Work {
 // larger frequent item. It returns the locally frequent 2-itemsets of the
 // partition in lexicographic order.
 func (lm *localMiner) pass2(part []itemset.Item, work *txdb.Work, accum map[int]*itemset.Set) []itemset.Itemset {
-	inPart := make(map[itemset.Item]bool, len(part))
+	inPart := lm.inPart
 	for _, it := range part {
 		inPart[it] = true
 	}
+	defer func() {
+		for _, it := range part {
+			inPart[it] = false
+		}
+	}()
 	selfSeg := lm.global.Segment(lm.self)
 
 	// Candidate generation with IHP pair pruning.
-	cands := make(map[uint64]int32) // pair key -> candidate index
-	var keys []uint64
+	lm.pairTab.Reset()
+	cands := lm.pairTab // pair key -> candidate index
+	keys := lm.keys[:0]
 	pairsConsidered := int64(0)
 	slotsTotal := int64(0)
 	for _, a := range part {
-		if selfSeg.Row(a) == nil {
+		rowA := selfSeg.Row(a)
+		if rowA == nil {
 			continue // item absent from the local database
 		}
+		maskA := selfSeg.Mask(a)
 		for _, b := range lm.freqAbove(a) {
-			if selfSeg.Row(b) == nil {
+			rowB := selfSeg.Row(b)
+			if rowB == nil {
 				continue
 			}
 			pairsConsidered++
-			ok, slots := selfSeg.PairBoundReachesItems(a, b, lm.minLocal)
+			ok, slots := selfSeg.PairBoundReachesRows(rowA, maskA, rowB, selfSeg.Mask(b), lm.minLocal)
 			slotsTotal += int64(slots)
 			if ok && lm.global.NumSegments() > 1 {
 				var gslots int
@@ -198,7 +297,7 @@ func (lm *localMiner) pass2(part []itemset.Item, work *txdb.Work, accum map[int]
 				lm.metrics.PrunedByTHT++
 				continue
 			}
-			cands[pairKey(a, b)] = int32(len(keys))
+			cands.Put(pairKey(a, b), int32(len(keys)))
 			keys = append(keys, pairKey(a, b))
 		}
 	}
@@ -212,18 +311,28 @@ func (lm *localMiner) pass2(part []itemset.Item, work *txdb.Work, accum map[int]
 		}
 	}
 
-	counts := make([]int32, len(keys))
+	var counts []int32
+	if cap(lm.counts2) < len(keys) {
+		lm.counts2 = make([]int32, len(keys))
+	} else {
+		lm.counts2 = lm.counts2[:len(keys)]
+		clear(lm.counts2)
+	}
+	counts = lm.counts2
 	lm.countPass2(cands, counts, inPart, work)
 
 	var frequent []itemset.Itemset
 	for i, key := range keys {
 		if int(counts[i]) >= lm.minLocal {
-			set := pairSet(key)
+			set := lm.pairSet(key)
 			lm.emit(set, int(counts[i]))
-			lm.accum2.Add(set[0], set[1])
+			if lm.accum2 != nil {
+				lm.accum2.AddPair(set[0], set[1])
+			}
 			frequent = append(frequent, set)
 		}
 	}
+	lm.keys = keys
 	itemset.Sort(frequent)
 	if lm.onPass != nil {
 		lm.onPass()
@@ -233,104 +342,174 @@ func (lm *localMiner) pass2(part []itemset.Item, work *txdb.Work, accum map[int]
 
 // countPass2 scans the working database once, counting candidate pairs and
 // applying the weakened transaction trimming/pruning rule of section 2.3.
-func (lm *localMiner) countPass2(cands map[uint64]int32, counts []int32, inPart map[itemset.Item]bool, work *txdb.Work) {
+// The scan shards across the miner's worker pool; per-shard count arrays
+// and work tallies merge in shard order, so totals are identical to the
+// serial scan.
+func (lm *localMiner) countPass2(cands *mining.PairTable, counts []int32, inPart []bool, work *txdb.Work) {
 	lm.metrics.Passes++
-	treeWork, hitsN, scanned := int64(0), int64(0), int64(0)
 	trim := !lm.opts.DisableTrimming
-	work.EachIndexed(func(ti int, _ txdb.TID, items itemset.Itemset) {
-		scanned += int64(len(items))
-		lm.epoch++
-		matched := 0
-		txPairs := 0
-		for i := 0; i < len(items); i++ {
-			if !inPart[items[i]] {
-				continue
-			}
-			for j := i + 1; j < len(items); j++ {
-				txPairs++
-				idx, ok := cands[pairKey(items[i], items[j])]
-				if !ok {
+	numItems := lm.db.NumItems()
+	n := work.Len()
+	nShards := mining.NumShards(n, lm.workers)
+	mining.RunShards(n, lm.workers, func(s, lo, hi int) {
+		sh := lm.shards[s]
+		sh.reset(numItems)
+		cnt := counts
+		if nShards > 1 {
+			cnt = sh.countsFor(len(counts))
+		}
+		work.EachIndexedRange(lo, hi, func(ti int, _ txdb.TID, items itemset.Itemset) {
+			sh.scanned += int64(len(items))
+			sh.epoch++
+			matched := 0
+			txPairs := 0
+			for i := 0; i < len(items); i++ {
+				if !inPart[items[i]] {
 					continue
 				}
-				counts[idx]++
-				hitsN++
-				matched++
-				if trim {
-					lm.bumpHit(items[i])
-					lm.bumpHit(items[j])
+				for j := i + 1; j < len(items); j++ {
+					txPairs++
+					idx, ok := cands.Get(pairKey(items[i], items[j]))
+					if !ok {
+						continue
+					}
+					cnt[idx]++
+					sh.hitsN++
+					matched++
+					if trim {
+						sh.bumpHit(items[i])
+						sh.bumpHit(items[j])
+					}
 				}
 			}
-		}
-		// Charged as the equivalent hash-tree scan over this partition's
-		// candidate pairs (see mining.Pass2TreeCharge); txPairs bounds the
-		// distinct leaf paths this transaction can reach.
-		flen := pairCountToFlen(txPairs)
-		treeWork += mining.Pass2TreeCharge(flen, len(cands))
-		if trim {
-			lm.applyTrim(ti, items, inPart, matched, 2, work)
-		}
+			// Charged as the equivalent hash-tree scan over this partition's
+			// candidate pairs (see mining.Pass2TreeCharge); txPairs bounds the
+			// distinct leaf paths this transaction can reach.
+			flen := pairCountToFlen(txPairs)
+			sh.treeWork += mining.Pass2TreeCharge(flen, cands.Len())
+			if trim {
+				sh.applyTrim(ti, items, inPart, matched, 2, work)
+			}
+		})
 	})
+	lm.mergeShards(nShards, counts, nil, work)
+}
+
+// countPassTree scans the working database with a hash tree for pass k >= 3,
+// again applying the trimming rule, sharded like countPass2.
+func (lm *localMiner) countPassTree(tree *hashtree.Tree, work *txdb.Work, k int) {
+	lm.metrics.Passes++
+	trim := !lm.opts.DisableTrimming
+	numItems := lm.db.NumItems()
+	n := work.Len()
+	nShards := mining.NumShards(n, lm.workers)
+	mining.RunShards(n, lm.workers, func(s, lo, hi int) {
+		sh := lm.shards[s]
+		sh.reset(numItems)
+		sh.visit.Bind(tree)
+		var cnt []int32
+		if nShards > 1 {
+			cnt = sh.countsFor(tree.Len())
+		}
+		treeCounts := tree.Counts()
+		work.EachIndexedRange(lo, hi, func(ti int, _ txdb.TID, items itemset.Itemset) {
+			sh.scanned += int64(len(items))
+			sh.epoch++
+			matched := 0
+			tree.VisitTxState(items, &sh.visit, func(c int) {
+				if cnt != nil {
+					cnt[c]++
+				} else {
+					treeCounts[c]++
+				}
+				sh.hitsN++
+				matched++
+				if trim {
+					for _, it := range tree.Candidate(c) {
+						sh.bumpHit(it)
+					}
+				}
+			})
+			if trim {
+				sh.applyTrimTree(ti, items, matched, k, work)
+			}
+		})
+	})
+	walk := int64(0)
+	for s := 0; s < nShards; s++ {
+		sh := lm.shards[s]
+		if nShards > 1 {
+			tree.AddCounts(sh.counts)
+		}
+		walk += sh.visit.WalkCost()
+	}
+	tree.AddWalkCost(walk)
+	lm.mergeShards(nShards, nil, tree, work)
+}
+
+// mergeShards folds the per-shard tallies into the miner's metrics and the
+// working database, in shard order. counts is the pass-2 count array (nil
+// for tree passes, whose counts merged via tree.AddCounts already).
+func (lm *localMiner) mergeShards(nShards int, counts []int32, tree *hashtree.Tree, work *txdb.Work) {
+	var scanned, treeWork, hitsN, trimmed, prunedTx int64
+	for s := 0; s < nShards; s++ {
+		sh := lm.shards[s]
+		if counts != nil && nShards > 1 {
+			for i, d := range sh.counts {
+				counts[i] += d
+			}
+		}
+		scanned += sh.scanned
+		treeWork += sh.treeWork
+		hitsN += sh.hitsN
+		trimmed += sh.trimmed
+		prunedTx += sh.prunedTx
+	}
+	work.AdjustLive(int(-prunedTx))
+	lm.metrics.TrimmedItems += trimmed
+	lm.metrics.PrunedTx += prunedTx
 	lm.metrics.Work.Charge(scanned, mining.CostScanItem)
 	lm.metrics.Work.Charge(treeWork, 1)
 	lm.metrics.Work.Charge(hitsN, mining.CostCandidateHit)
 }
 
-// pairCountToFlen inverts n*(n-1)/2 approximately, recovering the effective
-// frequent-item count Pass2TreeCharge expects from a pair count.
+// pairCountToFlen inverts n*(n-1)/2, recovering the effective frequent-item
+// count Pass2TreeCharge expects from a pair count: the smallest n >= 2 with
+// n*(n-1)/2 >= pairs, via the closed-form root of the quadratic with an
+// integer fix-up for floating-point error (the previous linear search ran
+// once per transaction per pass).
 func pairCountToFlen(pairs int) int {
 	if pairs <= 0 {
 		return 0
 	}
-	n := 2
+	n := int((1 + math.Sqrt(float64(1+8*pairs))) / 2)
+	if n < 2 {
+		n = 2
+	}
 	for n*(n-1)/2 < pairs {
 		n++
+	}
+	for n > 2 && (n-1)*(n-2)/2 >= pairs {
+		n--
 	}
 	return n
 }
 
-// countPassTree scans the working database with a hash tree for pass k >= 3,
-// again applying the trimming rule.
-func (lm *localMiner) countPassTree(tree *hashtree.Tree, work *txdb.Work, k int) {
-	lm.metrics.Passes++
-	hitsN, scanned := int64(0), int64(0)
-	trim := !lm.opts.DisableTrimming
-	work.EachIndexed(func(ti int, _ txdb.TID, items itemset.Itemset) {
-		scanned += int64(len(items))
-		lm.epoch++
-		matched := 0
-		tree.VisitTx(items, func(c int) {
-			tree.Counts()[c]++
-			hitsN++
-			matched++
-			if trim {
-				for _, it := range tree.Candidate(c) {
-					lm.bumpHit(it)
-				}
-			}
-		})
-		if trim {
-			lm.applyTrimTree(ti, items, matched, k, work)
-		}
-	})
-	lm.metrics.Work.Charge(scanned, mining.CostScanItem)
-	lm.metrics.Work.Charge(hitsN, mining.CostCandidateHit)
-}
-
 // bumpHit increments the per-transaction hit count of an item, using epochs
 // to avoid clearing the scratch array between transactions.
-func (lm *localMiner) bumpHit(it itemset.Item) {
-	if lm.hitsEpoch[it] != lm.epoch {
-		lm.hitsEpoch[it] = lm.epoch
-		lm.hits[it] = 0
+func (sh *minerShard) bumpHit(it itemset.Item) {
+	if sh.hitsEpoch[it] != sh.epoch {
+		sh.hitsEpoch[it] = sh.epoch
+		sh.hits[it] = 0
 	}
-	lm.hits[it]++
+	sh.hits[it]++
 }
 
-func (lm *localMiner) hitCount(it itemset.Item) int32 {
-	if lm.hitsEpoch[it] != lm.epoch {
+func (sh *minerShard) hitCount(it itemset.Item) int32 {
+	if sh.hitsEpoch[it] != sh.epoch {
 		return 0
 	}
-	return lm.hits[it]
+	return sh.hits[it]
 }
 
 // applyTrim implements the weakened trimming rule after pass k over a
@@ -339,16 +518,17 @@ func (lm *localMiner) hitCount(it itemset.Item) int32 {
 // the transaction itself survives only with at least k matched candidates
 // (every candidate of a partition pass contains a partition item, so the
 // paper's "candidates containing one or more partition items" is all of
-// them).
-func (lm *localMiner) applyTrim(ti int, items itemset.Itemset, inPart map[itemset.Item]bool, matched, k int, work *txdb.Work) {
+// them). The surviving items compact in place — the list is arena-backed
+// and owned by this transaction.
+func (sh *minerShard) applyTrim(ti int, items itemset.Itemset, inPart []bool, matched, k int, work *txdb.Work) {
 	if matched < k {
-		work.Prune(ti)
-		lm.metrics.PrunedTx++
+		work.PruneShard(ti)
+		sh.prunedTx++
 		return
 	}
-	kept := make(itemset.Itemset, 0, len(items))
+	kept := items[:0]
 	for _, it := range items {
-		h := lm.hitCount(it)
+		h := sh.hitCount(it)
 		need := int32(1)
 		if inPart[it] {
 			need = int32(k)
@@ -356,12 +536,12 @@ func (lm *localMiner) applyTrim(ti int, items itemset.Itemset, inPart map[itemse
 		if h >= need {
 			kept = append(kept, it)
 		} else {
-			lm.metrics.TrimmedItems++
+			sh.trimmed++
 		}
 	}
 	if len(kept) < k+1 {
-		work.Prune(ti)
-		lm.metrics.PrunedTx++
+		work.PruneShard(ti)
+		sh.prunedTx++
 		return
 	}
 	work.Trim(ti, kept)
@@ -372,23 +552,23 @@ func (lm *localMiner) applyTrim(ti int, items itemset.Itemset, inPart map[itemse
 // can be a candidate's minimum, but non-minimum items may also reach k; the
 // weak rule only requires one hit for them, so the membership test reduces
 // to hit count >= 1 plus the transaction-level check).
-func (lm *localMiner) applyTrimTree(ti int, items itemset.Itemset, matched, k int, work *txdb.Work) {
+func (sh *minerShard) applyTrimTree(ti int, items itemset.Itemset, matched, k int, work *txdb.Work) {
 	if matched < k {
-		work.Prune(ti)
-		lm.metrics.PrunedTx++
+		work.PruneShard(ti)
+		sh.prunedTx++
 		return
 	}
-	kept := make(itemset.Itemset, 0, len(items))
+	kept := items[:0]
 	for _, it := range items {
-		if lm.hitCount(it) >= 1 {
+		if sh.hitCount(it) >= 1 {
 			kept = append(kept, it)
 		} else {
-			lm.metrics.TrimmedItems++
+			sh.trimmed++
 		}
 	}
 	if len(kept) < k+1 {
-		work.Prune(ti)
-		lm.metrics.PrunedTx++
+		work.PruneShard(ti)
+		sh.prunedTx++
 		return
 	}
 	work.Trim(ti, kept)
@@ -431,6 +611,16 @@ func (lm *localMiner) freqAbove(a itemset.Item) []itemset.Item {
 
 func pairKey(a, b itemset.Item) uint64 { return uint64(a)<<32 | uint64(b) }
 
-func pairSet(key uint64) itemset.Itemset {
+// pairSet materializes a packed pair as a 2-itemset from the set arena
+// (emitted sets outlive the pass, so they cannot share the partition
+// arena).
+func (lm *localMiner) pairSet(key uint64) itemset.Itemset {
+	s := lm.setArena.Alloc(2)
+	s[0], s[1] = itemset.Item(key>>32), itemset.Item(key&0xffffffff)
+	return s
+}
+
+// pairSetOf is pairSet without a miner (tests and tallies).
+func pairSetOf(key uint64) itemset.Itemset {
 	return itemset.Itemset{itemset.Item(key >> 32), itemset.Item(key & 0xffffffff)}
 }

@@ -147,7 +147,7 @@ func TestTrimmingPreservesCandidateCounts(t *testing.T) {
 func TestPairKeyRoundTrip(t *testing.T) {
 	for _, pair := range [][2]itemset.Item{{0, 1}, {5, 1 << 30}, {12345, 67890}} {
 		key := pairKey(pair[0], pair[1])
-		got := pairSet(key)
+		got := pairSetOf(key)
 		if got[0] != pair[0] || got[1] != pair[1] {
 			t.Fatalf("round trip of %v = %v", pair, got)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"pmihp/internal/cluster"
@@ -161,7 +162,10 @@ type pmihpNode struct {
 
 	// inverted is the node's posting file, built at the first poll it
 	// serves (see postings.go).
-	inverted postings
+	inverted *postings
+
+	// peersBuf is flush's reusable peer-selection scratch.
+	peersBuf []int
 
 	// queue of locally frequent itemsets awaiting global resolution.
 	queueSets   []itemset.Itemset
@@ -198,6 +202,15 @@ func MinePMIHP(db *txdb.DB, cfg PMIHPConfig, opts mining.Options) (*ParallelResu
 	fabric := cluster.New(n, cfg.Net)
 	out := &ParallelResult{}
 
+	// The intra-node worker pool divides across the simulated nodes, which
+	// already run concurrently: oversubscribing n nodes × full pool would
+	// thrash real cores without changing any simulated quantity.
+	perNode := opts.Workers() / n
+	if perNode < 1 {
+		perNode = 1
+	}
+	opts.IntraNodeWorkers = perNode
+
 	// ---- Phase 1: local pass 1 at every node (counts + local THTs). ----
 	entries := opts.THTEntries / n
 	if entries < 4 {
@@ -210,7 +223,7 @@ func MinePMIHP(db *txdb.DB, cfg PMIHPConfig, opts mining.Options) (*ParallelResu
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			local, counts := tht.BuildLocal(parts[i], entries)
+			local, counts := tht.BuildLocalShards(parts[i], entries, perNode)
 			locals[i], nodeCounts[i] = local, counts
 			items := 0
 			parts[i].Each(func(t *txdb.Transaction) { items += len(t.Items) })
@@ -342,18 +355,27 @@ func MinePMIHP(db *txdb.DB, cfg PMIHPConfig, opts mining.Options) (*ParallelResu
 	out.FinalExchangeSeconds = fabric.AllGather(maxListBytes)
 
 	// ---- Merge. ----
-	merged := make(map[string]int)
+	// Several nodes may report the same itemset (with equal exact counts, or
+	// differing lower bounds in approx mode); sort by set and keep the best
+	// count per run of equals. Sorting replaces the former string-keyed map,
+	// which allocated an encoded key per found itemset.
+	var all []itemset.Counted
 	for _, nd := range nodes {
-		for _, c := range nd.found {
-			if prev, ok := merged[c.Set.Key()]; !ok || c.Count > prev {
-				merged[c.Set.Key()] = c.Count
-			}
-		}
+		all = append(all, nd.found...)
 	}
+	slices.SortFunc(all, func(a, b itemset.Counted) int { return itemset.Compare(a.Set, b.Set) })
 	res := &mining.Result{Metrics: mining.NewMetrics("pmihp")}
 	res.Frequent = append(res.Frequent, f1Counted...)
-	for key, count := range merged {
-		res.Frequent = append(res.Frequent, itemset.Counted{Set: itemset.FromKey(key), Count: count})
+	for i := 0; i < len(all); {
+		best := all[i]
+		j := i + 1
+		for ; j < len(all) && itemset.Compare(all[j].Set, best.Set) == 0; j++ {
+			if all[j].Count > best.Count {
+				best.Count = all[j].Count
+			}
+		}
+		res.Frequent = append(res.Frequent, best)
+		i = j
 	}
 	itemset.SortCounted(res.Frequent)
 
@@ -461,15 +483,11 @@ func (nd *pmihpNode) flush(threshold int) {
 	groups := make(map[peerK][]int)
 	slotsTotal := int64(0)
 	for pos, set := range sets {
-		for p := 0; p < nd.global.NumSegments(); p++ {
-			if p == nd.id {
-				continue
-			}
-			ok, slots := nd.global.Segment(p).BoundReaches(set, 1)
-			slotsTotal += int64(slots)
-			if ok {
-				groups[peerK{p, len(set)}] = append(groups[peerK{p, len(set)}], pos)
-			}
+		peers, slots := nd.global.PollPeers(set, nd.id, nd.peersBuf)
+		nd.peersBuf = peers
+		slotsTotal += int64(slots)
+		for _, p := range peers {
+			groups[peerK{p, len(set)}] = append(groups[peerK{p, len(set)}], pos)
 		}
 	}
 	nd.miner.Work.Charge(slotsTotal, mining.CostTHTSlot)
@@ -521,7 +539,7 @@ func (nd *pmihpNode) countBatch(k int, sets []itemset.Itemset) []int {
 	if nd.inverted == nil {
 		// Single goroutine (the node's poll server) calls countBatch, so
 		// lazy construction needs no further synchronization.
-		nd.inverted = buildPostings(nd.db, m)
+		nd.inverted = buildPostings(nd.db, m, nd.opts.Workers())
 	}
 	counts := make([]int, len(sets))
 	for i, s := range sets {

@@ -122,7 +122,7 @@ func TestPostingsCountMatchesScan(t *testing.T) {
 	cfg := corpus.CorpusB(corpus.Small)
 	db := smallDB(t, cfg)
 	m := mining.NewMetrics("test")
-	p := buildPostings(db, &m)
+	p := buildPostings(db, &m, 1)
 	rng := rand.New(rand.NewSource(77))
 	for trial := 0; trial < 300; trial++ {
 		k := 1 + rng.Intn(3)

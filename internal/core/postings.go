@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"pmihp/internal/itemset"
 	"pmihp/internal/mining"
 	"pmihp/internal/txdb"
@@ -20,59 +18,169 @@ import (
 // distorting the balance the paper reports in Figure 8.
 
 // postings is the per-node inverted file: for every item, the ascending
-// TIDs of the local documents containing it.
-type postings map[itemset.Item][]txdb.TID
+// TIDs of the local documents containing it, indexed densely by item. The
+// struct also carries the intersection scratch buffers, so steady-state
+// counting allocates nothing.
+type postings struct {
+	byItem [][]txdb.TID
 
-// buildPostings constructs the inverted file in one pass; the work is
-// charged once to the node's server accounting.
-func buildPostings(db *txdb.DB, m *mining.Metrics) postings {
-	p := make(postings)
+	rows [][]txdb.TID // per-count row pointers, reused
+	bufA []txdb.TID   // ping-pong intersection accumulators, reused
+	bufB []txdb.TID
+}
+
+// gallopSkew is the length ratio beyond which the intersection of two
+// posting lists switches from a linear merge to galloping (binary-skip)
+// search through the longer list. Text collections are Zipfian, so a rare
+// term polled against a stopword-grade list is the common case, not the
+// exception.
+const gallopSkew = 16
+
+// buildPostings constructs the inverted file in one pass over the local
+// database, sharded across workers; per-shard lists concatenate in shard
+// order, which reproduces the serial (database-order) lists exactly. The
+// work is charged once to the node's server accounting.
+func buildPostings(db *txdb.DB, m *mining.Metrics, workers int) *postings {
+	p := &postings{byItem: make([][]txdb.TID, db.NumItems())}
+	n := db.Len()
+	nShards := mining.NumShards(n, workers)
 	items := int64(0)
-	db.Each(func(t *txdb.Transaction) {
-		items += int64(len(t.Items))
-		for _, it := range t.Items {
-			p[it] = append(p[it], t.TID)
+	if nShards <= 1 {
+		for i := 0; i < n; i++ {
+			t := db.Tx(i)
+			items += int64(len(t.Items))
+			for _, it := range t.Items {
+				p.byItem[it] = append(p.byItem[it], t.TID)
+			}
 		}
-	})
+	} else {
+		partial := make([][][]txdb.TID, nShards)
+		counted := make([]int64, nShards)
+		mining.RunShards(n, workers, func(s, lo, hi int) {
+			rows := make([][]txdb.TID, len(p.byItem))
+			for i := lo; i < hi; i++ {
+				t := db.Tx(i)
+				counted[s] += int64(len(t.Items))
+				for _, it := range t.Items {
+					rows[it] = append(rows[it], t.TID)
+				}
+			}
+			partial[s] = rows
+		})
+		for s := 0; s < nShards; s++ {
+			items += counted[s]
+			for it, row := range partial[s] {
+				if len(row) > 0 {
+					p.byItem[it] = append(p.byItem[it], row...)
+				}
+			}
+		}
+	}
 	m.Work.Charge(items, mining.CostScanItem)
 	return p
 }
 
+func (p *postings) row(it itemset.Item) []txdb.TID {
+	if int(it) >= len(p.byItem) {
+		return nil
+	}
+	return p.byItem[it]
+}
+
 // count returns the exact local support of the itemset by intersecting its
-// members' posting lists smallest-first, plus the merge work performed.
-func (p postings) count(x itemset.Itemset, m *mining.Metrics) int {
-	rows := make([][]txdb.TID, len(x))
-	for i, it := range x {
-		rows[i] = p[it]
-		if len(rows[i]) == 0 {
+// members' posting lists smallest-first. The physical intersection gallops
+// through skewed lists, but the charged merge work is the cost of the
+// classic linear merge — for ascending duplicate-free lists that cost has
+// the closed form len(a) + len(b) − |a∩b| per merged pair, counting both
+// the paired advances and the unpaired tails — so the simulated clock is
+// unchanged by the algorithm switch.
+func (p *postings) count(x itemset.Itemset, m *mining.Metrics) int {
+	rows := p.rows[:0]
+	defer func() { p.rows = rows[:0] }()
+	for _, it := range x {
+		r := p.row(it)
+		if len(r) == 0 {
 			return 0
 		}
+		rows = append(rows, r)
 	}
-	sort.Slice(rows, func(i, j int) bool { return len(rows[i]) < len(rows[j]) })
+	// Stable insertion sort by length: itemsets are tiny (k ≤ MaxK), and
+	// stability preserves the original tie order the charging model was
+	// calibrated against.
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && len(rows[j]) < len(rows[j-1]); j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
 	acc := rows[0]
+	dst, spare := p.bufA, p.bufB
 	ops := int64(0)
 	for _, row := range rows[1:] {
-		next := make([]txdb.TID, 0, len(acc))
-		i, j := 0, 0
-		for i < len(acc) && j < len(row) {
-			ops++
-			switch {
-			case acc[i] < row[j]:
-				i++
-			case acc[i] > row[j]:
-				j++
-			default:
-				next = append(next, acc[i])
-				i++
-				j++
-			}
-		}
-		ops += int64(len(acc) - i + len(row) - j)
-		acc = next
+		out := intersectInto(dst[:0], acc, row)
+		ops += int64(len(acc) + len(row) - len(out))
+		dst, spare = spare, out
+		acc = out
 		if len(acc) == 0 {
 			break
 		}
 	}
+	p.bufA, p.bufB = dst, spare
 	m.Work.Charge(ops, 1)
 	return len(acc)
+}
+
+// intersectInto appends the intersection of the ascending duplicate-free
+// lists a and b (len(a) <= len(b)) to dst. When b dwarfs a it gallops:
+// for each element of a, an exponential probe from the current position in
+// b brackets the target, then a binary search pins it.
+func intersectInto(dst, a, b []txdb.TID) []txdb.TID {
+	if len(b) >= gallopSkew*len(a) {
+		j := 0
+		for _, v := range a {
+			if j >= len(b) {
+				break
+			}
+			if b[j] < v {
+				lo, step := j, 1
+				for lo+step < len(b) && b[lo+step] < v {
+					lo += step
+					step <<= 1
+				}
+				hi := lo + step
+				if hi > len(b) {
+					hi = len(b)
+				}
+				// b[lo] < v <= b[hi] (or hi == len(b)); binary search (lo, hi].
+				s, e := lo+1, hi
+				for s < e {
+					mid := int(uint(s+e) >> 1)
+					if b[mid] < v {
+						s = mid + 1
+					} else {
+						e = mid
+					}
+				}
+				j = s
+			}
+			if j < len(b) && b[j] == v {
+				dst = append(dst, v)
+				j++
+			}
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
 }

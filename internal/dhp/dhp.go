@@ -319,11 +319,7 @@ func clearHits(m map[itemset.Item]int32) {
 // (k-1)-itemsets, using the packed-pair fast path for k=3.
 func genNext(k int, prev []itemset.Itemset) (cands []itemset.Itemset, potential, pruned int) {
 	if k == 3 {
-		all2 := make(mining.PairSet, len(prev))
-		for _, p := range prev {
-			all2.Add(p[0], p[1])
-		}
-		return mining.Gen3(prev, all2)
+		return mining.Gen3(prev, mining.PairTableOf(prev))
 	}
 	return mining.AprioriGen(prev, itemset.SetOf(prev...))
 }

@@ -28,6 +28,7 @@ func benchTree(b *testing.B, k, nCands int) (*Tree, []itemset.Itemset) {
 
 func BenchmarkCountTxK3Small(b *testing.B) {
 	tree, txs := benchTree(b, 3, 1000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tree.CountTx(txs[i%len(txs)])
@@ -36,6 +37,7 @@ func BenchmarkCountTxK3Small(b *testing.B) {
 
 func BenchmarkCountTxK3Large(b *testing.B) {
 	tree, txs := benchTree(b, 3, 100000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tree.CountTx(txs[i%len(txs)])
@@ -54,6 +56,7 @@ func BenchmarkBuildK3(b *testing.B) {
 			cands = append(cands, c)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Build(3, cands)

@@ -8,6 +8,11 @@
 // candidates. Counting a transaction visits only the subtrees reachable
 // through the transaction's own items, so the cost per transaction is far
 // below the naive |C_k| subset tests.
+//
+// After Build the tree is immutable, so concurrent scans are possible: the
+// per-transaction bookkeeping (the visited-leaf guard and the structural
+// walk cost) lives in a VisitState owned by each scanning goroutine rather
+// than in the tree, and counters accumulate in caller-owned slices.
 package hashtree
 
 import (
@@ -26,26 +31,67 @@ type node struct {
 	children []*node
 	// cands holds candidate indexes for leaf nodes.
 	cands []int32
-	// lastVisit guards against processing the same leaf twice for one
-	// transaction (a leaf can be reachable through several item paths).
-	lastVisit int64
+	// leafID indexes the leaf in VisitState.lastVisit (dense over live
+	// leaves; ids of leaves retired by splits are simply never visited).
+	leafID int32
 }
 
 // Tree is a hash tree over a fixed list of candidate k-itemsets.
 type Tree struct {
-	k      int
-	cands  []itemset.Itemset
-	counts []int
-	root   *node
-	visit  int64 // current transaction serial for lastVisit guarding
+	k        int
+	cands    []itemset.Itemset
+	counts   []int
+	root     *node
+	numLeafs int32
 
-	// walkCost accumulates the structural work of counting scans: one unit
-	// per interior node hop and per leaf candidate examined. It is the
+	// state backs the serial VisitTx/CountTx entry points; concurrent scans
+	// use private VisitStates instead.
+	state VisitState
+
+	// Build-time slabs: nodes, leaf candidate buckets, and child-pointer
+	// arrays are carved from chunked arenas instead of being allocated
+	// individually — a tree is built per counting pass, and per-node
+	// allocations dominated its construction cost. Chunks are never grown
+	// in place, so handed-out pointers and slices stay valid.
+	nodeSlab  []node
+	candSlab  []int32
+	childSlab []*node
+
+	// walkCost accumulates the structural work of serial counting scans: one
+	// unit per interior node hop and per leaf candidate examined. It is the
 	// quantity the cost model charges for tree-based counting — the cost
 	// that blows up when a huge candidate set piles into the leaves, which
-	// is the regime where the paper's Apriori drowns.
+	// is the regime where the paper's Apriori drowns. Sharded scans
+	// accumulate into their VisitState and fold back via AddWalkCost.
 	walkCost int64
 }
+
+// VisitState is the per-goroutine scan state of a tree: a transaction serial
+// per leaf guards against reporting a candidate twice when several item
+// paths reach its leaf, and walkCost tallies the structural work of this
+// state's scans. A zero VisitState is ready after Bind.
+type VisitState struct {
+	lastVisit []int64
+	visit     int64
+	walkCost  int64
+}
+
+// Bind prepares the state for scans over t, reusing its buffer when large
+// enough. Any prior contents are discarded.
+func (st *VisitState) Bind(t *Tree) {
+	n := int(t.numLeafs)
+	if cap(st.lastVisit) < n {
+		st.lastVisit = make([]int64, n)
+	} else {
+		st.lastVisit = st.lastVisit[:n]
+		clear(st.lastVisit)
+	}
+	st.visit = 0
+	st.walkCost = 0
+}
+
+// WalkCost returns the structural work accumulated by this state's scans.
+func (st *VisitState) WalkCost() int64 { return st.walkCost }
 
 // Build constructs a hash tree over the candidates, which must all be
 // k-itemsets of the same size k >= 1. The candidate slice is referenced, not
@@ -55,12 +101,58 @@ func Build(k int, cands []itemset.Itemset) *Tree {
 		k:      k,
 		cands:  cands,
 		counts: make([]int, len(cands)),
-		root:   &node{lastVisit: -1},
 	}
+	t.root = t.newLeaf()
 	for i := range cands {
 		t.insert(t.root, int32(i), 0)
 	}
+	t.state.Bind(t)
 	return t
+}
+
+// Slab chunk sizes (in nodes / leaves / interior splits per chunk).
+const slabChunk = 64
+
+func (t *Tree) allocNode() *node {
+	if len(t.nodeSlab) == cap(t.nodeSlab) {
+		size := slabChunk
+		if want := len(t.cands)/LeafCap + 1; cap(t.nodeSlab) == 0 && want > size {
+			size = want
+		}
+		t.nodeSlab = make([]node, 0, size)
+	}
+	t.nodeSlab = t.nodeSlab[:len(t.nodeSlab)+1]
+	return &t.nodeSlab[len(t.nodeSlab)-1]
+}
+
+// allocCands carves a leaf bucket with room for the LeafCap+1 entries a
+// leaf can hold before it splits. Depth-k leaves that grow beyond that
+// spill to an ordinary heap reallocation, which is rare.
+func (t *Tree) allocCands() []int32 {
+	const bucket = LeafCap + 1
+	if cap(t.candSlab)-len(t.candSlab) < bucket {
+		t.candSlab = make([]int32, 0, slabChunk*bucket)
+	}
+	n := len(t.candSlab)
+	t.candSlab = t.candSlab[:n+bucket]
+	return t.candSlab[n:n:n+bucket]
+}
+
+func (t *Tree) allocChildren() []*node {
+	if cap(t.childSlab)-len(t.childSlab) < Fanout {
+		t.childSlab = make([]*node, 0, slabChunk*Fanout)
+	}
+	n := len(t.childSlab)
+	t.childSlab = t.childSlab[:n+Fanout]
+	return t.childSlab[n : n+Fanout : n+Fanout]
+}
+
+func (t *Tree) newLeaf() *node {
+	n := t.allocNode()
+	n.leafID = t.numLeafs
+	n.cands = t.allocCands()
+	t.numLeafs++
+	return n
 }
 
 // Len returns the number of candidates in the tree.
@@ -82,9 +174,9 @@ func (t *Tree) insert(n *node, cand int32, depth int) {
 		// Split: redistribute candidates one level deeper.
 		old := n.cands
 		n.cands = nil
-		n.children = make([]*node, Fanout)
+		n.children = t.allocChildren()
 		for i := range n.children {
-			n.children[i] = &node{lastVisit: -1}
+			n.children[i] = t.newLeaf()
 		}
 		for _, c := range old {
 			t.insert(n.children[hash(t.cands[c][depth])], c, depth+1)
@@ -104,13 +196,25 @@ func (t *Tree) CountTx(items itemset.Itemset) int {
 }
 
 // VisitTx calls fn with the index of every candidate contained in the sorted
-// transaction items. Each contained candidate is reported exactly once.
+// transaction items. Each contained candidate is reported exactly once. It
+// uses the tree's own scan state and must not run concurrently with other
+// scans; concurrent callers use VisitTxState.
 func (t *Tree) VisitTx(items itemset.Itemset, fn func(cand int)) {
+	before := t.state.walkCost
+	t.VisitTxState(items, &t.state, fn)
+	t.walkCost += t.state.walkCost - before
+}
+
+// VisitTxState is VisitTx with caller-owned scan state, safe to run
+// concurrently with other VisitTxState calls on different states. The
+// state must have been Bound to t. Structural work accrues on st, not on
+// the tree; sharded scans fold it back with AddWalkCost.
+func (t *Tree) VisitTxState(items itemset.Itemset, st *VisitState, fn func(cand int)) {
 	if len(items) < t.k {
 		return
 	}
-	t.visit++
-	t.walk(t.root, items, items, 0, fn)
+	st.visit++
+	t.walk(t.root, items, items, 0, st, fn)
 }
 
 // walk descends the tree. depth is how many items of the candidate prefix
@@ -120,13 +224,13 @@ func (t *Tree) VisitTx(items itemset.Itemset, fn func(cand int)) {
 // hash path need not share actual prefix items, so a suffix-only check
 // would miscount under collisions. The lastVisit guard keeps the exactly-
 // once property when several paths reach the same leaf.
-func (t *Tree) walk(n *node, items, full itemset.Itemset, depth int, fn func(cand int)) {
+func (t *Tree) walk(n *node, items, full itemset.Itemset, depth int, st *VisitState, fn func(cand int)) {
 	if n.children == nil {
-		if n.lastVisit == t.visit {
+		if st.lastVisit[n.leafID] == st.visit {
 			return
 		}
-		n.lastVisit = t.visit
-		t.walkCost += int64(len(n.cands))
+		st.lastVisit[n.leafID] = st.visit
+		st.walkCost += int64(len(n.cands))
 		for _, c := range n.cands {
 			if t.cands[c].SubsetOf(full) {
 				fn(int(c))
@@ -137,15 +241,21 @@ func (t *Tree) walk(n *node, items, full itemset.Itemset, depth int, fn func(can
 	// Need at least k-depth items remaining to complete a candidate.
 	need := t.k - depth
 	for i := 0; i+need <= len(items); i++ {
-		t.walkCost++
+		st.walkCost++
 		child := n.children[hash(items[i])]
-		t.walk(child, items[i+1:], full, depth+1, fn)
+		t.walk(child, items[i+1:], full, depth+1, st, fn)
 	}
 }
 
 // WalkCost returns the accumulated structural counting work (interior hops
-// plus leaf entries examined) across all CountTx/VisitTx calls so far.
+// plus leaf entries examined) across all CountTx/VisitTx calls plus
+// whatever sharded scans folded back via AddWalkCost.
 func (t *Tree) WalkCost() int64 { return t.walkCost }
+
+// AddWalkCost folds the structural work of a sharded scan (the VisitStates'
+// WalkCost sums) into the tree's total, keeping WalkCost equal to what a
+// serial scan would have accumulated.
+func (t *Tree) AddWalkCost(n int64) { t.walkCost += n }
 
 // Count returns the accumulated count for candidate index i.
 func (t *Tree) Count(i int) int { return t.counts[i] }
@@ -153,6 +263,17 @@ func (t *Tree) Count(i int) int { return t.counts[i] }
 // Counts returns the full count slice, indexed like the candidate list
 // passed to Build. The slice is owned by the tree.
 func (t *Tree) Counts() []int { return t.counts }
+
+// AddCounts adds per-candidate deltas (a sharded scan's private counters)
+// into the tree's counts.
+func (t *Tree) AddCounts(delta []int32) {
+	if len(delta) != len(t.counts) {
+		panic("hashtree: AddCounts length mismatch")
+	}
+	for i, d := range delta {
+		t.counts[i] += int(d)
+	}
+}
 
 // SetCounts overwrites the count slice (used by Count Distribution after the
 // all-reduce merges per-node counts). The argument must have one entry per

@@ -1,0 +1,72 @@
+package hashtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pmihp/internal/itemset"
+)
+
+// TestVisitTxStateMatchesVisitTx: scanning with caller-owned states must
+// report the same candidates and accumulate the same structural walk cost
+// as the serial entry point, and per-shard count deltas folded back with
+// AddCounts must equal serial CountTx totals.
+func TestVisitTxStateMatchesVisitTx(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	seen := itemset.NewSet()
+	var cands []itemset.Itemset
+	for len(cands) < 5000 {
+		c := randItemset(rng, 3, 400)
+		if !seen.Has(c) {
+			seen.Add(c)
+			cands = append(cands, c)
+		}
+	}
+	var txs []itemset.Itemset
+	for i := 0; i < 200; i++ {
+		txs = append(txs, randItemset(rng, 30, 400))
+	}
+
+	serial := Build(3, cands)
+	for _, tx := range txs {
+		serial.CountTx(tx)
+	}
+
+	// Two states splitting the transactions, counting into private deltas.
+	sharded := Build(3, cands)
+	half := len(txs) / 2
+	ranges := [][2]int{{0, half}, {half, len(txs)}}
+	var walk int64
+	for _, r := range ranges {
+		var st VisitState
+		st.Bind(sharded)
+		delta := make([]int32, sharded.Len())
+		for _, tx := range txs[r[0]:r[1]] {
+			var got []int
+			sharded.VisitTxState(tx, &st, func(c int) {
+				delta[c]++
+				got = append(got, c)
+			})
+			// Exactly-once per transaction.
+			sort.Ints(got)
+			for i := 1; i < len(got); i++ {
+				if got[i] == got[i-1] {
+					t.Fatalf("candidate %d reported twice for one transaction", got[i])
+				}
+			}
+		}
+		sharded.AddCounts(delta)
+		walk += st.WalkCost()
+	}
+	sharded.AddWalkCost(walk)
+
+	if serial.WalkCost() != sharded.WalkCost() {
+		t.Fatalf("walk cost %d sharded vs %d serial", sharded.WalkCost(), serial.WalkCost())
+	}
+	for i := 0; i < serial.Len(); i++ {
+		if serial.Count(i) != sharded.Count(i) {
+			t.Fatalf("candidate %d: count %d sharded vs %d serial", i, sharded.Count(i), serial.Count(i))
+		}
+	}
+}

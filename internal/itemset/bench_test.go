@@ -10,6 +10,7 @@ func BenchmarkSetHas(b *testing.B) {
 		s.Add(is)
 		probe = append(probe, is)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Has(probe[i%len(probe)])
@@ -18,6 +19,7 @@ func BenchmarkSetHas(b *testing.B) {
 
 func BenchmarkJoin(b *testing.B) {
 	x, y := New(1, 2, 9), New(1, 2, 40)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Join(x, y)
@@ -30,6 +32,7 @@ func BenchmarkSubsetOf(b *testing.B) {
 	for i := 0; i < 200; i++ {
 		big = append(big, Item(i*5))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		small.SubsetOf(big)

@@ -10,6 +10,7 @@ package itemset
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -27,7 +28,7 @@ type Itemset []Item
 func New(items ...Item) Itemset {
 	s := make(Itemset, len(items))
 	copy(s, items)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	out := s[:0]
 	for i, it := range s {
 		if i == 0 || it != s[i-1] {
@@ -307,5 +308,7 @@ func (s Itemset) String() string {
 
 // Sort orders a slice of itemsets lexicographically in place.
 func Sort(sets []Itemset) {
-	sort.Slice(sets, func(i, j int) bool { return Compare(sets[i], sets[j]) < 0 })
+	// slices.SortFunc over sort.Slice: no reflect.Swapper allocation, and
+	// this runs once per counting pass.
+	slices.SortFunc(sets, Compare)
 }

@@ -1,6 +1,6 @@
 package itemset
 
-import "sort"
+import "slices"
 
 // Set is a collection of distinct itemsets keyed by their compact encoding.
 // It is the representation used for the frequent sets F_k and for membership
@@ -138,11 +138,11 @@ type Counted struct {
 // SortCounted orders pairs by descending count, breaking ties
 // lexicographically by itemset, which gives deterministic output.
 func SortCounted(cs []Counted) {
-	sort.Slice(cs, func(i, j int) bool {
-		if cs[i].Count != cs[j].Count {
-			return cs[i].Count > cs[j].Count
+	slices.SortFunc(cs, func(a, b Counted) int {
+		if a.Count != b.Count {
+			return b.Count - a.Count
 		}
-		return Compare(cs[i].Set, cs[j].Set) < 0
+		return Compare(a.Set, b.Set)
 	})
 }
 

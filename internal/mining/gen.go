@@ -19,6 +19,7 @@ func AprioriGen(prev []itemset.Itemset, prevSet *itemset.Set) (cands []itemset.I
 	k := len(prev[0]) + 1
 	subBuf := make(itemset.Itemset, k-1)
 	candBuf := make(itemset.Itemset, k)
+	var arena Arena
 	// Joinable itemsets share their first k-2 items and are adjacent in
 	// lexicographic order, so scan prefix groups.
 	for lo := 0; lo < len(prev); {
@@ -35,7 +36,9 @@ func AprioriGen(prev []itemset.Itemset, prevSet *itemset.Set) (cands []itemset.I
 				candBuf[k-1] = prev[j][k-2]
 				potential++
 				if hasAllSubsetsBuf(candBuf, prevSet, subBuf) {
-					cands = append(cands, candBuf.Clone())
+					c := arena.Alloc(k)
+					copy(c, candBuf)
+					cands = append(cands, c)
 				} else {
 					pruned++
 				}
@@ -46,27 +49,25 @@ func AprioriGen(prev []itemset.Itemset, prevSet *itemset.Set) (cands []itemset.I
 	return cands, potential, pruned
 }
 
-// PairSet is a set of 2-itemsets packed into uint64 keys — the compact
-// membership structure behind the k=3 join, which dominates generation cost
-// on text databases (F2 runs into the hundreds of thousands at low support).
-type PairSet map[uint64]struct{}
-
-// Add inserts the pair (a < b assumed).
-func (s PairSet) Add(a, b itemset.Item) { s[uint64(a)<<32|uint64(b)] = struct{}{} }
-
-// Has reports membership of the pair (a < b assumed).
-func (s PairSet) Has(a, b itemset.Item) bool {
-	_, ok := s[uint64(a)<<32|uint64(b)]
-	return ok
+// PairTableOf packs the given 2-itemsets into a PairTable, the membership
+// structure behind the k=3 join.
+func PairTableOf(prev []itemset.Itemset) *PairTable {
+	t := NewPairTable(len(prev))
+	for _, p := range prev {
+		t.AddPair(p[0], p[1])
+	}
+	return t
 }
 
 // Gen3 is AprioriGen specialized to k=3: prev holds frequent 2-itemsets in
-// lexicographic order, all2 the membership set of every frequent 2-itemset
-// usable for subset pruning (a superset of prev for MIHP, where pairs from
-// already-processed partitions participate). It avoids the generic path's
-// string-key subset checks, which dominate real runtime at text-database
-// F2 sizes.
-func Gen3(prev []itemset.Itemset, all2 PairSet) (cands []itemset.Itemset, potential, pruned int) {
+// lexicographic order, all2 the membership table of every frequent
+// 2-itemset usable for subset pruning (a superset of prev for MIHP, where
+// pairs from already-processed partitions participate). It avoids the
+// generic path's string-key subset checks — and, via the flat PairTable
+// and arena-backed candidates, Go-map probe and per-candidate allocation
+// overhead — which dominate real runtime at text-database F2 sizes.
+func Gen3(prev []itemset.Itemset, all2 *PairTable) (cands []itemset.Itemset, potential, pruned int) {
+	var arena Arena
 	for lo := 0; lo < len(prev); {
 		hi := lo + 1
 		a := prev[lo][0]
@@ -78,8 +79,10 @@ func Gen3(prev []itemset.Itemset, all2 PairSet) (cands []itemset.Itemset, potent
 			for j := i + 1; j < hi; j++ {
 				c := prev[j][1]
 				potential++
-				if all2.Has(b, c) {
-					cands = append(cands, itemset.Itemset{a, b, c})
+				if all2.HasPair(b, c) {
+					cand := arena.Alloc(3)
+					cand[0], cand[1], cand[2] = a, b, c
+					cands = append(cands, cand)
 				} else {
 					pruned++
 				}

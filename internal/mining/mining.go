@@ -51,7 +51,21 @@ type Options struct {
 	// GlobalCandidateBatch is the number of accumulated global candidate
 	// itemsets that triggers a PMIHP polling round (paper: 20,000).
 	GlobalCandidateBatch int
+
+	// IntraNodeWorkers bounds the shared-memory parallelism each (simulated)
+	// node applies to its counting scans: candidate counting passes, posting
+	// construction, and the pass-1 THT build shard their transaction ranges
+	// across up to this many OS-level workers. 0 selects GOMAXPROCS; 1
+	// reproduces the serial kernels. The setting changes wall-clock time
+	// only: per-shard counts merge by integer sums, so mining results and
+	// simulated-clock charges are identical for every value. In a parallel
+	// run the pool is divided among the simulated nodes, which already run
+	// concurrently.
+	IntraNodeWorkers int
 }
+
+// Workers resolves IntraNodeWorkers (0 means GOMAXPROCS).
+func (o Options) Workers() int { return ResolveWorkers(o.IntraNodeWorkers) }
 
 // MinCount resolves the options against a database size.
 func (o Options) MinCount(dbLen int) int {

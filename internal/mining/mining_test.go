@@ -132,7 +132,7 @@ func TestGen3MatchesAprioriGen(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	for trial := 0; trial < 40; trial++ {
 		prevSet := itemset.NewSet()
-		all2 := make(PairSet)
+		all2 := NewPairTable(0)
 		var prev []itemset.Itemset
 		for len(prev) < 50 {
 			a, b := uint32(rng.Intn(15)), uint32(rng.Intn(15))
@@ -142,7 +142,7 @@ func TestGen3MatchesAprioriGen(t *testing.T) {
 			is := itemset.New(a, b)
 			if !prevSet.Has(is) {
 				prevSet.Add(is)
-				all2.Add(is[0], is[1])
+				all2.AddPair(is[0], is[1])
 				prev = append(prev, is)
 			}
 		}

@@ -1,0 +1,70 @@
+package mining
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Intra-node shared-memory parallelism. Each simulated cluster node may
+// shard its counting scans over a bounded pool of OS-level workers (the
+// many-core direction of Zymbler's FIM work): shard s processes the
+// contiguous index range [lo, hi) with its own scratch state, and the
+// caller merges per-shard results in shard order. Because every merge is an
+// integer sum over disjoint transaction ranges, results and simulated-clock
+// charges are identical for every worker count — the knob changes wall-clock
+// time only.
+
+// ResolveWorkers normalizes an IntraNodeWorkers setting: values <= 0 select
+// GOMAXPROCS.
+func ResolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// shardRanges splits [0, n) into at most workers near-equal contiguous
+// ranges, returning the shard boundaries (len = shards+1).
+func shardRanges(n, workers int) []int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	bounds := make([]int, workers+1)
+	for s := 0; s <= workers; s++ {
+		bounds[s] = s * n / workers
+	}
+	return bounds
+}
+
+// NumShards returns the shard count RunShards will use for n items and the
+// given worker bound, so callers can pre-allocate per-shard scratch.
+func NumShards(n, workers int) int {
+	return len(shardRanges(n, workers)) - 1
+}
+
+// RunShards executes fn over the contiguous shard ranges of [0, n). With a
+// single shard fn runs inline on the calling goroutine, reproducing the
+// serial kernels exactly; otherwise each shard runs on its own goroutine and
+// RunShards returns after all complete. It returns the number of shards used
+// so callers can merge per-shard state in shard order.
+func RunShards(n, workers int, fn func(shard, lo, hi int)) int {
+	bounds := shardRanges(n, workers)
+	shards := len(bounds) - 1
+	if shards <= 1 {
+		fn(0, 0, n)
+		return 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for s := 0; s < shards; s++ {
+		go func(s int) {
+			defer wg.Done()
+			fn(s, bounds[s], bounds[s+1])
+		}(s)
+	}
+	wg.Wait()
+	return shards
+}

@@ -18,6 +18,7 @@ func benchLocal(b *testing.B, entries int, masks bool) *Local {
 
 func BenchmarkPairBoundMasked(b *testing.B) {
 	l := benchLocal(b, 400, true)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := itemset.Item(i % 2000)
@@ -30,6 +31,7 @@ func BenchmarkPairBoundMasked(b *testing.B) {
 
 func BenchmarkPairBoundMaskless(b *testing.B) {
 	l := benchLocal(b, 400, false)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := itemset.Item(i % 2000)
@@ -43,6 +45,7 @@ func BenchmarkPairBoundMaskless(b *testing.B) {
 func BenchmarkTripleBoundMasked(b *testing.B) {
 	l := benchLocal(b, 400, true)
 	x := make(itemset.Itemset, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		x = x[:0]
@@ -53,8 +56,30 @@ func BenchmarkTripleBoundMasked(b *testing.B) {
 
 func BenchmarkBuildLocal(b *testing.B) {
 	db := makeDB(1, 400, 2000, 60)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		BuildLocal(db, 400)
+	}
+}
+
+// BenchmarkPollPeers measures the batch peer-classification kernel behind
+// PMIHP's flush: one PollPeers call versus a BoundReaches(x, 1) per peer
+// with per-call row fetches.
+func BenchmarkPollPeers(b *testing.B) {
+	locals := make([]*Local, 8)
+	for s := range locals {
+		l, _ := BuildLocal(makeDB(int64(s+1), 50, 2000, 60), 50)
+		l.BuildMasks()
+		locals[s] = l
+	}
+	g := NewGlobal(locals)
+	x := itemset.New(3, 11, 42)
+	var buf []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		peers, _ := g.PollPeers(x, 0, buf)
+		buf = peers
 	}
 }

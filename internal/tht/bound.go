@@ -22,7 +22,9 @@ import (
 // slots where the items actually co-hash rather than to the table size —
 // which is what keeps the paper's claim that "the sizes of the partitions
 // and THT are not critical for the overall performance" true in the cost
-// model as well (ablation A3).
+// model as well (ablation A3). Every path is allocation-free for itemsets
+// up to maxStackItems: row pointers and intersection scratch live in stack
+// arrays, because these evaluations run once per candidate.
 
 // BoundReaches reports whether the IHP upper bound for the itemset reaches
 // threshold. slots is the number of table slots (or mask words, charged at
@@ -38,14 +40,12 @@ func (l *Local) boundUpTo(x itemset.Itemset, stop int) (sum, cost int) {
 	if len(x) == 0 || stop <= 0 {
 		return 0, 0
 	}
-	rows := make([][]uint32, len(x))
-	for i, it := range x {
-		rows[i] = l.counts[it]
-		if rows[i] == nil {
-			return 0, 0
-		}
+	var rowsBuf [maxStackItems][]uint32
+	rows, ok := l.fetchRows(x, &rowsBuf)
+	if !ok {
+		return 0, 0
 	}
-	if l.masks != nil {
+	if l.masksBuilt {
 		var scratch [16]uint64
 		inter, words, ok := l.intersection(x, scratch[:0])
 		cost += words
@@ -103,7 +103,7 @@ func (l *Local) boundUpTo(x itemset.Itemset, stop int) (sum, cost int) {
 // provably empty part-way through.
 func (l *Local) intersection(x itemset.Itemset, buf []uint64) (inter []uint64, words int, ok bool) {
 	for i, it := range x {
-		m := l.masks[it]
+		m := l.mask(it)
 		if m == nil {
 			return nil, words, false
 		}
@@ -124,6 +124,44 @@ func (l *Local) intersection(x itemset.Itemset, buf []uint64) (inter []uint64, w
 	return buf, words, true
 }
 
+// positiveBound reports whether the IHP bound for x is positive, charging
+// exactly what BoundReaches(x, 1) charges: with masks, the intersection
+// word counts; without, the linear scan up to the first positive slot. It
+// exists so PollPeers can classify a whole batch itemset against every
+// segment without fetching counter rows or allocating.
+func (l *Local) positiveBound(x itemset.Itemset) (positive bool, cost int) {
+	if len(x) == 0 {
+		return false, 0
+	}
+	for _, it := range x {
+		if l.Row(it) == nil {
+			return false, 0
+		}
+	}
+	if l.masksBuilt {
+		var scratch [16]uint64
+		_, words, ok := l.intersection(x, scratch[:0])
+		// A non-empty intersection has a slot where every member co-hashes,
+		// so the bound is at least 1 (rows only ever grow).
+		return ok, words
+	}
+	var rowsBuf [maxStackItems][]uint32
+	rows, _ := l.fetchRows(x, &rowsBuf)
+	for j := 0; j < l.entries; j++ {
+		cost++
+		min := rows[0][j]
+		for i := 1; i < len(rows) && min > 0; i++ {
+			if rows[i][j] < min {
+				min = rows[i][j]
+			}
+		}
+		if min > 0 {
+			return true, cost
+		}
+	}
+	return false, cost
+}
+
 // BoundReaches is the cascaded-table analogue: per-segment partial sums
 // accumulate across segments and evaluation stops as soon as the running
 // total reaches threshold.
@@ -138,6 +176,26 @@ func (g *Global) BoundReaches(x itemset.Itemset, threshold int) (reaches bool, s
 		}
 	}
 	return false, total
+}
+
+// PollPeers appends to buf the segments other than self whose IHP bound for
+// x is positive — the peers PMIHP must poll for the itemset — and returns
+// the extended slice with the total slot cost. It is the batch-classification
+// kernel behind flush: one call replaces a BoundReaches(x, 1) per peer,
+// with identical slot charges but no row fetches or allocations.
+func (g *Global) PollPeers(x itemset.Itemset, self int, buf []int) (peers []int, slots int) {
+	peers = buf[:0]
+	for p, seg := range g.segments {
+		if p == self {
+			continue
+		}
+		ok, cost := seg.positiveBound(x)
+		slots += cost
+		if ok {
+			peers = append(peers, p)
+		}
+	}
+	return peers, slots
 }
 
 // PairBoundReaches is the cascaded pair bound.
@@ -161,18 +219,37 @@ func (l *Local) PairBoundReachesItems(a, b itemset.Item, threshold int) (reaches
 	return sum >= threshold, cost
 }
 
+// PairBoundReachesRows is PairBoundReachesItems over pre-fetched rows and
+// masks (as returned by Row and Mask; masks nil when not built), with
+// identical results and slot charges. Pass 2 scans one item against every
+// larger frequent item, so hoisting the first item's row and mask fetches
+// out of that loop matters.
+func (l *Local) PairBoundReachesRows(rowA []uint32, ma []uint64, rowB []uint32, mb []uint64, threshold int) (reaches bool, slots int) {
+	sum, cost := l.pairBoundUpToRows(rowA, ma, rowB, mb, threshold)
+	return sum >= threshold, cost
+}
+
 // pairBoundUpTo is boundUpTo specialized for a pair, avoiding per-call
 // slice allocation in the pass-2 generation hot loop.
 func (l *Local) pairBoundUpTo(a, b itemset.Item, stop int) (sum, cost int) {
 	if stop <= 0 {
 		return 0, 0
 	}
-	rowA, rowB := l.counts[a], l.counts[b]
+	var ma, mb []uint64
+	if l.masksBuilt {
+		ma, mb = l.mask(a), l.mask(b)
+	}
+	return l.pairBoundUpToRows(l.Row(a), ma, l.Row(b), mb, stop)
+}
+
+func (l *Local) pairBoundUpToRows(rowA []uint32, ma []uint64, rowB []uint32, mb []uint64, stop int) (sum, cost int) {
+	if stop <= 0 {
+		return 0, 0
+	}
 	if rowA == nil || rowB == nil {
 		return 0, 0
 	}
-	if l.masks != nil {
-		ma, mb := l.masks[a], l.masks[b]
+	if ma != nil && mb != nil {
 		pc := 0
 		for j := range ma {
 			pc += bits.OnesCount64(ma[j] & mb[j])

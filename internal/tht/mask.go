@@ -17,28 +17,36 @@ func (l *Local) maskWords() int { return (l.entries + 63) / 64 }
 // after Retain; AddOccurrence after BuildMasks keeps masks in sync.
 func (l *Local) BuildMasks() {
 	w := l.maskWords()
-	l.masks = make(map[itemset.Item][]uint64, len(l.counts))
-	for it, row := range l.counts {
-		mask := make([]uint64, w)
+	l.maskRows = make([][]uint64, len(l.rows))
+	l.masksBuilt = true
+	// One flat backing array for all masks: built once per run, right after
+	// Retain, when the live row count is known.
+	backing := make([]uint64, l.nItems*w)
+	for it, row := range l.rows {
+		if row == nil {
+			continue
+		}
+		mask := backing[:w:w]
+		backing = backing[w:]
 		for j, c := range row {
 			if c > 0 {
 				mask[j/64] |= 1 << (j % 64)
 			}
 		}
-		l.masks[it] = mask
+		l.maskRows[it] = mask
 	}
 }
 
 // HasMasks reports whether BuildMasks has been called.
-func (l *Local) HasMasks() bool { return l.masks != nil }
+func (l *Local) HasMasks() bool { return l.masksBuilt }
 
 // Mask returns the occupancy mask of an item (nil when masks are not built
 // or the item has no row).
 func (l *Local) Mask(it itemset.Item) []uint64 {
-	if l.masks == nil {
+	if !l.masksBuilt {
 		return nil
 	}
-	return l.masks[it]
+	return l.mask(it)
 }
 
 // MasksIntersect reports whether every item of x has a row and the rows
@@ -46,13 +54,13 @@ func (l *Local) Mask(it itemset.Item) []uint64 {
 // examined (charged at the slot rate). When masks are not built it returns
 // intersect=true, words=0 so callers fall through to the slot scan.
 func (l *Local) MasksIntersect(x itemset.Itemset) (intersect bool, words int) {
-	if l.masks == nil {
+	if !l.masksBuilt {
 		return true, 0
 	}
 	w := l.maskWords()
 	var acc []uint64
 	for _, it := range x {
-		m := l.masks[it]
+		m := l.mask(it)
 		if m == nil {
 			return false, words
 		}

@@ -14,12 +14,18 @@
 // entrywise sum. The cascade is deliberately lossless across nodes: it both
 // tightens the bound and reveals exactly which peers can possibly contain an
 // itemset, which drives the polling step of PMIHP.
+//
+// Tables are stored densely: per-item counter rows and occupancy masks live
+// in slices indexed by item id, so the bound evaluations that run once per
+// candidate pair cost an array index instead of a map probe. (The map-backed
+// representation put mapaccess at the top of every mining profile.)
 package tht
 
 import (
 	"fmt"
 
 	"pmihp/internal/itemset"
+	"pmihp/internal/mining"
 	"pmihp/internal/txdb"
 )
 
@@ -27,8 +33,32 @@ import (
 // of Entries slots per item that occurs in the node's local database.
 type Local struct {
 	entries int
-	counts  map[itemset.Item][]uint32
-	masks   map[itemset.Item][]uint64 // occupancy masks, see mask.go
+	// rows[it] is the counter array of item it, nil when the item has no
+	// table. The slice is grown on demand to the largest item seen.
+	rows [][]uint32
+	// maskRows[it] is the occupancy mask of item it; only meaningful after
+	// BuildMasks (masksBuilt).
+	maskRows   [][]uint64
+	masksBuilt bool
+	nItems     int // number of non-nil rows
+
+	// rowSlab backs counter rows in chunks of rowSlabChunk rows, so the
+	// build scan allocates once per chunk instead of once per item. Chunks
+	// are abandoned (not grown) when full, keeping handed-out rows valid.
+	rowSlab []uint32
+}
+
+// rowSlabChunk is the number of counter rows carved per slab chunk.
+const rowSlabChunk = 256
+
+// newRow carves a zeroed counter row from the slab.
+func (l *Local) newRow() []uint32 {
+	if cap(l.rowSlab)-len(l.rowSlab) < l.entries {
+		l.rowSlab = make([]uint32, 0, rowSlabChunk*l.entries)
+	}
+	n := len(l.rowSlab)
+	l.rowSlab = l.rowSlab[:n+l.entries]
+	return l.rowSlab[n : n+l.entries : n+l.entries]
 }
 
 // NewLocal returns an empty Local with the given number of hash entries per
@@ -38,34 +68,58 @@ func NewLocal(entries int) *Local {
 	if entries <= 0 {
 		panic(fmt.Sprintf("tht: NewLocal(%d)", entries))
 	}
-	return &Local{entries: entries, counts: make(map[itemset.Item][]uint32)}
+	return &Local{entries: entries}
+}
+
+// NewLocalSized returns an empty Local pre-sized for item ids below
+// numItems, so the build scan never grows the row index.
+func NewLocalSized(entries, numItems int) *Local {
+	l := NewLocal(entries)
+	l.rows = make([][]uint32, numItems)
+	return l
 }
 
 // Entries returns the number of hash slots per item.
 func (l *Local) Entries() int { return l.entries }
 
 // NumItems returns the number of items that currently have a table.
-func (l *Local) NumItems() int { return len(l.counts) }
+func (l *Local) NumItems() int { return l.nItems }
 
 // hash maps a TID to a slot. TIDs are assigned sequentially in document
 // order, so modulo hashing spreads them uniformly.
 func (l *Local) hash(tid txdb.TID) int { return int(tid) % l.entries }
 
+// ensureItem grows the row index to cover item it.
+func (l *Local) ensureItem(it itemset.Item) {
+	if int(it) >= len(l.rows) {
+		rows := make([][]uint32, int(it)+1)
+		copy(rows, l.rows)
+		l.rows = rows
+		if l.masksBuilt {
+			masks := make([][]uint64, int(it)+1)
+			copy(masks, l.maskRows)
+			l.maskRows = masks
+		}
+	}
+}
+
 // AddOccurrence records that the transaction with the given TID contains the
 // item. It is called while counting 1-itemsets during the first pass.
 func (l *Local) AddOccurrence(it itemset.Item, tid txdb.TID) {
-	row := l.counts[it]
+	l.ensureItem(it)
+	row := l.rows[it]
 	if row == nil {
-		row = make([]uint32, l.entries)
-		l.counts[it] = row
+		row = l.newRow()
+		l.rows[it] = row
+		l.nItems++
 	}
 	j := l.hash(tid)
 	row[j]++
-	if l.masks != nil {
-		m := l.masks[it]
+	if l.masksBuilt {
+		m := l.maskRows[it]
 		if m == nil {
 			m = make([]uint64, l.maskWords())
-			l.masks[it] = m
+			l.maskRows[it] = m
 		}
 		m[j/64] |= 1 << (j % 64)
 	}
@@ -74,31 +128,104 @@ func (l *Local) AddOccurrence(it itemset.Item, tid txdb.TID) {
 // BuildLocal scans a database once and returns the completed Local alongside
 // the per-item occurrence counts (support of each 1-itemset).
 func BuildLocal(db *txdb.DB, entries int) (*Local, []int) {
-	l := NewLocal(entries)
-	counts := make([]int, db.NumItems())
-	db.Each(func(t *txdb.Transaction) {
-		for _, it := range t.Items {
-			counts[it]++
-			l.AddOccurrence(it, t.TID)
+	return BuildLocalShards(db, entries, 1)
+}
+
+// BuildLocalShards is BuildLocal with the scan sharded across up to workers
+// goroutines. Each shard builds a private table over a contiguous
+// transaction range; the shards merge by entrywise summation, so the result
+// is identical to the serial build for every worker count.
+func BuildLocalShards(db *txdb.DB, entries, workers int) (*Local, []int) {
+	n := db.Len()
+	shards := mining.NumShards(n, workers)
+	if shards <= 1 {
+		l := NewLocalSized(entries, db.NumItems())
+		counts := make([]int, db.NumItems())
+		db.Each(func(t *txdb.Transaction) {
+			for _, it := range t.Items {
+				counts[it]++
+				l.AddOccurrence(it, t.TID)
+			}
+		})
+		return l, counts
+	}
+	locals := make([]*Local, shards)
+	countsByShard := make([][]int, shards)
+	mining.RunShards(n, workers, func(s, lo, hi int) {
+		l := NewLocalSized(entries, db.NumItems())
+		counts := make([]int, db.NumItems())
+		for i := lo; i < hi; i++ {
+			t := db.Tx(i)
+			for _, it := range t.Items {
+				counts[it]++
+				l.AddOccurrence(it, t.TID)
+			}
 		}
+		locals[s], countsByShard[s] = l, counts
 	})
-	return l, counts
+	merged, counts := locals[0], countsByShard[0]
+	for s := 1; s < shards; s++ {
+		merged.addFrom(locals[s])
+		for it, c := range countsByShard[s] {
+			counts[it] += c
+		}
+	}
+	return merged, counts
+}
+
+// addFrom folds another table of the same geometry into l by entrywise
+// summation (the shard merge of BuildLocalShards).
+func (l *Local) addFrom(o *Local) {
+	if o.entries != l.entries {
+		panic("tht: addFrom entry mismatch")
+	}
+	for it, row := range o.rows {
+		if row == nil {
+			continue
+		}
+		dst := l.rows[it]
+		if dst == nil {
+			l.ensureItem(itemset.Item(it))
+			dst = l.newRow()
+			l.rows[it] = dst
+			l.nItems++
+		}
+		for j, c := range row {
+			dst[j] += c
+		}
+	}
 }
 
 // Row returns the counter array of an item, or nil when the item has no
 // table (never occurred, or its table was dropped). The returned slice is
 // owned by the table.
-func (l *Local) Row(it itemset.Item) []uint32 { return l.counts[it] }
+func (l *Local) Row(it itemset.Item) []uint32 {
+	if int(it) >= len(l.rows) {
+		return nil
+	}
+	return l.rows[it]
+}
+
+// mask returns the occupancy mask row of an item (nil when absent).
+func (l *Local) mask(it itemset.Item) []uint64 {
+	if int(it) >= len(l.maskRows) {
+		return nil
+	}
+	return l.maskRows[it]
+}
 
 // Retain drops the table of every item for which keep returns false —
 // "after the first pass we can remove the THTs of the items which are not
 // contained in the set of frequent 1-itemsets", and more generally after
 // pass k for items in no frequent k-itemset.
 func (l *Local) Retain(keep func(itemset.Item) bool) {
-	for it := range l.counts {
-		if !keep(it) {
-			delete(l.counts, it)
-			delete(l.masks, it)
+	for it := range l.rows {
+		if l.rows[it] != nil && !keep(itemset.Item(it)) {
+			l.rows[it] = nil
+			l.nItems--
+			if it < len(l.maskRows) {
+				l.maskRows[it] = nil
+			}
 		}
 	}
 }
@@ -110,12 +237,10 @@ func (l *Local) MaxPossible(x itemset.Itemset) int {
 	if len(x) == 0 {
 		return 0
 	}
-	rows := make([][]uint32, len(x))
-	for i, it := range x {
-		rows[i] = l.counts[it]
-		if rows[i] == nil {
-			return 0
-		}
+	var rowsBuf [maxStackItems][]uint32
+	rows, ok := l.fetchRows(x, &rowsBuf)
+	if !ok {
+		return 0
 	}
 	total := 0
 	for j := 0; j < l.entries; j++ {
@@ -130,18 +255,44 @@ func (l *Local) MaxPossible(x itemset.Itemset) int {
 	return total
 }
 
+// maxStackItems is the itemset size up to which bound evaluations keep their
+// row pointers in a stack array instead of allocating.
+const maxStackItems = 8
+
+// fetchRows gathers the counter rows of x into buf (or a fresh slice for
+// oversized itemsets); ok is false when any item has no table.
+func (l *Local) fetchRows(x itemset.Itemset, buf *[maxStackItems][]uint32) (rows [][]uint32, ok bool) {
+	if len(x) <= maxStackItems {
+		rows = buf[:len(x)]
+	} else {
+		rows = make([][]uint32, len(x))
+	}
+	for i, it := range x {
+		rows[i] = l.Row(it)
+		if rows[i] == nil {
+			return nil, false
+		}
+	}
+	return rows, true
+}
+
 // Bytes approximates the wire size of the table set when exchanged between
 // nodes (4 bytes per slot plus a 4-byte item id per row). Used by the
 // cluster cost model.
-func (l *Local) Bytes() int { return len(l.counts) * (4 + 4*l.entries) }
+func (l *Local) Bytes() int { return l.nItems * (4 + 4*l.entries) }
 
 // Clone returns a deep copy (exchanged tables must not alias the sender's).
 func (l *Local) Clone() *Local {
 	c := NewLocal(l.entries)
-	for it, row := range l.counts {
+	c.rows = make([][]uint32, len(l.rows))
+	for it, row := range l.rows {
+		if row == nil {
+			continue
+		}
 		r := make([]uint32, len(row))
 		copy(r, row)
-		c.counts[it] = r
+		c.rows[it] = r
+		c.nItems++
 	}
 	return c
 }

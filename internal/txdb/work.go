@@ -59,6 +59,18 @@ func (w *Work) EachIndexed(fn func(i int, tid TID, items itemset.Itemset)) {
 	}
 }
 
+// EachIndexedRange is EachIndexed restricted to internal indexes in
+// [lo, hi) — the iteration primitive of sharded counting scans, where each
+// shard owns a contiguous index range and may Trim or PruneShard only its
+// own transactions.
+func (w *Work) EachIndexedRange(lo, hi int, fn func(i int, tid TID, items itemset.Itemset)) {
+	for i := lo; i < hi; i++ {
+		if w.active[i] {
+			fn(i, w.tids[i], w.items[i])
+		}
+	}
+}
+
 // Trim replaces the item list of transaction i. The new list must be sorted;
 // it may alias memory owned by the caller.
 func (w *Work) Trim(i int, items itemset.Itemset) { w.items[i] = items }
@@ -70,6 +82,23 @@ func (w *Work) Prune(i int) {
 		w.live--
 	}
 }
+
+// PruneShard deactivates transaction i without touching the shared live
+// counter, so concurrent shards owning disjoint index ranges can prune
+// without synchronization. It reports whether the transaction was active;
+// the caller folds the per-shard totals back with AdjustLive after the
+// shards join.
+func (w *Work) PruneShard(i int) bool {
+	if w.active[i] {
+		w.active[i] = false
+		return true
+	}
+	return false
+}
+
+// AdjustLive applies a (negative) delta of pruned transactions accumulated
+// by PruneShard calls.
+func (w *Work) AdjustLive(delta int) { w.live += delta }
 
 // TotalItems returns the summed length of all active transactions — the cost
 // proxy for a counting scan over the working database.

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Verification + benchmark gate. Runs the static checks, the full test
+# suite under the race detector (which exercises the sharded counting
+# kernels via the IntraNodeWorkers>1 equivalence tests), then the E1-E9
+# benchmark harness, failing if any workload's wall-clock regresses more
+# than 20% against the committed baseline or any simulated time drifts.
+#
+# Usage: scripts/bench.sh [baseline.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_baseline.json}"
+rev="$(git rev-parse --short HEAD 2>/dev/null || echo dev)"
+
+echo "== go vet"
+go vet ./...
+echo "== go build"
+go build ./...
+echo "== go test -race"
+go test -race ./...
+echo "== benchmark harness (rev $rev, baseline $baseline)"
+if [ -f "$baseline" ]; then
+    go run ./cmd/pmihp-bench -benchjson "BENCH_${rev}.json" -rev "$rev" -scale small -baseline "$baseline" -v
+else
+    echo "no baseline at $baseline; writing fresh report only"
+    go run ./cmd/pmihp-bench -benchjson "BENCH_${rev}.json" -rev "$rev" -scale small -v
+fi
