@@ -7,11 +7,17 @@
 //	pmihp-bench -exp e1 [-scale small|harness|paper] [-v]
 //	pmihp-bench -exp all
 //	pmihp-bench -benchjson BENCH_dev.json [-rev dev] [-baseline BENCH_baseline.json]
+//	pmihp-bench -exp e3 -cpuprofile cpu.prof -memprofile mem.prof
 //
 // The -benchjson mode runs the E1–E9 benchmark workloads under the standard
-// Go benchmark driver and writes ns/op, allocs/op, and simulated seconds per
-// figure as JSON. With -baseline it exits nonzero when any workload's
-// wall-clock regresses by more than 20% or any simulated time drifts.
+// Go benchmark driver and writes ns/op, allocs/op, bytes held, and simulated
+// seconds per figure as JSON. With -baseline it exits nonzero when any
+// workload's wall-clock or held memory regresses by more than 20% or any
+// simulated time drifts; baselines written before the current report schema
+// are compared on wall-clock only, with a notice.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the whole run
+// (any mode), for `go tool pprof`.
 package main
 
 import (
@@ -19,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"pmihp/internal/benchharness"
@@ -26,72 +34,110 @@ import (
 	"pmihp/internal/experiments"
 )
 
-func main() {
+// main delegates to realMain so deferred profile writers run before exit.
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
 	var (
-		expID     = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		scale     = flag.String("scale", "harness", "corpus scale: small, harness, or paper")
-		list      = flag.Bool("list", false, "list experiments and exit")
-		verbose   = flag.Bool("v", false, "log progress to stderr")
-		benchJSON = flag.String("benchjson", "", "run the benchmark harness and write results to this JSON file")
-		rev       = flag.String("rev", "dev", "revision label recorded in -benchjson output")
-		baseline  = flag.String("baseline", "", "baseline JSON to compare -benchjson results against")
+		expID      = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale      = flag.String("scale", "harness", "corpus scale: small, harness, or paper")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		verbose    = flag.Bool("v", false, "log progress to stderr")
+		benchJSON  = flag.String("benchjson", "", "run the benchmark harness and write results to this JSON file")
+		rev        = flag.String("rev", "dev", "revision label recorded in -benchjson output")
+		baseline   = flag.String("baseline", "", "baseline JSON to compare -benchjson results against")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	sc, err := corpus.ParseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	if *benchJSON != "" {
-		runBenchHarness(*benchJSON, *rev, *baseline, sc, *verbose)
-		return
+		return runBenchHarness(*benchJSON, *rev, *baseline, sc, *verbose)
 	}
 	if *expID == "" {
 		fmt.Fprintln(os.Stderr, "pmihp-bench: -exp required (or -list, -benchjson); e.g. -exp e1")
-		os.Exit(2)
+		return 2
 	}
 	params := experiments.Params{Scale: sc}
 	if *verbose {
 		params.Log = os.Stderr
 	}
 
-	run := func(e experiments.Experiment) {
+	run := func(e experiments.Experiment) bool {
 		start := time.Now()
 		out, err := e.Run(params)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pmihp-bench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			return false
 		}
 		fmt.Printf("== %s: %s\n\n%s\n(real time %.1fs)\n\n", e.ID, e.Title, out, time.Since(start).Seconds())
+		return true
 	}
 
 	if *expID == "all" {
 		for _, e := range experiments.All() {
-			run(e)
+			if !run(e) {
+				return 1
+			}
 		}
-		return
+		return 0
 	}
 	e, ok := experiments.ByID(*expID)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "pmihp-bench: unknown experiment %q (use -list)\n", *expID)
-		os.Exit(2)
+		return 2
 	}
-	run(e)
+	if !run(e) {
+		return 1
+	}
+	return 0
 }
 
 // runBenchHarness measures the E1–E9 workloads, writes the JSON report, and
-// (when a baseline is given) fails on wall-clock regressions beyond 20% or
-// any simulated-time drift.
-func runBenchHarness(path, rev, baselinePath string, sc corpus.Scale, verbose bool) {
+// (when a baseline is given) fails on wall-clock or held-memory regressions
+// beyond 20% or any simulated-time drift.
+func runBenchHarness(path, rev, baselinePath string, sc corpus.Scale, verbose bool) int {
 	var log io.Writer
 	if verbose {
 		log = os.Stderr
@@ -99,27 +145,32 @@ func runBenchHarness(path, rev, baselinePath string, sc corpus.Scale, verbose bo
 	rep, err := benchharness.Run(rev, sc, log)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
-		os.Exit(1)
+		return 1
 	}
 	if err := rep.WriteJSON(path); err != nil {
 		fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("wrote %s (%d workloads, rev %s, scale %s)\n", path, len(rep.Workloads), rep.Rev, rep.Scale)
 	if baselinePath == "" {
-		return
+		return 0
 	}
 	base, err := benchharness.ReadJSON(baselinePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
-		os.Exit(1)
+		return 1
+	}
+	if base.SchemaVersion < benchharness.SchemaVersion {
+		fmt.Printf("note: baseline %s has schema v%d (current v%d); skipping simulated-seconds drift and bytes_held checks, comparing wall-clock only — regenerate the baseline to restore them\n",
+			baselinePath, base.SchemaVersion, benchharness.SchemaVersion)
 	}
 	if bad := benchharness.Compare(base, rep, 0.20); len(bad) > 0 {
 		fmt.Fprintln(os.Stderr, "pmihp-bench: regressions vs", baselinePath)
 		for _, line := range bad {
 			fmt.Fprintln(os.Stderr, "  "+line)
 		}
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("no regressions vs %s\n", baselinePath)
+	return 0
 }

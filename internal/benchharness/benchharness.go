@@ -43,26 +43,56 @@ type Result struct {
 	// simulate a cluster. It is implementation-independent: any change here
 	// means the cost model's behavior changed, not just its speed.
 	SimSeconds float64 `json:"sim_seconds,omitempty"`
+	// BytesHeld is the run's deterministic resident-structure footprint
+	// (mining.Metrics.PeakHeldBytes summed across nodes): the CSR database
+	// and working copies, THT matrices, compressed inverted files, and
+	// candidate structures, accounted by their MemBytes methods. Unlike
+	// bytes_per_op it does not count allocation churn, so it tracks layout
+	// changes exactly and reproducibly.
+	BytesHeld int64 `json:"bytes_held,omitempty"`
 }
+
+// SchemaVersion is the report format version. Version 2 added bytes_held
+// and the schema_version field itself; baselines written before it lack
+// both, so comparisons against them check wall-clock only.
+const SchemaVersion = 2
 
 // Report is a full harness run.
 type Report struct {
-	Rev        string   `json:"rev"`
-	GoVersion  string   `json:"go_version"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Scale      string   `json:"scale"`
-	Workloads  []Result `json:"workloads"`
+	SchemaVersion int      `json:"schema_version,omitempty"`
+	Rev           string   `json:"rev"`
+	GoVersion     string   `json:"go_version"`
+	GOOS          string   `json:"goos"`
+	GOARCH        string   `json:"goarch"`
+	GOMAXPROCS    int      `json:"gomaxprocs"`
+	Scale         string   `json:"scale"`
+	Workloads     []Result `json:"workloads"`
+}
+
+// corpora holds the generated databases a workload can run against: the
+// three figure corpora at the harness scale, plus corpus B at paper scale
+// for the always-on smoke entry.
+type corpora struct {
+	A, B, C *txdb.DB
+	PaperB  *txdb.DB
 }
 
 // workload is one benchmark entry: run executes a single mining run and
-// returns the simulated seconds (0 when not applicable).
+// returns the simulated seconds (0 when not applicable) with the run's
+// deterministic held-bytes footprint.
 type workload struct {
 	name string
 	fig  string
-	run  func(dbA, dbB, dbC *txdb.DB) (simSeconds float64, err error)
+	run  func(dbs *corpora) (simSeconds float64, heldBytes int64, err error)
 }
+
+// workload database selectors for the seq/pmihp constructors.
+const (
+	useA = iota
+	useB
+	useC
+	usePaperB
+)
 
 // workloads mirrors bench_test.go's per-figure benchmarks, at the given
 // corpus scale.
@@ -70,56 +100,61 @@ func workloads() []workload {
 	optsA := mining.Options{MinSupFrac: 0.02, MaxK: 4}
 	optsB := mining.Options{MinSupCount: 2, MaxK: 3}
 	optsC := mining.Options{MinSupCount: 2, MaxK: 2}
-	seq := func(mine func(*txdb.DB, mining.Options) (*mining.Result, error), opts mining.Options, which int) func(dbA, dbB, dbC *txdb.DB) (float64, error) {
-		return func(dbA, dbB, dbC *txdb.DB) (float64, error) {
-			db := dbA
-			switch which {
-			case 1:
-				db = dbB
-			case 2:
-				db = dbC
+	// The smoke entry mines paper-scale corpus B on 8 nodes at the Fig-4/5
+	// support, so every harness run — whatever its -scale — exercises the
+	// paper-size data layout and records its held-bytes footprint.
+	optsSmoke := mining.Options{MinSupFrac: 0.02, MaxK: 3}
+	pick := func(dbs *corpora, which int) *txdb.DB {
+		switch which {
+		case useB:
+			return dbs.B
+		case useC:
+			return dbs.C
+		case usePaperB:
+			return dbs.PaperB
+		}
+		return dbs.A
+	}
+	seq := func(mine func(*txdb.DB, mining.Options) (*mining.Result, error), opts mining.Options, which int) func(*corpora) (float64, int64, error) {
+		return func(dbs *corpora) (float64, int64, error) {
+			r, err := mine(pick(dbs, which), opts)
+			if err != nil {
+				return 0, 0, err
 			}
-			_, err := mine(db, opts)
-			return 0, err
+			return 0, r.Metrics.PeakHeldBytes, nil
 		}
 	}
-	pmihp := func(nodes int, mode core.PollMode, opts mining.Options, which int) func(dbA, dbB, dbC *txdb.DB) (float64, error) {
-		return func(dbA, dbB, dbC *txdb.DB) (float64, error) {
-			db := dbA
-			switch which {
-			case 1:
-				db = dbB
-			case 2:
-				db = dbC
-			}
-			r, err := core.MinePMIHP(db, core.PMIHPConfig{Nodes: nodes, Mode: mode}, opts)
+	pmihp := func(nodes int, mode core.PollMode, opts mining.Options, which int) func(*corpora) (float64, int64, error) {
+		return func(dbs *corpora) (float64, int64, error) {
+			r, err := core.MinePMIHP(pick(dbs, which), core.PMIHPConfig{Nodes: nodes, Mode: mode}, opts)
 			if err != nil {
-				return 0, err
+				return 0, 0, err
 			}
-			return r.TotalSeconds, nil
+			return r.TotalSeconds, r.Result.Metrics.PeakHeldBytes, nil
 		}
 	}
 	return []workload{
-		{"E1Fig4_Apriori", "fig4", seq(apriori.Mine, optsA, 0)},
-		{"E1Fig4_DHP", "fig4", seq(dhp.Mine, optsA, 0)},
-		{"E1Fig4_FPGrowth", "fig4", seq(fpgrowth.Mine, optsA, 0)},
-		{"E1Fig4_MIHP", "fig4", seq(core.MineMIHP, optsA, 0)},
-		{"E2Fig5_CountDistribution", "fig5", func(dbA, dbB, dbC *txdb.DB) (float64, error) {
-			r, err := countdist.Mine(dbA, countdist.Config{Nodes: 8}, optsA)
+		{"E1Fig4_Apriori", "fig4", seq(apriori.Mine, optsA, useA)},
+		{"E1Fig4_DHP", "fig4", seq(dhp.Mine, optsA, useA)},
+		{"E1Fig4_FPGrowth", "fig4", seq(fpgrowth.Mine, optsA, useA)},
+		{"E1Fig4_MIHP", "fig4", seq(core.MineMIHP, optsA, useA)},
+		{"E2Fig5_CountDistribution", "fig5", func(dbs *corpora) (float64, int64, error) {
+			r, err := countdist.Mine(dbs.A, countdist.Config{Nodes: 8}, optsA)
 			if err != nil {
-				return 0, err
+				return 0, 0, err
 			}
-			return r.TotalSeconds, nil
+			return r.TotalSeconds, r.Result.Metrics.PeakHeldBytes, nil
 		}},
-		{"E2Fig5_PMIHP", "fig5", pmihp(8, core.Interleaved, optsA, 0)},
-		{"E3Fig6_PMIHP1", "fig6", pmihp(1, core.Interleaved, optsB, 1)},
-		{"E3Fig6_PMIHP2", "fig6", pmihp(2, core.Interleaved, optsB, 1)},
-		{"E3Fig6_PMIHP4", "fig6", pmihp(4, core.Interleaved, optsB, 1)},
-		{"E3Fig6_PMIHP8", "fig6", pmihp(8, core.Interleaved, optsB, 1)},
-		{"E5Fig8_DeferredPolling", "fig8", pmihp(4, core.Deferred, optsB, 1)},
-		{"E8Fig11_AprioriC3", "fig11", seq(apriori.Mine, optsB, 1)},
-		{"E9EightWeek_PMIHP1", "sec3", pmihp(1, core.Interleaved, optsC, 2)},
-		{"E9EightWeek_PMIHP8", "sec3", pmihp(8, core.Interleaved, optsC, 2)},
+		{"E2Fig5_PMIHP", "fig5", pmihp(8, core.Interleaved, optsA, useA)},
+		{"E3Fig6_PMIHP1", "fig6", pmihp(1, core.Interleaved, optsB, useB)},
+		{"E3Fig6_PMIHP2", "fig6", pmihp(2, core.Interleaved, optsB, useB)},
+		{"E3Fig6_PMIHP4", "fig6", pmihp(4, core.Interleaved, optsB, useB)},
+		{"E3Fig6_PMIHP8", "fig6", pmihp(8, core.Interleaved, optsB, useB)},
+		{"E3PaperSmoke_PMIHP8", "fig6", pmihp(8, core.Interleaved, optsSmoke, usePaperB)},
+		{"E5Fig8_DeferredPolling", "fig8", pmihp(4, core.Deferred, optsB, useB)},
+		{"E8Fig11_AprioriC3", "fig11", seq(apriori.Mine, optsB, useB)},
+		{"E9EightWeek_PMIHP1", "sec3", pmihp(1, core.Interleaved, optsC, useC)},
+		{"E9EightWeek_PMIHP8", "sec3", pmihp(8, core.Interleaved, optsC, useC)},
 	}
 }
 
@@ -141,27 +176,38 @@ func Run(rev string, scale corpus.Scale, log io.Writer) (*Report, error) {
 		return nil, err
 	}
 	dbC, _ := text.ToDB(docsC, nil)
+	dbPaperB := dbB
+	if scale != corpus.Paper {
+		docsPB, err := corpus.Generate(corpus.CorpusB(corpus.Paper))
+		if err != nil {
+			return nil, err
+		}
+		dbPaperB, _ = text.ToDB(docsPB, nil)
+	}
+	dbs := &corpora{A: dbA, B: dbB, C: dbC, PaperB: dbPaperB}
 
 	rep := &Report{
-		Rev:        rev,
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Scale:      scale.String(),
+		SchemaVersion: SchemaVersion,
+		Rev:           rev,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Scale:         scale.String(),
 	}
 	for _, w := range workloads() {
 		var sim float64
+		var held int64
 		var runErr error
 		br := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				s, err := w.run(dbA, dbB, dbC)
+				s, h, err := w.run(dbs)
 				if err != nil {
 					runErr = err
 					b.FailNow()
 				}
-				sim = s
+				sim, held = s, h
 			}
 		})
 		if runErr != nil {
@@ -175,11 +221,12 @@ func Run(rev string, scale corpus.Scale, log io.Writer) (*Report, error) {
 			AllocsPerOp: br.AllocsPerOp(),
 			BytesPerOp:  br.AllocedBytesPerOp(),
 			SimSeconds:  sim,
+			BytesHeld:   held,
 		}
 		rep.Workloads = append(rep.Workloads, res)
 		if log != nil {
-			fmt.Fprintf(log, "%-28s %12.0f ns/op %9d allocs/op %10.4f sim-s\n",
-				w.name, res.NsPerOp, res.AllocsPerOp, res.SimSeconds)
+			fmt.Fprintf(log, "%-28s %12.0f ns/op %9d allocs/op %8.2f held-MB %10.4f sim-s\n",
+				w.name, res.NsPerOp, res.AllocsPerOp, float64(res.BytesHeld)/(1<<20), res.SimSeconds)
 		}
 	}
 	return rep, nil
@@ -214,14 +261,18 @@ func ReadJSON(path string) (*Report, error) {
 const simTol = 1e-9
 
 // Compare reports the workloads of cur that regressed against base: ns/op
-// worse by more than tolFrac (e.g. 0.20 for 20%), or simulated seconds that
-// differ beyond float accumulation noise (the cost model must be stable).
-// Workloads missing from either report are skipped.
+// or bytes_held worse by more than tolFrac (e.g. 0.20 for 20%), or simulated
+// seconds that differ beyond float accumulation noise (the cost model must
+// be stable). Workloads missing from either report are skipped. When the
+// baseline predates the current schema (see SchemaVersion) its sim_seconds
+// and bytes_held fields are unreliable or absent, so only wall-clock is
+// checked — callers should surface that the drift checks were skipped.
 func Compare(base, cur *Report, tolFrac float64) []string {
 	byName := make(map[string]Result, len(base.Workloads))
 	for _, w := range base.Workloads {
 		byName[w.Name] = w
 	}
+	schemaOK := base.SchemaVersion >= SchemaVersion
 	var bad []string
 	for _, w := range cur.Workloads {
 		b, ok := byName[w.Name]
@@ -231,6 +282,13 @@ func Compare(base, cur *Report, tolFrac float64) []string {
 		if b.NsPerOp > 0 && w.NsPerOp > b.NsPerOp*(1+tolFrac) {
 			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%)",
 				w.Name, w.NsPerOp, b.NsPerOp, 100*(w.NsPerOp/b.NsPerOp-1)))
+		}
+		if !schemaOK {
+			continue
+		}
+		if b.BytesHeld > 0 && float64(w.BytesHeld) > float64(b.BytesHeld)*(1+tolFrac) {
+			bad = append(bad, fmt.Sprintf("%s: %d bytes held vs baseline %d (+%.1f%%)",
+				w.Name, w.BytesHeld, b.BytesHeld, 100*(float64(w.BytesHeld)/float64(b.BytesHeld)-1)))
 		}
 		if d := w.SimSeconds - b.SimSeconds; d > simTol*(w.SimSeconds+b.SimSeconds) || -d > simTol*(w.SimSeconds+b.SimSeconds) {
 			bad = append(bad, fmt.Sprintf("%s: simulated %v s vs baseline %v s (cost model drift)",

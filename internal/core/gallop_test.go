@@ -99,6 +99,63 @@ func TestIntersectIntoInvariants(t *testing.T) {
 	}
 }
 
+// TestIntersectItemMatchesSeedMerge: the skip-galloping intersection over
+// compressed posting blocks must produce exactly the intersection the seed
+// implementation's linear merge produced, on a real corpus, for random item
+// pairs in both orientations and through chained multi-item intersections.
+func TestIntersectItemMatchesSeedMerge(t *testing.T) {
+	cfg := corpus.CorpusB(corpus.Small)
+	db := smallDB(t, cfg)
+	m := mining.NewMetrics("test")
+	p := buildPostings(db, &m, 1)
+	rng := rand.New(rand.NewSource(97))
+
+	pick := func() itemset.Item { return itemset.Item(rng.Intn(db.NumItems())) }
+	for trial := 0; trial < 600; trial++ {
+		a, b := pick(), pick()
+		rowA, rowB := p.row(a), p.row(b)
+		if len(rowA) == 0 || len(rowB) == 0 {
+			continue
+		}
+		want := naiveIntersect(rowA, rowB)
+		for _, o := range []struct {
+			acc []txdb.TID
+			it  itemset.Item
+		}{{rowA, b}, {rowB, a}} {
+			got := p.intersectItem(nil, o.acc, o.it)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d items (%d,%d): %d matches, want %d",
+					trial, a, b, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d items (%d,%d): mismatch at %d: %d vs %d",
+						trial, a, b, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	// Chained intersections: the accumulator shrinks across 3-4 lists, so
+	// later rounds probe the compressed blocks with sparse survivors.
+	for trial := 0; trial < 200; trial++ {
+		acc := p.row(pick())
+		for n := 0; n < 1+rng.Intn(3) && len(acc) > 0; n++ {
+			it := pick()
+			want := naiveIntersect(acc, p.row(it))
+			acc = p.intersectItem(nil, acc, it)
+			if len(acc) != len(want) {
+				t.Fatalf("trial %d chain: %d matches, want %d", trial, len(acc), len(want))
+			}
+			for i := range acc {
+				if acc[i] != want[i] {
+					t.Fatalf("trial %d chain: mismatch at %d", trial, i)
+				}
+			}
+		}
+	}
+}
+
 // oldCountCharge reproduces the seed implementation's merge-work charge
 // (comparison loop plus unpaired tails) for a posting intersection, so the
 // closed-form charge of the galloping implementation can be checked against

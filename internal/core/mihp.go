@@ -22,8 +22,7 @@ func MineMIHP(db *txdb.DB, opts mining.Options) (*mining.Result, error) {
 	local, counts := tht.BuildLocalShards(db, opts.THTEntries, opts.Workers())
 	m.Passes++
 	m.AddCandidates(1, db.NumItems())
-	totalItems := 0
-	db.Each(func(t *txdb.Transaction) { totalItems += len(t.Items) })
+	totalItems := db.TotalItems()
 	// Each occurrence is read and hashed into the item's THT.
 	m.Work.Charge(int64(totalItems), mining.CostScanItem+mining.CostTHTSlot)
 

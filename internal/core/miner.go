@@ -36,6 +36,14 @@ type localMiner struct {
 	global *tht.Global // cascaded THT view; segment self is this node's own
 	self   int
 
+	// pairScan resolves pass-2 pair-bound row lookups once per run; posOf
+	// maps a frequent item to its position in freqItems (the scan universe);
+	// selfPresent lists, ascending, the freqItems positions with a row in
+	// this node's own segment — the only possible pass-2 partners.
+	pairScan    *tht.PairScan
+	posOf       []int32
+	selfPresent []int32
+
 	freqItems  []itemset.Item   // globally frequent items, ascending
 	freqArr    []bool           // indexed by item: globally frequent?
 	partitions [][]itemset.Item // Partition(freqItems, opts.PartitionSize)
@@ -73,11 +81,11 @@ type localMiner struct {
 	counts2 []int32
 	inPart  []bool
 
-	// arena backs the per-transaction filtered item lists of partitionWork
-	// (pre-sized to the database's total item count, so filling it never
-	// reallocates); setArena backs emitted 2-itemsets, which outlive the
-	// pass.
-	arena    []itemset.Item
+	// work is the single CSR working copy reused across partitions: each
+	// partition refills its arena with the filtered item lists (so filling
+	// never allocates), and trimming compacts them in place; setArena backs
+	// emitted 2-itemsets, which outlive the pass.
+	work     *txdb.Work
 	setArena mining.Arena
 }
 
@@ -127,6 +135,16 @@ func (lm *localMiner) run() {
 		lm.freqArr[it] = true
 	}
 	lm.inPart = make([]bool, numItems)
+	lm.posOf = make([]int32, numItems)
+	for i, it := range lm.freqItems {
+		lm.posOf[it] = int32(i)
+	}
+	lm.pairScan = lm.global.NewPairScan(lm.freqItems)
+	for pos := range lm.freqItems {
+		if lm.pairScan.Present(lm.self, pos) {
+			lm.selfPresent = append(lm.selfPresent, int32(pos))
+		}
+	}
 	if lm.opts.MaxK == 0 || lm.opts.MaxK >= 3 {
 		lm.accum2 = mining.NewPairTable(0)
 	}
@@ -138,9 +156,9 @@ func (lm *localMiner) run() {
 		lm.shards[i] = &minerShard{}
 	}
 
-	total := 0
-	lm.db.Each(func(t *txdb.Transaction) { total += len(t.Items) })
-	lm.arena = make([]itemset.Item, 0, total)
+	lm.work = txdb.NewWork(lm.db)
+	lm.metrics.NoteHeldBytes(lm.db.MemBytes() +
+		lm.global.Segment(lm.self).MemBytes() + lm.work.MemBytes())
 
 	// Accumulated locally frequent itemsets per size, across partitions
 	// (F_k in the pseudo-code, initialized once and extended per partition).
@@ -220,36 +238,18 @@ func (lm *localMiner) minePartition(part []itemset.Item, accum map[int]*itemset.
 	}
 }
 
-// partitionWork builds the per-partition working database: transactions
-// restricted to globally frequent items at or above the partition's first
-// item (items below the current partition belong to lower partitions and
-// cannot occur in this partition's candidates; section 2.1). The filtering
-// read is the pass-2 scan cost over the full transactions. Filtered item
-// lists are carved from the miner's arena, which is re-filled per partition;
-// trimming later compacts them in place, so a partition's passes allocate
-// no per-transaction lists at all.
+// partitionWork refills the working database for one partition:
+// transactions restricted to globally frequent items at or above the
+// partition's first item (items below the current partition belong to lower
+// partitions and cannot occur in this partition's candidates; section 2.1).
+// The filtering read is the pass-2 scan cost over the full transactions.
+// Filtered item lists stream straight from the database's CSR backing into
+// the Work's arena; trimming later compacts them in place, so a partition's
+// passes allocate no per-transaction lists at all.
 func (lm *localMiner) partitionWork(first itemset.Item) *txdb.Work {
-	work := txdb.NewWork(lm.db)
-	arena := lm.arena[:0]
-	scanned := int64(0)
-	work.EachIndexed(func(i int, _ txdb.TID, items itemset.Itemset) {
-		scanned += int64(len(items))
-		start := len(arena)
-		for _, it := range items {
-			if it >= first && lm.freqArr[it] {
-				arena = append(arena, it)
-			}
-		}
-		if len(arena)-start < 2 {
-			arena = arena[:start]
-			work.Prune(i)
-			return
-		}
-		work.Trim(i, arena[start:len(arena):len(arena)])
-	})
-	lm.arena = arena
+	scanned := lm.work.ResetFiltered(first, lm.freqArr, 2)
 	lm.metrics.Work.Charge(scanned, mining.CostScanItem)
-	return work
+	return lm.work
 }
 
 // pass2 generates, prunes, and counts the candidate 2-itemsets of the
@@ -266,31 +266,45 @@ func (lm *localMiner) pass2(part []itemset.Item, work *txdb.Work, accum map[int]
 			inPart[it] = false
 		}
 	}()
-	selfSeg := lm.global.Segment(lm.self)
-
-	// Candidate generation with IHP pair pruning.
+	// Candidate generation with IHP pair pruning. All row lookups go
+	// through the run's PairScan: the self-segment check and the cascaded
+	// check evaluate by matrix row number, materializing counter rows only
+	// when the mask fast path cannot decide.
 	lm.pairTab.Reset()
 	cands := lm.pairTab // pair key -> candidate index
 	keys := lm.keys[:0]
 	pairsConsidered := int64(0)
 	slotsTotal := int64(0)
+	ps, self := lm.pairScan, lm.self
+	cascade := lm.global.NumSegments() > 1
 	for _, a := range part {
-		rowA := selfSeg.Row(a)
-		if rowA == nil {
+		aPos := int(lm.posOf[a])
+		if !ps.Present(self, aPos) {
 			continue // item absent from the local database
 		}
-		maskA := selfSeg.Mask(a)
-		for _, b := range lm.freqAbove(a) {
-			rowB := selfSeg.Row(b)
-			if rowB == nil {
-				continue
+		ps.Hoist(aPos)
+		ss := ps.Seg(self)
+		// Locally absent items cannot form a countable pair (the seed path
+		// skipped them pair by pair, uncharged); jump straight to the
+		// locally present positions above a.
+		lo, hi := 0, len(lm.selfPresent)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if int(lm.selfPresent[mid]) <= aPos {
+				lo = mid + 1
+			} else {
+				hi = mid
 			}
+		}
+		for _, p32 := range lm.selfPresent[lo:] {
+			bPos := int(p32)
+			b := lm.freqItems[bPos]
 			pairsConsidered++
-			ok, slots := selfSeg.PairBoundReachesRows(rowA, maskA, rowB, selfSeg.Mask(b), lm.minLocal)
+			ok, slots := ss.BoundReaches(bPos, lm.minLocal)
 			slotsTotal += int64(slots)
-			if ok && lm.global.NumSegments() > 1 {
+			if ok && cascade {
 				var gslots int
-				ok, gslots = lm.global.PairBoundReaches(a, b, lm.minPrune)
+				ok, gslots = ps.BoundReaches(bPos, lm.minPrune)
 				slotsTotal += int64(gslots)
 			}
 			if !ok {
@@ -351,6 +365,7 @@ func (lm *localMiner) countPass2(cands *mining.PairTable, counts []int32, inPart
 	numItems := lm.db.NumItems()
 	n := work.Len()
 	nShards := mining.NumShards(n, lm.workers)
+	view := work.View()
 	mining.RunShards(n, lm.workers, func(s, lo, hi int) {
 		sh := lm.shards[s]
 		sh.reset(numItems)
@@ -358,7 +373,11 @@ func (lm *localMiner) countPass2(cands *mining.PairTable, counts []int32, inPart
 		if nShards > 1 {
 			cnt = sh.countsFor(len(counts))
 		}
-		work.EachIndexedRange(lo, hi, func(ti int, _ txdb.TID, items itemset.Itemset) {
+		for ti := lo; ti < hi; ti++ {
+			if !view.Active[ti] {
+				continue
+			}
+			items := view.Items(ti)
 			sh.scanned += int64(len(items))
 			sh.epoch++
 			matched := 0
@@ -390,7 +409,7 @@ func (lm *localMiner) countPass2(cands *mining.PairTable, counts []int32, inPart
 			if trim {
 				sh.applyTrim(ti, items, inPart, matched, 2, work)
 			}
-		})
+		}
 	})
 	lm.mergeShards(nShards, counts, nil, work)
 }
@@ -403,6 +422,7 @@ func (lm *localMiner) countPassTree(tree *hashtree.Tree, work *txdb.Work, k int)
 	numItems := lm.db.NumItems()
 	n := work.Len()
 	nShards := mining.NumShards(n, lm.workers)
+	view := work.View()
 	mining.RunShards(n, lm.workers, func(s, lo, hi int) {
 		sh := lm.shards[s]
 		sh.reset(numItems)
@@ -412,7 +432,11 @@ func (lm *localMiner) countPassTree(tree *hashtree.Tree, work *txdb.Work, k int)
 			cnt = sh.countsFor(tree.Len())
 		}
 		treeCounts := tree.Counts()
-		work.EachIndexedRange(lo, hi, func(ti int, _ txdb.TID, items itemset.Itemset) {
+		for ti := lo; ti < hi; ti++ {
+			if !view.Active[ti] {
+				continue
+			}
+			items := view.Items(ti)
 			sh.scanned += int64(len(items))
 			sh.epoch++
 			matched := 0
@@ -433,7 +457,7 @@ func (lm *localMiner) countPassTree(tree *hashtree.Tree, work *txdb.Work, k int)
 			if trim {
 				sh.applyTrimTree(ti, items, matched, k, work)
 			}
-		})
+		}
 	})
 	walk := int64(0)
 	for s := 0; s < nShards; s++ {

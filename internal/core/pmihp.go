@@ -225,8 +225,7 @@ func MinePMIHP(db *txdb.DB, cfg PMIHPConfig, opts mining.Options) (*ParallelResu
 			defer wg.Done()
 			local, counts := tht.BuildLocalShards(parts[i], entries, perNode)
 			locals[i], nodeCounts[i] = local, counts
-			items := 0
-			parts[i].Each(func(t *txdb.Transaction) { items += len(t.Items) })
+			items := parts[i].TotalItems()
 			var w mining.Work
 			w.Charge(int64(items), mining.CostScanItem+mining.CostTHTSlot)
 			fabric.Clock(i).AdvanceWork(w.Units)
@@ -540,6 +539,10 @@ func (nd *pmihpNode) countBatch(k int, sets []itemset.Itemset) []int {
 		// Single goroutine (the node's poll server) calls countBatch, so
 		// lazy construction needs no further synchronization.
 		nd.inverted = buildPostings(nd.db, m, nd.opts.Workers())
+		// The miner accounting already holds the node's database, THT
+		// segment, and working copy; the inverted file is the poll server's
+		// addition on top.
+		m.NoteHeldBytes(nd.inverted.MemBytes())
 	}
 	counts := make([]int, len(sets))
 	for i, s := range sets {

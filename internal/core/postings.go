@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/binary"
+
 	"pmihp/internal/itemset"
 	"pmihp/internal/mining"
 	"pmihp/internal/txdb"
@@ -16,17 +18,45 @@ import (
 // polls would be charged a per-round scan that the local miner — which
 // counts hundreds of thousands of candidates per scan — never pays,
 // distorting the balance the paper reports in Figure 8.
+//
+// Physical layout: posting lists are delta-encoded varint blocks of up to
+// postingBlockLen TIDs each, all items concatenated into one byte blob.
+// Each block's first TID is stored absolute (so any block decodes without
+// its predecessors) and carries a skip entry — its max TID and byte offset
+// — in flat arrays indexed by a global block number. Intersection gallops
+// over the skip entries and only decodes blocks that can contain a match.
 
-// postings is the per-node inverted file: for every item, the ascending
-// TIDs of the local documents containing it, indexed densely by item. The
-// struct also carries the intersection scratch buffers, so steady-state
-// counting allocates nothing.
+// postingBlockLen is the number of TIDs per compressed block. 128 deltas
+// keep a decoded block inside two cache lines of skip metadata while
+// amortizing the per-block absolute head across the run.
+const postingBlockLen = 128
+
+// postings is the per-node inverted file in compressed form, plus the
+// intersection scratch buffers, so steady-state counting allocates nothing.
+//
+// Document frequencies are not stored as a full-width array: a node's
+// vocabulary is much larger than the set of items its documents actually
+// contain, so per-item metadata is the footprint that matters. An item's
+// frequency is reconstructed from its block count and a one-byte length of
+// its final block (every other block is full), via dfOf.
 type postings struct {
-	byItem [][]txdb.TID
+	blob    []byte     // delta-varint blocks, all items concatenated
+	skipMax []txdb.TID // per block: the block's last (max) TID
+	skipOff []uint32   // per block: byte offset of the block in blob; +1 sentinel
+	blockOf []uint32   // per item: first global block index; len NumItems()+1
+	lastLen []uint8    // per item: entries in its last block, minus one; unused when empty
 
-	rows [][]txdb.TID // per-count row pointers, reused
-	bufA []txdb.TID   // ping-pong intersection accumulators, reused
-	bufB []txdb.TID
+	refs     []plistRef // per-count row refs, reused
+	bufA     []txdb.TID // ping-pong intersection accumulators, reused
+	bufB     []txdb.TID
+	blockBuf [postingBlockLen]txdb.TID // single-block decode scratch
+}
+
+// plistRef is one polled item's posting list by reference: intersections
+// are ordered and charged by document frequency without decoding anything.
+type plistRef struct {
+	item itemset.Item
+	df   int32
 }
 
 // gallopSkew is the length ratio beyond which the intersection of two
@@ -36,103 +66,312 @@ type postings struct {
 // exception.
 const gallopSkew = 16
 
-// buildPostings constructs the inverted file in one pass over the local
-// database, sharded across workers; per-shard lists concatenate in shard
-// order, which reproduces the serial (database-order) lists exactly. The
-// work is charged once to the node's server accounting.
+// buildPostings constructs the inverted file from the database's CSR
+// arrays in two sharded passes: first per-shard document frequencies,
+// then prefix sums position every shard's writes directly into one flat
+// TID array — no transient per-shard [][]TID, no per-item append chains.
+// Shard write regions concatenate in shard order, which reproduces the
+// serial (database-order) lists exactly; the flat lists are then encoded
+// into the varint blocks. The scan is charged once to the node's server
+// accounting, identically to the uncompressed build.
 func buildPostings(db *txdb.DB, m *mining.Metrics, workers int) *postings {
-	p := &postings{byItem: make([][]txdb.TID, db.NumItems())}
+	numItems := db.NumItems()
 	n := db.Len()
+	items, offsets, tids := db.CSR()
 	nShards := mining.NumShards(n, workers)
-	items := int64(0)
-	if nShards <= 1 {
-		for i := 0; i < n; i++ {
-			t := db.Tx(i)
-			items += int64(len(t.Items))
-			for _, it := range t.Items {
-				p.byItem[it] = append(p.byItem[it], t.TID)
-			}
+
+	// Pass 1: per-shard, per-item occurrence counts.
+	shardCounts := make([][]int32, nShards)
+	mining.RunShards(n, workers, func(s, lo, hi int) {
+		c := make([]int32, numItems)
+		for _, it := range items[offsets[lo]:offsets[hi]] {
+			c[it]++
 		}
-	} else {
-		partial := make([][][]txdb.TID, nShards)
-		counted := make([]int64, nShards)
-		mining.RunShards(n, workers, func(s, lo, hi int) {
-			rows := make([][]txdb.TID, len(p.byItem))
-			for i := lo; i < hi; i++ {
-				t := db.Tx(i)
-				counted[s] += int64(len(t.Items))
-				for _, it := range t.Items {
-					rows[it] = append(rows[it], t.TID)
-				}
-			}
-			partial[s] = rows
-		})
-		for s := 0; s < nShards; s++ {
-			items += counted[s]
-			for it, row := range partial[s] {
-				if len(row) > 0 {
-					p.byItem[it] = append(p.byItem[it], row...)
-				}
-			}
+		shardCounts[s] = c
+	})
+
+	df := make([]int32, numItems)
+	for _, c := range shardCounts {
+		for it, v := range c {
+			df[it] += v
 		}
 	}
-	m.Work.Charge(items, mining.CostScanItem)
+	pos := make([]uint32, numItems+1)
+	maxDF := int32(0)
+	for it, v := range df {
+		pos[it+1] = pos[it] + uint32(v)
+		if v > maxDF {
+			maxDF = v
+		}
+	}
+	total := pos[numItems]
+	p := &postings{}
+
+	// Turn the per-shard counts into per-shard write cursors: shard s
+	// writes item it's TIDs at pos[it] plus the occurrences in shards < s.
+	run := make([]uint32, numItems)
+	for s := 0; s < nShards; s++ {
+		c := shardCounts[s]
+		for it := range c {
+			cnt := c[it]
+			c[it] = int32(pos[it] + run[it])
+			run[it] += uint32(cnt)
+		}
+	}
+
+	// Pass 2: positioned writes into the flat TID store.
+	tidStore := make([]txdb.TID, total)
+	mining.RunShards(n, workers, func(s, lo, hi int) {
+		cur := shardCounts[s]
+		for i := lo; i < hi; i++ {
+			tid := tids[i]
+			for _, it := range items[offsets[i]:offsets[i+1]] {
+				tidStore[cur[it]] = tid
+				cur[it]++
+			}
+		}
+	})
+
+	p.encode(tidStore, pos)
+	p.bufA = make([]txdb.TID, 0, maxDF)
+	p.bufB = make([]txdb.TID, 0, maxDF)
+
+	m.Work.Charge(int64(total), mining.CostScanItem)
 	return p
 }
 
+// encode compresses the flat per-item TID lists (item it owns
+// store[pos[it]:pos[it+1]]) into delta-varint blocks with skip entries.
+func (p *postings) encode(store []txdb.TID, pos []uint32) {
+	numItems := len(pos) - 1
+	p.blockOf = make([]uint32, numItems+1)
+	p.lastLen = make([]uint8, numItems)
+	for it := 0; it < numItems; it++ {
+		v := int(pos[it+1] - pos[it])
+		p.blockOf[it+1] = p.blockOf[it] + uint32((v+postingBlockLen-1)/postingBlockLen)
+		if v > 0 {
+			p.lastLen[it] = uint8((v - 1) % postingBlockLen)
+		}
+	}
+	totalBlocks := p.blockOf[numItems]
+	p.skipMax = make([]txdb.TID, totalBlocks)
+	p.skipOff = make([]uint32, totalBlocks+1)
+	// Deltas of ascending uint32 TIDs are ≥1 and almost always fit one or
+	// two varint bytes; reserve two per posting to avoid regrowth.
+	p.blob = make([]byte, 0, 2*len(store))
+
+	b := uint32(0)
+	for it := 0; it < numItems; it++ {
+		list := store[pos[it]:pos[it+1]]
+		for lo := 0; lo < len(list); lo += postingBlockLen {
+			hi := lo + postingBlockLen
+			if hi > len(list) {
+				hi = len(list)
+			}
+			p.skipOff[b] = uint32(len(p.blob))
+			p.skipMax[b] = list[hi-1]
+			p.blob = binary.AppendUvarint(p.blob, uint64(list[lo]))
+			prev := list[lo]
+			for _, v := range list[lo+1 : hi] {
+				p.blob = binary.AppendUvarint(p.blob, uint64(v-prev))
+				prev = v
+			}
+			b++
+		}
+	}
+	p.skipOff[totalBlocks] = uint32(len(p.blob))
+}
+
+// dfOf returns item it's document frequency (posting-list length),
+// reconstructed from its block count and last-block length.
+func (p *postings) dfOf(it itemset.Item) int32 {
+	nb := p.blockOf[it+1] - p.blockOf[it]
+	if nb == 0 {
+		return 0
+	}
+	return int32(nb-1)*postingBlockLen + int32(p.lastLen[it]) + 1
+}
+
+// blockEntries returns how many TIDs block b of item it holds: a full
+// postingBlockLen except possibly the item's last block.
+func (p *postings) blockEntries(it itemset.Item, b uint32) int {
+	if b == p.blockOf[it+1]-1 {
+		return int(p.lastLen[it]) + 1
+	}
+	return postingBlockLen
+}
+
+// decodeBlock expands block b of item it into the shared block scratch.
+func (p *postings) decodeBlock(it itemset.Item, b uint32) []txdb.TID {
+	entries := p.blockEntries(it, b)
+	buf := p.blockBuf[:entries]
+	at := int(p.skipOff[b])
+	prev := txdb.TID(0)
+	for k := 0; k < entries; k++ {
+		v, n := binary.Uvarint(p.blob[at:])
+		at += n
+		if k == 0 {
+			prev = txdb.TID(v)
+		} else {
+			prev += txdb.TID(v)
+		}
+		buf[k] = prev
+	}
+	return buf
+}
+
+// decodeAll appends item it's full posting list to dst.
+func (p *postings) decodeAll(it itemset.Item, dst []txdb.TID) []txdb.TID {
+	for b := p.blockOf[it]; b < p.blockOf[it+1]; b++ {
+		entries := p.blockEntries(it, b)
+		at := int(p.skipOff[b])
+		prev := txdb.TID(0)
+		for k := 0; k < entries; k++ {
+			v, n := binary.Uvarint(p.blob[at:])
+			at += n
+			if k == 0 {
+				prev = txdb.TID(v)
+			} else {
+				prev += txdb.TID(v)
+			}
+			dst = append(dst, prev)
+		}
+	}
+	return dst
+}
+
+// row returns item it's posting list decoded into a fresh slice. It is the
+// reference accessor for tests and debugging; the counting path never
+// materializes full lists except for the smallest one.
 func (p *postings) row(it itemset.Item) []txdb.TID {
-	if int(it) >= len(p.byItem) {
+	if int(it)+1 >= len(p.blockOf) {
 		return nil
 	}
-	return p.byItem[it]
+	df := p.dfOf(it)
+	if df == 0 {
+		return nil
+	}
+	return p.decodeAll(it, make([]txdb.TID, 0, df))
+}
+
+// MemBytes returns the resident size of the compressed inverted file,
+// including the reusable scratch buffers.
+func (p *postings) MemBytes() int64 {
+	return int64(len(p.blob)) + int64(len(p.lastLen)) +
+		int64(4*len(p.skipMax)) + int64(4*len(p.skipOff)) + int64(4*len(p.blockOf)) +
+		int64(4*(cap(p.bufA)+cap(p.bufB))) + int64(4*postingBlockLen)
 }
 
 // count returns the exact local support of the itemset by intersecting its
-// members' posting lists smallest-first. The physical intersection gallops
-// through skewed lists, but the charged merge work is the cost of the
-// classic linear merge — for ascending duplicate-free lists that cost has
-// the closed form len(a) + len(b) − |a∩b| per merged pair, counting both
-// the paired advances and the unpaired tails — so the simulated clock is
-// unchanged by the algorithm switch.
+// members' posting lists smallest-first. The smallest list is decoded once;
+// every other list is intersected in compressed form, galloping over the
+// per-block max-TID skip entries and decoding only blocks that can contain
+// a match. The charged merge work is the cost of the classic linear merge —
+// for ascending duplicate-free lists that cost has the closed form
+// len(a) + len(b) − |a∩b| per merged pair, counting both the paired
+// advances and the unpaired tails — so the simulated clock is unchanged by
+// the physical-layout switch.
 func (p *postings) count(x itemset.Itemset, m *mining.Metrics) int {
-	rows := p.rows[:0]
-	defer func() { p.rows = rows[:0] }()
+	refs := p.refs[:0]
+	defer func() { p.refs = refs[:0] }()
 	for _, it := range x {
-		r := p.row(it)
-		if len(r) == 0 {
+		if int(it)+1 >= len(p.blockOf) {
 			return 0
 		}
-		rows = append(rows, r)
+		df := p.dfOf(it)
+		if df == 0 {
+			return 0
+		}
+		refs = append(refs, plistRef{item: it, df: df})
 	}
-	// Stable insertion sort by length: itemsets are tiny (k ≤ MaxK), and
-	// stability preserves the original tie order the charging model was
-	// calibrated against.
-	for i := 1; i < len(rows); i++ {
-		for j := i; j > 0 && len(rows[j]) < len(rows[j-1]); j-- {
-			rows[j], rows[j-1] = rows[j-1], rows[j]
+	// Stable insertion sort by document frequency: itemsets are tiny
+	// (k ≤ MaxK), and stability preserves the original tie order the
+	// charging model was calibrated against.
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && refs[j].df < refs[j-1].df; j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
 		}
 	}
-	acc := rows[0]
-	dst, spare := p.bufA, p.bufB
+	cur, nxt := p.bufA, p.bufB
+	acc := p.decodeAll(refs[0].item, cur[:0])
 	ops := int64(0)
-	for _, row := range rows[1:] {
-		out := intersectInto(dst[:0], acc, row)
-		ops += int64(len(acc) + len(row) - len(out))
-		dst, spare = spare, out
+	for _, r := range refs[1:] {
+		out := p.intersectItem(nxt[:0], acc, r.item)
+		ops += int64(len(acc)) + int64(r.df) - int64(len(out))
 		acc = out
+		cur, nxt = nxt, cur
 		if len(acc) == 0 {
 			break
 		}
 	}
-	p.bufA, p.bufB = dst, spare
 	m.Work.Charge(ops, 1)
 	return len(acc)
+}
+
+// intersectItem appends to dst the intersection of the ascending
+// duplicate-free list a with item it's compressed posting list. The
+// accumulator is always the shorter side (lists are merged smallest-first
+// and only shrink), so the walk iterates a and skips through it's blocks:
+// an exponential probe over the skipMax entries brackets the first block
+// that can hold the probe value, a binary search pins it, and only that
+// block is decoded. A block stays decoded while consecutive probes land in
+// it, so dense runs degrade gracefully to a linear merge.
+func (p *postings) intersectItem(dst, a []txdb.TID, it itemset.Item) []txdb.TID {
+	first, last := p.blockOf[it], p.blockOf[it+1]
+	bi := first
+	decoded := last // sentinel: no block decoded yet (bi < last always holds)
+	var blk []txdb.TID
+	cur := 0
+	for _, v := range a {
+		if p.skipMax[bi] < v {
+			lo, step := bi, uint32(1)
+			for lo+step < last && p.skipMax[lo+step] < v {
+				lo += step
+				step <<= 1
+			}
+			hi := lo + step
+			if hi > last {
+				hi = last
+			}
+			// skipMax[lo] < v <= skipMax[hi] (or hi == last); binary
+			// search (lo, hi] for the first block that can contain v.
+			s, e := lo+1, hi
+			for s < e {
+				mid := (s + e) >> 1
+				if p.skipMax[mid] < v {
+					s = mid + 1
+				} else {
+					e = mid
+				}
+			}
+			bi = s
+			if bi >= last {
+				break
+			}
+		}
+		if bi != decoded {
+			blk = p.decodeBlock(it, bi)
+			decoded = bi
+			cur = 0
+		}
+		for cur < len(blk) && blk[cur] < v {
+			cur++
+		}
+		if cur < len(blk) && blk[cur] == v {
+			dst = append(dst, v)
+			cur++
+		}
+	}
+	return dst
 }
 
 // intersectInto appends the intersection of the ascending duplicate-free
 // lists a and b (len(a) <= len(b)) to dst. When b dwarfs a it gallops:
 // for each element of a, an exponential probe from the current position in
-// b brackets the target, then a binary search pins it.
+// b brackets the target, then a binary search pins it. This is the
+// uncompressed reference intersection; the counting path uses
+// intersectItem over the compressed blocks, and the equivalence tests
+// check the two against each other.
 func intersectInto(dst, a, b []txdb.TID) []txdb.TID {
 	if len(b) >= gallopSkew*len(a) {
 		j := 0

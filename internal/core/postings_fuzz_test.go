@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"pmihp/internal/itemset"
+	"pmihp/internal/mining"
+	"pmihp/internal/txdb"
+)
+
+// dbFromBytes derives a small transaction database from raw fuzz input:
+// each byte contributes one item, a zero byte terminates the current
+// transaction. The decoded shape exercises empty transactions, singleton
+// and stopword-grade lists, and — because TIDs are consecutive — dense
+// delta runs in the varint blocks.
+func dbFromBytes(data []byte) *txdb.DB {
+	const numItems = 48
+	var txs []txdb.Transaction
+	var raw []uint32
+	flush := func() {
+		txs = append(txs, txdb.Transaction{
+			TID: txdb.TID(len(txs)), Items: itemset.New(raw...),
+		})
+		raw = raw[:0]
+	}
+	for _, b := range data {
+		if b == 0 {
+			flush()
+			continue
+		}
+		raw = append(raw, uint32(b)%numItems)
+	}
+	flush()
+	return txdb.New(txs, numItems)
+}
+
+// FuzzPostingsRoundTrip: for any database shape, the delta-varint block
+// encoding must decode back to exactly the TIDs of the transactions
+// containing each item, and the compressed skip-gallop intersection must
+// agree with the uncompressed reference on every adjacent item pair.
+func FuzzPostingsRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 0, 2, 3, 4, 0, 1, 4})
+	f.Add([]byte{7, 7, 7, 0, 0, 0, 7})
+	// A long corpus: every transaction shares item 1, so its posting list
+	// spans multiple 128-TID blocks.
+	long := make([]byte, 0, 4*400)
+	for i := 0; i < 400; i++ {
+		long = append(long, 1, byte(2+i%37), byte(3+i%11), 0)
+	}
+	f.Add(long)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		db := dbFromBytes(data)
+		want := make([][]txdb.TID, db.NumItems())
+		for i := 0; i < db.Len(); i++ {
+			for _, it := range db.ItemsOf(i) {
+				want[it] = append(want[it], db.TIDOf(i))
+			}
+		}
+
+		m := mining.NewMetrics("fuzz")
+		p := buildPostings(db, &m, 1)
+		for it := range want {
+			got := p.row(itemset.Item(it))
+			if len(got) != len(want[it]) {
+				t.Fatalf("item %d: %d TIDs decoded, want %d", it, len(got), len(want[it]))
+			}
+			for j := range got {
+				if got[j] != want[it][j] {
+					t.Fatalf("item %d TID %d: %d, want %d", it, j, got[j], want[it][j])
+				}
+			}
+		}
+
+		for it := 0; it+1 < db.NumItems(); it++ {
+			a, b := itemset.Item(it), itemset.Item(it+1)
+			rowA, rowB := p.row(a), p.row(b)
+			if len(rowA) == 0 || len(rowB) == 0 {
+				continue
+			}
+			short, lng := rowA, rowB
+			if len(short) > len(lng) {
+				short, lng = lng, short
+			}
+			// The counting path keeps the accumulator on the shorter side,
+			// but the kernel must be correct for either orientation.
+			wantAB := intersectInto(nil, short, lng)
+			if got := p.intersectItem(nil, rowA, b); !equalTIDs(got, wantAB) {
+				t.Fatalf("intersect(%d,%d): %v, want %v", a, b, got, wantAB)
+			}
+			if got := p.intersectItem(nil, rowB, a); !equalTIDs(got, wantAB) {
+				t.Fatalf("intersect(%d,%d) reversed: %v, want %v", b, a, got, wantAB)
+			}
+		}
+	})
+}
+
+func equalTIDs(a, b []txdb.TID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

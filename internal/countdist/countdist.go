@@ -55,6 +55,7 @@ func Mine(db *txdb.DB, cfg Config, opts mining.Options) (*core.ParallelResult, e
 		itemset.SortCounted(res.Frequent)
 		out.Nodes = make([]core.NodeReport, n)
 		for i := range metrics {
+			metrics[i].NoteHeldBytes(parts[i].MemBytes() + metrics[i].PeakCandidateBytes)
 			msgs, bytes := fabric.Stats(i).Snapshot()
 			metrics[i].MessagesSent = msgs
 			metrics[i].BytesSent = bytes

@@ -255,6 +255,7 @@ func Mine(db *txdb.DB, opts mining.Options) (*mining.Result, error) {
 		itemset.Sort(prev)
 	}
 
+	m.NoteHeldBytes(db.MemBytes() + m.PeakCandidateBytes)
 	itemset.SortCounted(res.Frequent)
 	return res, nil
 }

@@ -135,6 +135,7 @@ func Mine(db *txdb.DB, opts mining.Options) (*mining.Result, error) {
 	mineTree(tree, prefix, minCount, opts.MaxK, res)
 
 	m.NoteCandidateBytes(m.FPTreeNodes * 48) // ~node footprint
+	m.NoteHeldBytes(db.MemBytes() + m.PeakCandidateBytes)
 	itemset.SortCounted(res.Frequent)
 	return res, nil
 }

@@ -36,10 +36,14 @@ type node struct {
 	leafID int32
 }
 
-// Tree is a hash tree over a fixed list of candidate k-itemsets.
+// Tree is a hash tree over a fixed list of candidate k-itemsets. The
+// candidates are stored as one flat stride-k item matrix (candidate i is
+// flat[i*k : (i+1)*k]), so leaf verification walks contiguous memory
+// instead of chasing per-candidate slice headers.
 type Tree struct {
 	k        int
-	cands    []itemset.Itemset
+	n        int            // number of candidates
+	flat     []itemset.Item // stride-k candidate matrix, len n*k
 	counts   []int
 	root     *node
 	numLeafs int32
@@ -94,20 +98,34 @@ func (st *VisitState) Bind(t *Tree) {
 func (st *VisitState) WalkCost() int64 { return st.walkCost }
 
 // Build constructs a hash tree over the candidates, which must all be
-// k-itemsets of the same size k >= 1. The candidate slice is referenced, not
-// copied.
+// k-itemsets of the same size k >= 1. The candidates are packed into the
+// tree's flat matrix in one bulk copy; the argument is not referenced
+// afterwards.
 func Build(k int, cands []itemset.Itemset) *Tree {
 	t := &Tree{
 		k:      k,
-		cands:  cands,
+		n:      len(cands),
+		flat:   make([]itemset.Item, 0, k*len(cands)),
 		counts: make([]int, len(cands)),
 	}
+	for _, c := range cands {
+		if len(c) != k {
+			panic("hashtree: candidate size mismatch")
+		}
+		t.flat = append(t.flat, c...)
+	}
 	t.root = t.newLeaf()
-	for i := range cands {
+	for i := 0; i < t.n; i++ {
 		t.insert(t.root, int32(i), 0)
 	}
 	t.state.Bind(t)
 	return t
+}
+
+// cand returns candidate i as a view into the flat matrix.
+func (t *Tree) cand(i int32) itemset.Itemset {
+	lo := int(i) * t.k
+	return itemset.Itemset(t.flat[lo : lo+t.k : lo+t.k])
 }
 
 // Slab chunk sizes (in nodes / leaves / interior splits per chunk).
@@ -116,7 +134,7 @@ const slabChunk = 64
 func (t *Tree) allocNode() *node {
 	if len(t.nodeSlab) == cap(t.nodeSlab) {
 		size := slabChunk
-		if want := len(t.cands)/LeafCap + 1; cap(t.nodeSlab) == 0 && want > size {
+		if want := t.n/LeafCap + 1; cap(t.nodeSlab) == 0 && want > size {
 			size = want
 		}
 		t.nodeSlab = make([]node, 0, size)
@@ -135,7 +153,7 @@ func (t *Tree) allocCands() []int32 {
 	}
 	n := len(t.candSlab)
 	t.candSlab = t.candSlab[:n+bucket]
-	return t.candSlab[n:n:n+bucket]
+	return t.candSlab[n : n : n+bucket]
 }
 
 func (t *Tree) allocChildren() []*node {
@@ -156,7 +174,7 @@ func (t *Tree) newLeaf() *node {
 }
 
 // Len returns the number of candidates in the tree.
-func (t *Tree) Len() int { return len(t.cands) }
+func (t *Tree) Len() int { return t.n }
 
 // K returns the candidate size the tree was built for.
 func (t *Tree) K() int { return t.k }
@@ -165,7 +183,7 @@ func hash(it itemset.Item) int { return int(it) % Fanout }
 
 func (t *Tree) insert(n *node, cand int32, depth int) {
 	if n.children != nil {
-		child := n.children[hash(t.cands[cand][depth])]
+		child := n.children[hash(t.flat[int(cand)*t.k+depth])]
 		t.insert(child, cand, depth+1)
 		return
 	}
@@ -179,7 +197,7 @@ func (t *Tree) insert(n *node, cand int32, depth int) {
 			n.children[i] = t.newLeaf()
 		}
 		for _, c := range old {
-			t.insert(n.children[hash(t.cands[c][depth])], c, depth+1)
+			t.insert(n.children[hash(t.flat[int(c)*t.k+depth])], c, depth+1)
 		}
 	}
 }
@@ -232,7 +250,7 @@ func (t *Tree) walk(n *node, items, full itemset.Itemset, depth int, st *VisitSt
 		st.lastVisit[n.leafID] = st.visit
 		st.walkCost += int64(len(n.cands))
 		for _, c := range n.cands {
-			if t.cands[c].SubsetOf(full) {
+			if t.cand(c).SubsetOf(full) {
 				fn(int(c))
 			}
 		}
@@ -279,14 +297,14 @@ func (t *Tree) AddCounts(delta []int32) {
 // all-reduce merges per-node counts). The argument must have one entry per
 // candidate.
 func (t *Tree) SetCounts(counts []int) {
-	if len(counts) != len(t.cands) {
+	if len(counts) != t.n {
 		panic("hashtree: SetCounts length mismatch")
 	}
 	copy(t.counts, counts)
 }
 
 // Candidate returns candidate i.
-func (t *Tree) Candidate(i int) itemset.Itemset { return t.cands[i] }
+func (t *Tree) Candidate(i int) itemset.Itemset { return t.cand(int32(i)) }
 
 // Frequent returns, in lexicographic order, the (candidate, count) pairs
 // whose count reaches minCount.
@@ -294,7 +312,7 @@ func (t *Tree) Frequent(minCount int) []itemset.Counted {
 	var out []itemset.Counted
 	for i, c := range t.counts {
 		if c >= minCount {
-			out = append(out, itemset.Counted{Set: t.cands[i], Count: c})
+			out = append(out, itemset.Counted{Set: t.cand(int32(i)), Count: c})
 		}
 	}
 	// Candidates were inserted in caller order; normalize.

@@ -98,6 +98,15 @@ type Metrics struct {
 	// memory, compared against Options.MemoryBudget.
 	PeakCandidateBytes int64
 
+	// PeakHeldBytes is the high-water resident size of the long-lived data
+	// structures owned by this accounting's holder (CSR database and working
+	// copy, THT matrices, compressed inverted file, candidate structures),
+	// summed from the structures' deterministic MemBytes methods rather than
+	// measured from the Go heap — so it is exactly reproducible across runs
+	// and machines. Node structures coexist for the whole run, so Merge sums
+	// this field: the aggregate is the cluster-wide resident footprint.
+	PeakHeldBytes int64
+
 	// FPTreeNodes is the peak node count across all (conditional) FP-trees.
 	FPTreeNodes int64
 
@@ -139,6 +148,13 @@ func (m *Metrics) NoteCandidateBytes(b int64) {
 	}
 }
 
+// NoteHeldBytes raises the peak resident-structure estimate.
+func (m *Metrics) NoteHeldBytes(b int64) {
+	if b > m.PeakHeldBytes {
+		m.PeakHeldBytes = b
+	}
+}
+
 // Merge folds per-node metrics into an aggregate (sums; peak fields take the
 // max).
 func (m *Metrics) Merge(o *Metrics) {
@@ -154,6 +170,7 @@ func (m *Metrics) Merge(o *Metrics) {
 	if o.PeakCandidateBytes > m.PeakCandidateBytes {
 		m.PeakCandidateBytes = o.PeakCandidateBytes
 	}
+	m.PeakHeldBytes += o.PeakHeldBytes
 	if o.FPTreeNodes > m.FPTreeNodes {
 		m.FPTreeNodes = o.FPTreeNodes
 	}

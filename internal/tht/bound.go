@@ -212,6 +212,210 @@ func (g *Global) PairBoundReaches(a, b itemset.Item, threshold int) (reaches boo
 	return false, total
 }
 
+// rowIndex returns the matrix row number of an item, or -1 when absent.
+func (l *Local) rowIndex(it itemset.Item) int32 {
+	if int(it) >= len(l.rowIdx) {
+		return -1
+	}
+	return l.rowIdx[it]
+}
+
+// pairBoundIdx is pairBoundUpToRows addressed by matrix row numbers, with
+// identical results and slot charges. Counter-row slices are materialized
+// only on the partial-popcount path — in the masked low-support regime most
+// pairs resolve from the two mask words alone, so the common case touches
+// no counter memory and builds no slice headers at all.
+func (l *Local) pairBoundIdx(ra, rb int32, stop int) (sum, cost int) {
+	if stop <= 0 || ra < 0 || rb < 0 {
+		return 0, 0
+	}
+	if l.fast1 {
+		m := l.maskData[ra] & l.maskData[rb]
+		if m == 0 {
+			return 0, 1
+		}
+		if pc := bits.OnesCount64(m); pc >= stop {
+			return stop, 1
+		}
+		sum, cost = l.pairSumBits(ra, rb, m, stop)
+		return sum, cost + 1
+	}
+	h := l.entries
+	if l.masksBuilt {
+		w := l.mw
+		ma := l.maskData[int(ra)*w : (int(ra)+1)*w]
+		mb := l.maskData[int(rb)*w : (int(rb)+1)*w]
+		pc := 0
+		for j := range ma {
+			pc += bits.OnesCount64(ma[j] & mb[j])
+		}
+		cost += w
+		if pc == 0 {
+			return 0, cost
+		}
+		if pc >= stop {
+			return stop, cost
+		}
+		rowA := l.data[int(ra)*h : (int(ra)+1)*h]
+		rowB := l.data[int(rb)*h : (int(rb)+1)*h]
+		for wi := range ma {
+			for wv := ma[wi] & mb[wi]; wv != 0; wv &= wv - 1 {
+				j := wi*64 + bits.TrailingZeros64(wv)
+				cost++
+				min := rowA[j]
+				if rowB[j] < min {
+					min = rowB[j]
+				}
+				sum += int(min)
+				if sum >= stop {
+					return sum, cost
+				}
+			}
+		}
+		return sum, cost
+	}
+	rowA := l.data[int(ra)*h : (int(ra)+1)*h]
+	rowB := l.data[int(rb)*h : (int(rb)+1)*h]
+	for j := range rowA {
+		cost++
+		min := rowA[j]
+		if rowB[j] < min {
+			min = rowB[j]
+		}
+		sum += int(min)
+		if sum >= stop {
+			return sum, cost
+		}
+	}
+	return sum, cost
+}
+
+// pairSumBits sums min(rowA[j], rowB[j]) over the slots set in the mask
+// word m (the partial-popcount path of a single-word table), charging one
+// slot per examined bit and stopping at stop.
+func (l *Local) pairSumBits(ra, rb int32, m uint64, stop int) (sum, cost int) {
+	h := l.entries
+	rowA := l.data[int(ra)*h : (int(ra)+1)*h]
+	rowB := l.data[int(rb)*h : (int(rb)+1)*h]
+	for ; m != 0; m &= m - 1 {
+		j := bits.TrailingZeros64(m)
+		cost++
+		min := rowA[j]
+		if rowB[j] < min {
+			min = rowB[j]
+		}
+		sum += int(min)
+		if sum >= stop {
+			return sum, cost
+		}
+	}
+	return sum, cost
+}
+
+// PairScan answers pair-bound queries over a fixed ascending item universe
+// (a mining run's globally frequent items) with every row lookup resolved
+// up front: per segment, the matrix row number of each universe position.
+// Row indexes stay valid until the next Retain, so a scan is built once per
+// run, after the post-pass-1 Retain, and reused for every partition.
+type PairScan struct {
+	g    *Global
+	rows [][]int32 // [segment][pos] row number of universe[pos], -1 absent
+	ra   []int32   // hoisted row numbers of the current outer item
+}
+
+// NewPairScan resolves the universe's row numbers across every segment.
+func (g *Global) NewPairScan(universe []itemset.Item) *PairScan {
+	ps := &PairScan{
+		g:    g,
+		rows: make([][]int32, len(g.segments)),
+		ra:   make([]int32, len(g.segments)),
+	}
+	for p, seg := range g.segments {
+		rows := make([]int32, len(universe))
+		for i, it := range universe {
+			rows[i] = seg.rowIndex(it)
+		}
+		ps.rows[p] = rows
+	}
+	return ps
+}
+
+// Present reports whether the item at universe position pos has a row in
+// segment p.
+func (ps *PairScan) Present(p, pos int) bool { return ps.rows[p][pos] >= 0 }
+
+// Hoist fixes the outer item of subsequent Seg/BoundReaches calls by
+// universe position.
+func (ps *PairScan) Hoist(aPos int) {
+	for p := range ps.rows {
+		ps.ra[p] = ps.rows[p][aPos]
+	}
+}
+
+// SegScan is a PairScan pinned to one segment with the hoisted outer item
+// resolved, so the per-pair call carries no segment indirections. Re-take
+// after each Hoist.
+type SegScan struct {
+	l    *Local
+	rows []int32
+	ra   int32
+}
+
+// Seg pins the scan to segment p and the currently hoisted outer item.
+func (ps *PairScan) Seg(p int) SegScan {
+	return SegScan{l: ps.g.segments[p], rows: ps.rows[p], ra: ps.ra[p]}
+}
+
+// BoundReaches evaluates the segment's pair bound between the hoisted item
+// and universe position bPos, with the results and slot charges of
+// PairBoundReachesRows over the same rows.
+func (s SegScan) BoundReaches(bPos, threshold int) (reaches bool, slots int) {
+	sum, cost := s.l.pairBoundIdx(s.ra, s.rows[bPos], threshold)
+	return sum >= threshold, cost
+}
+
+// BoundReaches evaluates the cascaded pair bound between the hoisted item
+// and universe position bPos, with the results and slot charges of
+// Global.PairBoundReaches. Single-word segments resolve in the loop body
+// without a call; wider geometries fall back to pairBoundIdx.
+func (ps *PairScan) BoundReaches(bPos, threshold int) (reaches bool, slots int) {
+	if threshold <= 0 {
+		return true, 0
+	}
+	sum, total := 0, 0
+	for p, seg := range ps.g.segments {
+		ra, rb := ps.ra[p], ps.rows[p][bPos]
+		if ra < 0 || rb < 0 {
+			continue
+		}
+		if seg.fast1 {
+			m := seg.maskData[ra] & seg.maskData[rb]
+			total++
+			if m == 0 {
+				continue
+			}
+			stop := threshold - sum
+			if pc := bits.OnesCount64(m); pc >= stop {
+				return true, total
+			}
+			s, n := seg.pairSumBits(ra, rb, m, stop)
+			sum += s
+			total += n
+			if sum >= threshold {
+				return true, total
+			}
+			continue
+		}
+		s, n := seg.pairBoundIdx(ra, rb, threshold-sum)
+		sum += s
+		total += n
+		if sum >= threshold {
+			return true, total
+		}
+	}
+	return false, total
+}
+
 // PairBoundReachesItems evaluates the local pair bound by item id, taking
 // the masked fast path when masks are built.
 func (l *Local) PairBoundReachesItems(a, b itemset.Item, threshold int) (reaches bool, slots int) {

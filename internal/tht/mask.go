@@ -11,29 +11,26 @@ import "pmihp/internal/itemset"
 // charging for mask words uses the same CostTHTSlot rate as slot scans.
 
 // maskWords returns the number of 64-bit words covering the slot space.
-func (l *Local) maskWords() int { return (l.entries + 63) / 64 }
+func (l *Local) maskWords() int { return l.mw }
 
 // BuildMasks materializes the occupancy masks for every current row. Call
 // after Retain; AddOccurrence after BuildMasks keeps masks in sync.
 func (l *Local) BuildMasks() {
 	w := l.maskWords()
-	l.maskRows = make([][]uint64, len(l.rows))
+	h := l.entries
+	// One flat mask matrix, row-aligned with the counter matrix: built once
+	// per run, right after Retain, when the live row count is known.
+	l.maskData = make([]uint64, len(l.rowItem)*w)
 	l.masksBuilt = true
-	// One flat backing array for all masks: built once per run, right after
-	// Retain, when the live row count is known.
-	backing := make([]uint64, l.nItems*w)
-	for it, row := range l.rows {
-		if row == nil {
-			continue
-		}
-		mask := backing[:w:w]
-		backing = backing[w:]
+	l.fast1 = w == 1
+	for r := range l.rowItem {
+		row := l.data[r*h : (r+1)*h]
+		mask := l.maskData[r*w : (r+1)*w]
 		for j, c := range row {
 			if c > 0 {
 				mask[j/64] |= 1 << (j % 64)
 			}
 		}
-		l.maskRows[it] = mask
 	}
 }
 

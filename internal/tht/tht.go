@@ -15,10 +15,12 @@
 // tightens the bound and reveals exactly which peers can possibly contain an
 // itemset, which drives the polling step of PMIHP.
 //
-// Tables are stored densely: per-item counter rows and occupancy masks live
-// in slices indexed by item id, so the bound evaluations that run once per
-// candidate pair cost an array index instead of a map probe. (The map-backed
-// representation put mapaccess at the top of every mining profile.)
+// Tables are stored as one row-major counter matrix: all rows live in a
+// single []uint32 with stride Entries, addressed through a dense item→row
+// index. The bound evaluations that run once per candidate pair cost an
+// array index instead of a map probe, consecutive rows share cache lines,
+// and dropping pruned rows (Retain) compacts the matrix in place, so the
+// resident table size tracks the live vocabulary, not the initial one.
 package tht
 
 import (
@@ -29,37 +31,33 @@ import (
 	"pmihp/internal/txdb"
 )
 
-// Local is the TID hash table set of one processing node: one counter array
-// of Entries slots per item that occurs in the node's local database.
+// Local is the TID hash table set of one processing node: one counter row
+// of Entries slots per item that occurs in the node's local database, all
+// rows backed by a single row-major matrix.
 type Local struct {
 	entries int
-	// rows[it] is the counter array of item it, nil when the item has no
-	// table. The slice is grown on demand to the largest item seen.
-	rows [][]uint32
-	// maskRows[it] is the occupancy mask of item it; only meaningful after
-	// BuildMasks (masksBuilt).
-	maskRows   [][]uint64
+	mw      int // maskWords(entries), cached: fetches run once per candidate pair
+	// rowIdx[it] is the row number of item it in data, or -1 when the item
+	// has no table. The index is grown on demand to the largest item seen.
+	rowIdx []int32
+	// rowItem[r] is the item owning row r — the inverse of rowIdx, in row
+	// order, which is what lets Retain compact the matrix front-to-back.
+	rowItem []itemset.Item
+	// data is the counter matrix: row r is data[r*entries : (r+1)*entries].
+	data []uint32
+	// maskData is the occupancy-mask matrix (stride maskWords), row-aligned
+	// with data; only meaningful after BuildMasks (masksBuilt).
+	maskData   []uint64
 	masksBuilt bool
-	nItems     int // number of non-nil rows
-
-	// rowSlab backs counter rows in chunks of rowSlabChunk rows, so the
-	// build scan allocates once per chunk instead of once per item. Chunks
-	// are abandoned (not grown) when full, keeping handed-out rows valid.
-	rowSlab []uint32
+	// fast1 marks the single-mask-word geometry (entries <= 64, the
+	// per-node table of a wide cluster), where pair bounds open-code the
+	// one-word mask test.
+	fast1 bool
 }
 
-// rowSlabChunk is the number of counter rows carved per slab chunk.
-const rowSlabChunk = 256
-
-// newRow carves a zeroed counter row from the slab.
-func (l *Local) newRow() []uint32 {
-	if cap(l.rowSlab)-len(l.rowSlab) < l.entries {
-		l.rowSlab = make([]uint32, 0, rowSlabChunk*l.entries)
-	}
-	n := len(l.rowSlab)
-	l.rowSlab = l.rowSlab[:n+l.entries]
-	return l.rowSlab[n : n+l.entries : n+l.entries]
-}
+// rowChunk is the minimum matrix growth, in rows, so the build scan
+// reallocates the backing a handful of times instead of once per item.
+const rowChunk = 256
 
 // NewLocal returns an empty Local with the given number of hash entries per
 // item. The paper uses 400 entries for the global table, i.e. 400/N per node
@@ -68,14 +66,17 @@ func NewLocal(entries int) *Local {
 	if entries <= 0 {
 		panic(fmt.Sprintf("tht: NewLocal(%d)", entries))
 	}
-	return &Local{entries: entries}
+	return &Local{entries: entries, mw: (entries + 63) / 64}
 }
 
 // NewLocalSized returns an empty Local pre-sized for item ids below
 // numItems, so the build scan never grows the row index.
 func NewLocalSized(entries, numItems int) *Local {
 	l := NewLocal(entries)
-	l.rows = make([][]uint32, numItems)
+	l.rowIdx = make([]int32, numItems)
+	for i := range l.rowIdx {
+		l.rowIdx[i] = -1
+	}
 	return l
 }
 
@@ -83,7 +84,7 @@ func NewLocalSized(entries, numItems int) *Local {
 func (l *Local) Entries() int { return l.entries }
 
 // NumItems returns the number of items that currently have a table.
-func (l *Local) NumItems() int { return l.nItems }
+func (l *Local) NumItems() int { return len(l.rowItem) }
 
 // hash maps a TID to a slot. TIDs are assigned sequentially in document
 // order, so modulo hashing spreads them uniformly.
@@ -91,37 +92,70 @@ func (l *Local) hash(tid txdb.TID) int { return int(tid) % l.entries }
 
 // ensureItem grows the row index to cover item it.
 func (l *Local) ensureItem(it itemset.Item) {
-	if int(it) >= len(l.rows) {
-		rows := make([][]uint32, int(it)+1)
-		copy(rows, l.rows)
-		l.rows = rows
-		if l.masksBuilt {
-			masks := make([][]uint64, int(it)+1)
-			copy(masks, l.maskRows)
-			l.maskRows = masks
+	if int(it) >= len(l.rowIdx) {
+		idx := make([]int32, int(it)+1)
+		copy(idx, l.rowIdx)
+		for i := len(l.rowIdx); i < len(idx); i++ {
+			idx[i] = -1
+		}
+		l.rowIdx = idx
+	}
+}
+
+// addRow appends a zeroed row for item it to the matrix and returns its row
+// number. Growth is amortized (doubling, at least rowChunk rows); existing
+// row slices handed out by Row stay valid only until the next growth, which
+// is why rows are only added during build scans and shard merges.
+func (l *Local) addRow(it itemset.Item) int32 {
+	r := int32(len(l.rowItem))
+	l.rowItem = append(l.rowItem, it)
+	l.rowIdx[it] = r
+	h := l.entries
+	need := len(l.data) + h
+	if cap(l.data) >= need {
+		// Re-slicing within capacity may expose a stale region truncated by
+		// Retain; zero it explicitly.
+		l.data = l.data[:need]
+		clear(l.data[need-h:])
+	} else {
+		newCap := 2 * cap(l.data)
+		if min := rowChunk * h; newCap < min {
+			newCap = min
+		}
+		if newCap < need {
+			newCap = need
+		}
+		nd := make([]uint32, need, newCap)
+		copy(nd, l.data)
+		l.data = nd
+	}
+	if l.masksBuilt {
+		w := l.maskWords()
+		mneed := len(l.maskData) + w
+		if cap(l.maskData) >= mneed {
+			l.maskData = l.maskData[:mneed]
+			clear(l.maskData[mneed-w:])
+		} else {
+			nm := make([]uint64, mneed, 2*mneed)
+			copy(nm, l.maskData)
+			l.maskData = nm
 		}
 	}
+	return r
 }
 
 // AddOccurrence records that the transaction with the given TID contains the
 // item. It is called while counting 1-itemsets during the first pass.
 func (l *Local) AddOccurrence(it itemset.Item, tid txdb.TID) {
 	l.ensureItem(it)
-	row := l.rows[it]
-	if row == nil {
-		row = l.newRow()
-		l.rows[it] = row
-		l.nItems++
+	r := l.rowIdx[it]
+	if r < 0 {
+		r = l.addRow(it)
 	}
 	j := l.hash(tid)
-	row[j]++
+	l.data[int(r)*l.entries+j]++
 	if l.masksBuilt {
-		m := l.maskRows[it]
-		if m == nil {
-			m = make([]uint64, l.maskWords())
-			l.maskRows[it] = m
-		}
-		m[j/64] |= 1 << (j % 64)
+		l.maskData[int(r)*l.maskWords()+j/64] |= 1 << (j % 64)
 	}
 }
 
@@ -131,44 +165,74 @@ func BuildLocal(db *txdb.DB, entries int) (*Local, []int) {
 	return BuildLocalShards(db, entries, 1)
 }
 
+// newLocalFromCounts returns a Local whose matrix is exactly sized for the
+// items with a positive count, rows in item order. The counters are zero;
+// the caller fills them.
+func newLocalFromCounts(entries int, counts []int) *Local {
+	l := NewLocalSized(entries, len(counts))
+	rows := 0
+	for _, c := range counts {
+		if c > 0 {
+			rows++
+		}
+	}
+	l.rowItem = make([]itemset.Item, 0, rows)
+	l.data = make([]uint32, rows*entries)
+	for it, c := range counts {
+		if c > 0 {
+			l.rowIdx[it] = int32(len(l.rowItem))
+			l.rowItem = append(l.rowItem, itemset.Item(it))
+		}
+	}
+	return l
+}
+
 // BuildLocalShards is BuildLocal with the scan sharded across up to workers
 // goroutines. Each shard builds a private table over a contiguous
 // transaction range; the shards merge by entrywise summation, so the result
-// is identical to the serial build for every worker count.
+// is identical to the serial build for every worker count. The scan walks
+// the database's CSR arrays directly in two passes — item counts first, then
+// counter fills into an exactly-sized matrix, so the build never grows (and
+// never re-copies) the backing. The hash slot — a function of the TID alone
+// — is computed once per transaction, not once per occurrence.
 func BuildLocalShards(db *txdb.DB, entries, workers int) (*Local, []int) {
 	n := db.Len()
+	numItems := db.NumItems()
+	items, offsets, tids := db.CSR()
+	build := func(lo, hi int) (*Local, []int) {
+		counts := make([]int, numItems)
+		for _, it := range items[offsets[lo]:offsets[hi]] {
+			counts[it]++
+		}
+		l := newLocalFromCounts(entries, counts)
+		for i := lo; i < hi; i++ {
+			j := l.hash(tids[i])
+			for _, it := range items[offsets[i]:offsets[i+1]] {
+				l.data[int(l.rowIdx[it])*entries+j]++
+			}
+		}
+		return l, counts
+	}
 	shards := mining.NumShards(n, workers)
 	if shards <= 1 {
-		l := NewLocalSized(entries, db.NumItems())
-		counts := make([]int, db.NumItems())
-		db.Each(func(t *txdb.Transaction) {
-			for _, it := range t.Items {
-				counts[it]++
-				l.AddOccurrence(it, t.TID)
-			}
-		})
-		return l, counts
+		return build(0, n)
 	}
 	locals := make([]*Local, shards)
 	countsByShard := make([][]int, shards)
 	mining.RunShards(n, workers, func(s, lo, hi int) {
-		l := NewLocalSized(entries, db.NumItems())
-		counts := make([]int, db.NumItems())
-		for i := lo; i < hi; i++ {
-			t := db.Tx(i)
-			for _, it := range t.Items {
-				counts[it]++
-				l.AddOccurrence(it, t.TID)
-			}
-		}
-		locals[s], countsByShard[s] = l, counts
+		locals[s], countsByShard[s] = build(lo, hi)
 	})
-	merged, counts := locals[0], countsByShard[0]
+	counts := countsByShard[0]
 	for s := 1; s < shards; s++ {
-		merged.addFrom(locals[s])
 		for it, c := range countsByShard[s] {
 			counts[it] += c
 		}
+	}
+	// The union matrix is exactly sized from the merged counts, so folding
+	// the shard tables in never adds a row.
+	merged := newLocalFromCounts(entries, counts)
+	for _, l := range locals {
+		merged.addFrom(l)
 	}
 	return merged, counts
 }
@@ -179,54 +243,80 @@ func (l *Local) addFrom(o *Local) {
 	if o.entries != l.entries {
 		panic("tht: addFrom entry mismatch")
 	}
-	for it, row := range o.rows {
-		if row == nil {
-			continue
+	h := l.entries
+	for r, it := range o.rowItem {
+		src := o.data[r*h : (r+1)*h]
+		l.ensureItem(it)
+		dr := l.rowIdx[it]
+		if dr < 0 {
+			dr = l.addRow(it)
 		}
-		dst := l.rows[it]
-		if dst == nil {
-			l.ensureItem(itemset.Item(it))
-			dst = l.newRow()
-			l.rows[it] = dst
-			l.nItems++
-		}
-		for j, c := range row {
+		dst := l.data[int(dr)*h : int(dr)*h+h]
+		for j, c := range src {
 			dst[j] += c
 		}
 	}
 }
 
 // Row returns the counter array of an item, or nil when the item has no
-// table (never occurred, or its table was dropped). The returned slice is
-// owned by the table.
+// table (never occurred, or its table was dropped). The returned slice
+// aliases the matrix and stays valid until the next addRow growth or Retain
+// compaction.
 func (l *Local) Row(it itemset.Item) []uint32 {
-	if int(it) >= len(l.rows) {
+	if int(it) >= len(l.rowIdx) {
 		return nil
 	}
-	return l.rows[it]
+	r := l.rowIdx[it]
+	if r < 0 {
+		return nil
+	}
+	lo := int(r) * l.entries
+	return l.data[lo : lo+l.entries : lo+l.entries]
 }
 
 // mask returns the occupancy mask row of an item (nil when absent).
 func (l *Local) mask(it itemset.Item) []uint64 {
-	if int(it) >= len(l.maskRows) {
+	if int(it) >= len(l.rowIdx) {
 		return nil
 	}
-	return l.maskRows[it]
+	r := l.rowIdx[it]
+	if r < 0 {
+		return nil
+	}
+	w := l.maskWords()
+	lo := int(r) * w
+	return l.maskData[lo : lo+w : lo+w]
 }
 
 // Retain drops the table of every item for which keep returns false —
 // "after the first pass we can remove the THTs of the items which are not
 // contained in the set of frequent 1-itemsets", and more generally after
-// pass k for items in no frequent k-itemset.
+// pass k for items in no frequent k-itemset. Surviving rows are compacted
+// to the front of the matrix and the backing truncated, so a pruned
+// vocabulary actually shrinks the resident table.
 func (l *Local) Retain(keep func(itemset.Item) bool) {
-	for it := range l.rows {
-		if l.rows[it] != nil && !keep(itemset.Item(it)) {
-			l.rows[it] = nil
-			l.nItems--
-			if it < len(l.maskRows) {
-				l.maskRows[it] = nil
-			}
+	h := l.entries
+	w := l.maskWords()
+	next := 0
+	for r, it := range l.rowItem {
+		if !keep(it) {
+			l.rowIdx[it] = -1
+			continue
 		}
+		if next != r {
+			copy(l.data[next*h:(next+1)*h], l.data[r*h:(r+1)*h])
+			if l.masksBuilt {
+				copy(l.maskData[next*w:(next+1)*w], l.maskData[r*w:(r+1)*w])
+			}
+			l.rowIdx[it] = int32(next)
+			l.rowItem[next] = it
+		}
+		next++
+	}
+	l.rowItem = l.rowItem[:next]
+	l.data = l.data[:next*h]
+	if l.masksBuilt {
+		l.maskData = l.maskData[:next*w]
 	}
 }
 
@@ -279,21 +369,21 @@ func (l *Local) fetchRows(x itemset.Itemset, buf *[maxStackItems][]uint32) (rows
 // Bytes approximates the wire size of the table set when exchanged between
 // nodes (4 bytes per slot plus a 4-byte item id per row). Used by the
 // cluster cost model.
-func (l *Local) Bytes() int { return l.nItems * (4 + 4*l.entries) }
+func (l *Local) Bytes() int { return len(l.rowItem) * (4 + 4*l.entries) }
+
+// MemBytes returns the resident size of the matrix and its indexes.
+func (l *Local) MemBytes() int64 {
+	return int64(4*len(l.rowIdx)) + int64(4*len(l.rowItem)) +
+		int64(4*len(l.data)) + int64(8*len(l.maskData))
+}
 
 // Clone returns a deep copy (exchanged tables must not alias the sender's).
+// Masks are not cloned; the receiver rebuilds them after its own Retain.
 func (l *Local) Clone() *Local {
 	c := NewLocal(l.entries)
-	c.rows = make([][]uint32, len(l.rows))
-	for it, row := range l.rows {
-		if row == nil {
-			continue
-		}
-		r := make([]uint32, len(row))
-		copy(r, row)
-		c.rows[it] = r
-		c.nItems++
-	}
+	c.rowIdx = append([]int32(nil), l.rowIdx...)
+	c.rowItem = append([]itemset.Item(nil), l.rowItem...)
+	c.data = append([]uint32(nil), l.data...)
 	return c
 }
 

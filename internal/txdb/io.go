@@ -41,22 +41,22 @@ func (d *DB) Encode(w io.Writer) error {
 	if err := put(uint32(d.numItems)); err != nil {
 		return err
 	}
-	if err := put(uint32(len(d.txs))); err != nil {
+	if err := put(uint32(d.Len())); err != nil {
 		return err
 	}
-	for i := range d.txs {
-		t := &d.txs[i]
-		if err := put(t.TID); err != nil {
+	for i := 0; i < d.Len(); i++ {
+		if err := put(d.tids[i]); err != nil {
 			return err
 		}
-		if err := put(uint32(t.Day)); err != nil {
+		if err := put(uint32(d.days[i])); err != nil {
 			return err
 		}
-		if err := put(uint32(len(t.Items))); err != nil {
+		items := d.ItemsOf(i)
+		if err := put(uint32(len(items))); err != nil {
 			return err
 		}
 		prev := uint32(0)
-		for _, it := range t.Items {
+		for _, it := range items {
 			if err := put(it - prev); err != nil {
 				return err
 			}
@@ -66,7 +66,8 @@ func (d *DB) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadDB deserializes a database written by Encode.
+// ReadDB deserializes a database written by Encode, building the CSR arrays
+// directly (no per-transaction item allocations).
 func ReadDB(r io.Reader) (*DB, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
@@ -98,8 +99,13 @@ func ReadDB(r io.Reader) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	txs := make([]Transaction, numTxs)
-	for i := range txs {
+	d := &DB{
+		offsets:  make([]uint32, 1, numTxs+1),
+		tids:     make([]TID, 0, numTxs),
+		days:     make([]int32, 0, numTxs),
+		numItems: int(numItems),
+	}
+	for i := 0; i < int(numTxs); i++ {
 		tid, err := get()
 		if err != nil {
 			return nil, fmt.Errorf("txdb: tx %d: %w", i, err)
@@ -112,9 +118,9 @@ func ReadDB(r io.Reader) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("txdb: tx %d: %w", i, err)
 		}
-		items := make(itemset.Itemset, n)
+		start := len(d.items)
 		prev := uint32(0)
-		for j := range items {
+		for j := 0; j < int(n); j++ {
 			delta, err := get()
 			if err != nil {
 				return nil, fmt.Errorf("txdb: tx %d item %d: %w", i, j, err)
@@ -123,14 +129,16 @@ func ReadDB(r io.Reader) (*DB, error) {
 			if prev >= numItems {
 				return nil, fmt.Errorf("txdb: tx %d item %d: id %d out of range", i, j, prev)
 			}
-			items[j] = prev
+			d.items = append(d.items, prev)
 		}
-		if !items.Valid() {
+		if !itemset.Itemset(d.items[start:]).Valid() {
 			return nil, fmt.Errorf("txdb: tx %d: items not strictly increasing", i)
 		}
-		txs[i] = Transaction{TID: tid, Day: int(day), Items: items}
+		d.offsets = append(d.offsets, uint32(len(d.items)))
+		d.tids = append(d.tids, tid)
+		d.days = append(d.days, int32(day))
 	}
-	return New(txs, int(numItems)), nil
+	return d, nil
 }
 
 // Save writes the database to a file.

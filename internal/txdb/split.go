@@ -26,9 +26,9 @@ type dayGroup struct {
 
 func (d *DB) dayGroups() []dayGroup {
 	var groups []dayGroup
-	for lo := 0; lo < len(d.txs); {
+	for lo := 0; lo < d.Len(); {
 		hi := lo + 1
-		for hi < len(d.txs) && d.txs[hi].Day == d.txs[lo].Day {
+		for hi < d.Len() && d.days[hi] == d.days[lo] {
 			hi++
 		}
 		groups = append(groups, dayGroup{lo, hi})
@@ -37,17 +37,36 @@ func (d *DB) dayGroups() []dayGroup {
 	return groups
 }
 
-// assemble builds per-node databases from day-group assignments,
-// preserving chronological order within each node.
+// assemble builds per-node databases from day-group assignments, preserving
+// chronological order within each node. Each node's CSR arrays are gathered
+// with one bulk copy per day group (groups are contiguous transaction
+// runs), never per transaction.
 func (d *DB) assemble(assign [][]dayGroup) []*DB {
 	out := make([]*DB, len(assign))
 	for p, groups := range assign {
 		sort.Slice(groups, func(i, j int) bool { return groups[i].lo < groups[j].lo })
-		var txs []Transaction
+		docs, total := 0, 0
 		for _, g := range groups {
-			txs = append(txs, d.txs[g.lo:g.hi]...)
+			docs += g.hi - g.lo
+			total += int(d.offsets[g.hi] - d.offsets[g.lo])
 		}
-		out[p] = New(txs, d.numItems)
+		nd := &DB{
+			items:    make([]itemset.Item, 0, total),
+			offsets:  make([]uint32, 1, docs+1),
+			tids:     make([]TID, 0, docs),
+			days:     make([]int32, 0, docs),
+			numItems: d.numItems,
+		}
+		for _, g := range groups {
+			pos := uint32(len(nd.items))
+			nd.items = append(nd.items, d.items[d.offsets[g.lo]:d.offsets[g.hi]]...)
+			for i := g.lo; i < g.hi; i++ {
+				nd.offsets = append(nd.offsets, pos+d.offsets[i+1]-d.offsets[g.lo])
+			}
+			nd.tids = append(nd.tids, d.tids[g.lo:g.hi]...)
+			nd.days = append(nd.days, d.days[g.lo:g.hi]...)
+		}
+		out[p] = nd
 	}
 	return out
 }
@@ -92,7 +111,7 @@ func (d *DB) SplitSkewAware(n int) []*DB {
 	for i, g := range groups {
 		v := make(map[itemset.Item]struct{})
 		for t := g.lo; t < g.hi; t++ {
-			for _, it := range d.txs[t].Items {
+			for _, it := range d.ItemsOf(t) {
 				v[it] = struct{}{}
 			}
 		}
@@ -112,7 +131,7 @@ func (d *DB) SplitSkewAware(n int) []*DB {
 		return order[a] < order[b]
 	})
 
-	capDocs := (len(d.txs)*6)/(5*n) + 1 // 20% imbalance allowance
+	capDocs := (d.Len()*6)/(5*n) + 1 // 20% imbalance allowance
 	nodeVocab := make([]map[itemset.Item]struct{}, n)
 	nodeDocs := make([]int, n)
 	assign := make([][]dayGroup, n)

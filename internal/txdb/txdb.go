@@ -3,6 +3,14 @@
 // set of its distinct items (word identifiers); the database preserves the
 // chronological document order the paper relies on when distributing text
 // to processing nodes.
+//
+// The store is laid out in CSR (compressed sparse row) form: one contiguous
+// []Item backing array holds every transaction's items back to back, with a
+// []uint32 offset array and parallel TID/Day arrays addressing it. Counting
+// scans therefore stream one flat array instead of chasing a pointer per
+// transaction, and node splits are views into the shared backing rather
+// than per-transaction copies. The Tx/Each adapters preserve the original
+// slice-of-transactions API for callers off the hot paths.
 package txdb
 
 import (
@@ -25,35 +33,113 @@ type Transaction struct {
 	Items itemset.Itemset
 }
 
-// DB is an ordered collection of transactions.
+// DB is an ordered collection of transactions in CSR layout. A DB produced
+// by SplitChronological shares its items backing with the parent: offsets
+// are absolute into the shared array, so a view costs three slice headers.
 type DB struct {
-	txs []Transaction
+	items   []itemset.Item // backing array; tx i owns items[offsets[i]:offsets[i+1]]
+	offsets []uint32       // len = Len()+1, absolute indexes into items
+	tids    []TID          // len = Len()
+	days    []int32        // len = Len()
 	// numItems is one greater than the largest item id that may occur, i.e.
 	// the vocabulary size. Kept so per-item arrays can be sized without
 	// scanning.
 	numItems int
 }
 
-// New returns a DB over the given transactions. numItems is the vocabulary
-// size (all item ids must be < numItems). The slice is used directly, not
-// copied.
+// New returns a DB over the given transactions, packing their item lists
+// into one contiguous backing array. numItems is the vocabulary size (all
+// item ids must be < numItems).
 func New(txs []Transaction, numItems int) *DB {
-	return &DB{txs: txs, numItems: numItems}
+	total := 0
+	for i := range txs {
+		total += len(txs[i].Items)
+	}
+	d := &DB{
+		items:    make([]itemset.Item, 0, total),
+		offsets:  make([]uint32, len(txs)+1),
+		tids:     make([]TID, len(txs)),
+		days:     make([]int32, len(txs)),
+		numItems: numItems,
+	}
+	for i := range txs {
+		d.items = append(d.items, txs[i].Items...)
+		d.offsets[i+1] = uint32(len(d.items))
+		d.tids[i] = txs[i].TID
+		d.days[i] = int32(txs[i].Day)
+	}
+	return d
+}
+
+// FromCSR wraps pre-built CSR arrays as a DB without copying. offsets must
+// have len(tids)+1 entries, ascending, with offsets[i] ≤ offsets[i+1] ≤
+// len(items); days may be nil when the corpus has no day structure.
+func FromCSR(items []itemset.Item, offsets []uint32, tids []TID, days []int32, numItems int) *DB {
+	if len(offsets) != len(tids)+1 {
+		panic(fmt.Sprintf("txdb: FromCSR offsets len %d for %d txs", len(offsets), len(tids)))
+	}
+	if days == nil {
+		days = make([]int32, len(tids))
+	}
+	return &DB{items: items, offsets: offsets, tids: tids, days: days, numItems: numItems}
 }
 
 // Len returns the number of transactions.
-func (d *DB) Len() int { return len(d.txs) }
+func (d *DB) Len() int { return len(d.tids) }
 
 // NumItems returns the vocabulary size the database was declared with.
 func (d *DB) NumItems() int { return d.numItems }
 
-// Tx returns the i-th transaction.
-func (d *DB) Tx(i int) *Transaction { return &d.txs[i] }
+// TotalItems returns the summed length of all transactions — one subtraction
+// in the CSR layout.
+func (d *DB) TotalItems() int {
+	if len(d.tids) == 0 {
+		return 0
+	}
+	return int(d.offsets[len(d.tids)] - d.offsets[0])
+}
 
-// Each calls fn for every transaction in order.
+// ItemsOf returns the item list of the i-th transaction, aliasing the
+// backing array.
+func (d *DB) ItemsOf(i int) itemset.Itemset {
+	return d.items[d.offsets[i]:d.offsets[i+1]]
+}
+
+// TIDOf returns the TID of the i-th transaction.
+func (d *DB) TIDOf(i int) TID { return d.tids[i] }
+
+// DayOf returns the day of the i-th transaction.
+func (d *DB) DayOf(i int) int { return int(d.days[i]) }
+
+// CSR exposes the raw CSR arrays: transaction i has TID tids[i] and items
+// items[offsets[i]:offsets[i+1]]. The arrays are owned by the database and
+// must not be mutated.
+func (d *DB) CSR() (items []itemset.Item, offsets []uint32, tids []TID) {
+	return d.items, d.offsets, d.tids
+}
+
+// MemBytes returns the resident size of the CSR arrays (a split view
+// reports only its own slice of the offset/TID/day arrays plus the item
+// range it addresses — the portion of the shared backing it keeps alive per
+// node).
+func (d *DB) MemBytes() int64 {
+	return int64(4*d.TotalItems()) + int64(4*len(d.offsets)) +
+		int64(4*len(d.tids)) + int64(4*len(d.days))
+}
+
+// Tx returns the i-th transaction as a value; its Items alias the backing
+// array.
+func (d *DB) Tx(i int) Transaction {
+	return Transaction{TID: d.tids[i], Day: int(d.days[i]), Items: d.ItemsOf(i)}
+}
+
+// Each calls fn for every transaction in order. The *Transaction is only
+// valid for the duration of the call (it is reused between iterations).
 func (d *DB) Each(fn func(t *Transaction)) {
-	for i := range d.txs {
-		fn(&d.txs[i])
+	var t Transaction
+	for i := range d.tids {
+		t = d.Tx(i)
+		fn(&t)
 	}
 }
 
@@ -62,7 +148,7 @@ func (d *DB) Each(fn func(t *Transaction)) {
 // rounding up so that count/len >= frac always holds. A fraction that
 // denotes fewer than one transaction is clamped to 1.
 func (d *DB) MinSupCount(frac float64) int {
-	n := int(frac*float64(len(d.txs)) + 0.999999)
+	n := int(frac*float64(d.Len()) + 0.999999)
 	if n < 1 {
 		n = 1
 	}
@@ -70,13 +156,14 @@ func (d *DB) MinSupCount(frac float64) int {
 }
 
 // ItemCounts returns the number of transactions containing each item,
-// indexed by item id.
+// indexed by item id. The scan streams the flat backing array.
 func (d *DB) ItemCounts() []int {
 	counts := make([]int, d.numItems)
-	for i := range d.txs {
-		for _, it := range d.txs[i].Items {
-			counts[it]++
-		}
+	if d.Len() == 0 {
+		return counts
+	}
+	for _, it := range d.items[d.offsets[0]:d.offsets[d.Len()]] {
+		counts[it]++
 	}
 	return counts
 }
@@ -93,12 +180,25 @@ func (d *DB) FrequentItems(minCount int) []itemset.Item {
 	return out
 }
 
+// view returns the sub-database of transactions [lo, hi) sharing this
+// database's backing arrays.
+func (d *DB) view(lo, hi int) *DB {
+	return &DB{
+		items:    d.items,
+		offsets:  d.offsets[lo : hi+1],
+		tids:     d.tids[lo:hi],
+		days:     d.days[lo:hi],
+		numItems: d.numItems,
+	}
+}
+
 // SplitChronological divides the database into n local databases of nearly
 // equal document counts, preserving order — the paper's "sequentially
 // distributed … by assigning the articles of 16 or 17 days to each node".
 // Day boundaries are respected when possible: the split point is moved to
 // the nearest day boundary that keeps every part non-empty; when the
 // database has no day structure (all Day==0) the split is purely by count.
+// Parts are CSR views into this database's backing, not copies.
 func (d *DB) SplitChronological(n int) []*DB {
 	if n <= 0 {
 		panic(fmt.Sprintf("txdb: SplitChronological(%d)", n))
@@ -108,20 +208,20 @@ func (d *DB) SplitChronological(n int) []*DB {
 	}
 	// Compute day boundaries (indexes where Day changes).
 	boundaries := []int{0}
-	for i := 1; i < len(d.txs); i++ {
-		if d.txs[i].Day != d.txs[i-1].Day {
+	for i := 1; i < d.Len(); i++ {
+		if d.days[i] != d.days[i-1] {
 			boundaries = append(boundaries, i)
 		}
 	}
-	boundaries = append(boundaries, len(d.txs))
+	boundaries = append(boundaries, d.Len())
 
 	// Even count cuts, snapped to a day boundary when one is close enough
 	// that every part stays non-empty and near its even share.
-	maxShift := len(d.txs) / (4 * n)
+	maxShift := d.Len() / (4 * n)
 	cuts := make([]int, 0, n+1)
 	cuts = append(cuts, 0)
 	for p := 1; p < n; p++ {
-		target := p * len(d.txs) / n
+		target := p * d.Len() / n
 		cut := target
 		if b := nearestBoundary(boundaries, target); abs(b-target) <= maxShift {
 			cut = b
@@ -130,16 +230,16 @@ func (d *DB) SplitChronological(n int) []*DB {
 		if min := cuts[len(cuts)-1] + 1; cut < min {
 			cut = min
 		}
-		if max := len(d.txs) - (n - p); cut > max {
+		if max := d.Len() - (n - p); cut > max {
 			cut = max
 		}
 		cuts = append(cuts, cut)
 	}
-	cuts = append(cuts, len(d.txs))
+	cuts = append(cuts, d.Len())
 
 	parts := make([]*DB, n)
 	for p := 0; p < n; p++ {
-		parts[p] = New(d.txs[cuts[p]:cuts[p+1]], d.numItems)
+		parts[p] = d.view(cuts[p], cuts[p+1])
 	}
 	return parts
 }
@@ -176,14 +276,14 @@ type Stats struct {
 // ComputeStats scans the database once and returns its summary.
 func (d *DB) ComputeStats() Stats {
 	var s Stats
-	s.Docs = len(d.txs)
+	s.Docs = d.Len()
 	seen := make([]bool, d.numItems)
 	perDay := make(map[int]int)
-	for i := range d.txs {
-		t := &d.txs[i]
-		s.TotalItems += len(t.Items)
-		perDay[t.Day]++
-		for _, it := range t.Items {
+	for i := 0; i < d.Len(); i++ {
+		items := d.ItemsOf(i)
+		s.TotalItems += len(items)
+		perDay[int(d.days[i])]++
+		for _, it := range items {
 			seen[it] = true
 		}
 	}

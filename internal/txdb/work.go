@@ -5,33 +5,92 @@ import "pmihp/internal/itemset"
 // Work is a mutable working copy of a database used during a multipass scan.
 // Transaction trimming replaces a transaction's item list with a shorter
 // one; transaction pruning deactivates the transaction entirely. The
-// original DB is never modified, so a fresh Work can be taken per item
-// partition (MIHP resets trimming state when it moves to the next F1
-// partition, because earlier passes may have trimmed items that the next
-// partition still needs).
+// original DB is never modified, so a Work can be Reset per item partition
+// (MIHP resets trimming state when it moves to the next F1 partition,
+// because earlier passes may have trimmed items that the next partition
+// still needs).
+//
+// Like the DB it copies, Work is CSR-shaped: every transaction's (possibly
+// trimmed) item list lives in one arena owned by the Work, addressed by
+// per-transaction start/count arrays. Trimming compacts a transaction's
+// live prefix in place within the arena, so multipass trimming allocates
+// nothing and the scan stays a linear walk of one array.
 type Work struct {
+	db     *DB
 	tids   []TID
-	items  []itemset.Itemset
+	arena  []itemset.Item // owned backing; tx i's items = arena[start[i]:start[i]+count[i]]
+	start  []uint32
+	count  []uint32
 	active []bool
 	live   int
 }
 
-// NewWork returns a working copy of db. The per-transaction item slices
-// alias the originals until first trimmed.
+// NewWork returns a working copy of db, with every transaction's items
+// copied into the Work's arena in one bulk copy.
 func NewWork(db *DB) *Work {
+	n := db.Len()
 	w := &Work{
-		tids:   make([]TID, db.Len()),
-		items:  make([]itemset.Itemset, db.Len()),
-		active: make([]bool, db.Len()),
-		live:   db.Len(),
+		db:     db,
+		tids:   db.tids,
+		arena:  make([]itemset.Item, 0, db.TotalItems()),
+		start:  make([]uint32, n),
+		count:  make([]uint32, n),
+		active: make([]bool, n),
 	}
-	for i := 0; i < db.Len(); i++ {
-		t := db.Tx(i)
-		w.tids[i] = t.TID
-		w.items[i] = t.Items
+	w.Reset()
+	return w
+}
+
+// Reset restores the Work to a fresh copy of its source database: all
+// transactions active and untrimmed. Allocates nothing after NewWork.
+func (w *Work) Reset() {
+	n := w.db.Len()
+	w.arena = w.arena[:0]
+	base := uint32(0)
+	if n > 0 {
+		base = w.db.offsets[0]
+		w.arena = append(w.arena, w.db.items[base:w.db.offsets[n]]...)
+	}
+	for i := 0; i < n; i++ {
+		w.start[i] = w.db.offsets[i] - base
+		w.count[i] = w.db.offsets[i+1] - w.db.offsets[i]
 		w.active[i] = true
 	}
-	return w
+	w.live = n
+}
+
+// ResetFiltered restores the Work from its source database keeping only the
+// items at or above first for which keep[item] is true, pruning transactions
+// left with fewer than minItems kept items. It returns the total number of
+// source items scanned (every transaction is read in full, exactly the cost
+// a filtering pass over the original database charges). Allocates nothing
+// after NewWork.
+func (w *Work) ResetFiltered(first itemset.Item, keep []bool, minItems int) (scanned int64) {
+	n := w.db.Len()
+	src, offsets, _ := w.db.CSR()
+	w.arena = w.arena[:0]
+	w.live = n
+	for i := 0; i < n; i++ {
+		row := src[offsets[i]:offsets[i+1]]
+		scanned += int64(len(row))
+		s := uint32(len(w.arena))
+		for _, it := range row {
+			if it >= first && keep[it] {
+				w.arena = append(w.arena, it)
+			}
+		}
+		kept := uint32(len(w.arena)) - s
+		if int(kept) < minItems {
+			w.arena = w.arena[:s]
+			w.start[i], w.count[i] = s, 0
+			w.active[i] = false
+			w.live--
+			continue
+		}
+		w.start[i], w.count[i] = s, kept
+		w.active[i] = true
+	}
+	return scanned
 }
 
 // Len returns the total number of transactions, active or not.
@@ -40,11 +99,40 @@ func (w *Work) Len() int { return len(w.tids) }
 // Live returns the number of still-active transactions.
 func (w *Work) Live() int { return w.live }
 
+// ItemsOf returns the current item list of transaction i (aliasing the
+// arena), regardless of its active flag.
+func (w *Work) ItemsOf(i int) itemset.Itemset {
+	return w.arena[w.start[i] : w.start[i]+w.count[i]]
+}
+
+// View is the raw-array view of a Work for direct shard iteration.
+type WorkView struct {
+	TIDs   []TID
+	Active []bool
+	Start  []uint32
+	Count  []uint32
+	Arena  []itemset.Item
+}
+
+// Items returns transaction i's current item list from the view.
+func (v WorkView) Items(i int) itemset.Itemset {
+	return v.Arena[v.Start[i] : v.Start[i]+v.Count[i]]
+}
+
+// View exposes the CSR arrays for the hot counting loops: each shard
+// iterates its own contiguous index range directly, with no per-transaction
+// callback. The arrays are owned by the Work; shards may only Trim or
+// PruneShard transactions inside their own range. The view is invalidated
+// by Reset/ResetFiltered.
+func (w *Work) View() WorkView {
+	return WorkView{TIDs: w.tids, Active: w.active, Start: w.start, Count: w.count, Arena: w.arena}
+}
+
 // Each calls fn for every active transaction.
 func (w *Work) Each(fn func(tid TID, items itemset.Itemset)) {
 	for i := range w.tids {
 		if w.active[i] {
-			fn(w.tids[i], w.items[i])
+			fn(w.tids[i], w.ItemsOf(i))
 		}
 	}
 }
@@ -54,7 +142,7 @@ func (w *Work) Each(fn func(tid TID, items itemset.Itemset)) {
 func (w *Work) EachIndexed(fn func(i int, tid TID, items itemset.Itemset)) {
 	for i := range w.tids {
 		if w.active[i] {
-			fn(i, w.tids[i], w.items[i])
+			fn(i, w.tids[i], w.ItemsOf(i))
 		}
 	}
 }
@@ -66,14 +154,26 @@ func (w *Work) EachIndexed(fn func(i int, tid TID, items itemset.Itemset)) {
 func (w *Work) EachIndexedRange(lo, hi int, fn func(i int, tid TID, items itemset.Itemset)) {
 	for i := lo; i < hi; i++ {
 		if w.active[i] {
-			fn(i, w.tids[i], w.items[i])
+			fn(i, w.tids[i], w.ItemsOf(i))
 		}
 	}
 }
 
-// Trim replaces the item list of transaction i. The new list must be sorted;
-// it may alias memory owned by the caller.
-func (w *Work) Trim(i int, items itemset.Itemset) { w.items[i] = items }
+// Trim replaces the item list of transaction i with items, which must be
+// sorted and no longer than the current list. The items are copied into the
+// transaction's existing arena range (a compaction in place when items
+// already aliases that range, as the miners' trim kernels arrange).
+func (w *Work) Trim(i int, items itemset.Itemset) {
+	if n := uint32(len(items)); n <= w.count[i] {
+		dst := w.arena[w.start[i] : w.start[i]+n]
+		if len(items) > 0 && &dst[0] != &items[0] {
+			copy(dst, items)
+		}
+		w.count[i] = n
+		return
+	}
+	panic("txdb: Trim grew a transaction")
+}
 
 // Prune deactivates transaction i; it is skipped by future Each calls.
 func (w *Work) Prune(i int) {
@@ -104,10 +204,17 @@ func (w *Work) AdjustLive(delta int) { w.live += delta }
 // proxy for a counting scan over the working database.
 func (w *Work) TotalItems() int {
 	n := 0
-	for i := range w.items {
+	for i := range w.count {
 		if w.active[i] {
-			n += len(w.items[i])
+			n += int(w.count[i])
 		}
 	}
 	return n
+}
+
+// MemBytes returns the resident size of the arrays the Work owns. The TID
+// array is a view of the source database's and is charged there, not here.
+func (w *Work) MemBytes() int64 {
+	return int64(4*cap(w.arena)) + int64(4*len(w.start)) + int64(4*len(w.count)) +
+		int64(len(w.active))
 }
