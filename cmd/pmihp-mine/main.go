@@ -1,6 +1,7 @@
 // Command pmihp-mine runs any of the implemented miners over a synthetic
 // corpus preset and prints frequent itemsets, association rules, and run
-// metrics.
+// metrics. It can also act as the coordinator of a real multi-process
+// cluster of pmihp-node workers.
 //
 // Usage:
 //
@@ -8,14 +9,18 @@
 //	pmihp-mine -algo mihp -corpus a -minsup-count 5 -top 25
 //	pmihp-mine -in docs.txt -algo pmihp -minsup-count 2       # line-format file
 //	pmihp-mine -trec wsj_0401 -algo mihp -minsup 0.02         # TREC markup
+//	pmihp-mine -spawn 4 -node-bin ./pmihp-node -minsup-count 2   # real 4-process cluster
+//	pmihp-mine -cluster host1:9001,host2:9001 -minsup-count 2    # pre-started daemons
 //
-// Algorithms: apriori, dhp, fpgrowth, mihp, ihp, cd, pmihp.
+// Algorithms: apriori, dhp, fpgrowth, mihp, ihp, cd, dd, pmihp.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"pmihp/internal/apriori"
 	"pmihp/internal/core"
@@ -23,6 +28,7 @@ import (
 	"pmihp/internal/countdist"
 	"pmihp/internal/datadist"
 	"pmihp/internal/dhp"
+	"pmihp/internal/distmine"
 	"pmihp/internal/fpgrowth"
 	"pmihp/internal/mining"
 	"pmihp/internal/rules"
@@ -31,21 +37,37 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pmihp-mine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pmihp-mine", flag.ContinueOnError)
 	var (
-		algo        = flag.String("algo", "pmihp", "apriori | dhp | fpgrowth | mihp | ihp | cd | dd | pmihp")
-		corpusID    = flag.String("corpus", "b", "corpus preset: a, b, or c")
-		scale       = flag.String("scale", "small", "corpus scale: small, harness, paper")
-		inFile      = flag.String("in", "", "mine a line-format documents file instead of a preset")
-		trecFile    = flag.String("trec", "", "mine a TREC-markup file instead of a preset")
-		minsup      = flag.Float64("minsup", 0.02, "minimum support fraction")
-		minsupCount = flag.Int("minsup-count", 0, "absolute minimum support count (overrides -minsup)")
-		maxK        = flag.Int("maxk", 0, "largest itemset size to mine (0 = unbounded)")
-		nodes       = flag.Int("nodes", 4, "simulated nodes for cd/pmihp")
-		top         = flag.Int("top", 15, "frequent itemsets to print")
-		nRules      = flag.Int("rules", 10, "association rules to print (0 to skip)")
-		minConf     = flag.Float64("minconf", 0.75, "minimum rule confidence")
+		algo        = fs.String("algo", "pmihp", "apriori | dhp | fpgrowth | mihp | ihp | cd | dd | pmihp")
+		corpusID    = fs.String("corpus", "b", "corpus preset: a, b, or c")
+		scale       = fs.String("scale", "small", "corpus scale: small, harness, paper")
+		inFile      = fs.String("in", "", "mine a line-format documents file instead of a preset")
+		trecFile    = fs.String("trec", "", "mine a TREC-markup file instead of a preset")
+		minsup      = fs.Float64("minsup", 0.02, "minimum support fraction")
+		minsupCount = fs.Int("minsup-count", 0, "absolute minimum support count (overrides -minsup)")
+		maxK        = fs.Int("maxk", 0, "largest itemset size to mine (0 = unbounded)")
+		nodes       = fs.Int("nodes", 4, "simulated nodes for cd/dd/pmihp")
+		cluster     = fs.String("cluster", "", "comma-separated pmihp-node addresses: mine on a real multi-process cluster")
+		spawn       = fs.Int("spawn", 0, "spawn N local pmihp-node worker processes and mine on them")
+		nodeBin     = fs.String("node-bin", "pmihp-node", "pmihp-node binary for -spawn")
+		top         = fs.Int("top", 15, "frequent itemsets to print")
+		nRules      = fs.Int("rules", 10, "association rules to print (0 to skip)")
+		minConf     = fs.Float64("minconf", 0.75, "minimum rule confidence")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cluster != "" && *spawn > 0 {
+		return fmt.Errorf("-cluster and -spawn are mutually exclusive")
+	}
 
 	var docs []text.Document
 	label := ""
@@ -54,20 +76,20 @@ func main() {
 		var err error
 		docs, err = text.LoadDocuments(*inFile)
 		if err != nil {
-			fail(err)
+			return fmt.Errorf("loading %s: %w", *inFile, err)
 		}
 		label = *inFile
 	case *trecFile != "":
 		var err error
 		docs, err = trec.ParseFile(*trecFile, nil)
 		if err != nil {
-			fail(err)
+			return fmt.Errorf("loading %s: %w", *trecFile, err)
 		}
 		label = *trecFile
 	default:
 		sc, err := corpus.ParseScale(*scale)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		var cfg corpus.Config
 		switch *corpusID {
@@ -78,81 +100,108 @@ func main() {
 		case "c":
 			cfg = corpus.CorpusC(sc)
 		default:
-			fail(fmt.Errorf("unknown corpus %q (want a, b, or c)", *corpusID))
+			return fmt.Errorf("unknown corpus %q (want a, b, or c)", *corpusID)
 		}
 		docs, err = corpus.Generate(cfg)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		label = fmt.Sprintf("%s (%s)", cfg.Name, sc)
+	}
+	if len(docs) == 0 {
+		return fmt.Errorf("corpus %s contains no documents", label)
 	}
 
 	db, vocab := text.ToDB(docs, nil)
 	st := db.ComputeStats()
-	fmt.Printf("corpus %s: %d docs, %d unique words, mean %.0f words/doc\n",
+	fmt.Fprintf(out, "corpus %s: %d docs, %d unique words, mean %.0f words/doc\n",
 		label, st.Docs, st.UniqueItems, st.MeanLen)
 
 	opts := mining.Options{MinSupFrac: *minsup, MinSupCount: *minsupCount, MaxK: *maxK}
 	var result *mining.Result
 	var err error
-	switch *algo {
-	case "apriori":
-		result, err = apriori.Mine(db, opts)
-	case "dhp":
-		result, err = dhp.Mine(db, opts)
-	case "fpgrowth":
-		result, err = fpgrowth.Mine(db, opts)
-	case "mihp":
-		result, err = core.MineMIHP(db, opts)
-	case "ihp":
-		result, err = core.MineIHP(db, opts)
-	case "cd":
-		var pr *core.ParallelResult
-		pr, err = countdist.Mine(db, countdist.Config{Nodes: *nodes}, opts)
-		if pr != nil {
-			result = pr.Result
-			fmt.Printf("simulated total time on %d nodes: %.1fs\n", *nodes, pr.TotalSeconds)
+	switch {
+	case *cluster != "" || *spawn > 0:
+		addrs := strings.Split(*cluster, ",")
+		if *spawn > 0 {
+			var stop func()
+			addrs, stop, err = distmine.SpawnNodes(*nodeBin, *spawn, os.Stderr)
+			if err != nil {
+				return err
+			}
+			defer stop()
+			fmt.Fprintf(out, "spawned %d pmihp-node workers: %s\n", *spawn, strings.Join(addrs, ", "))
 		}
-	case "dd":
-		var pr *core.ParallelResult
-		pr, err = datadist.Mine(db, datadist.Config{Nodes: *nodes}, opts)
-		if pr != nil {
-			result = pr.Result
-			fmt.Printf("simulated total time on %d nodes: %.1fs\n", *nodes, pr.TotalSeconds)
-		}
-	case "pmihp":
-		var pr *core.ParallelResult
-		pr, err = core.MinePMIHP(db, core.PMIHPConfig{Nodes: *nodes}, opts)
-		if pr != nil {
-			result = pr.Result
-			fmt.Printf("simulated total time on %d nodes: %.1fs\n", *nodes, pr.TotalSeconds)
+		var res *distmine.Result
+		res, err = distmine.MineCluster(db, distmine.ClusterConfig{Addrs: addrs}, opts)
+		if res != nil {
+			result = &mining.Result{Frequent: res.Frequent, Metrics: res.Metrics}
+			fmt.Fprintf(out, "cluster of %d nodes: %d wire messages, %d bytes, %d retries\n",
+				len(addrs), res.Metrics.WireMessagesSent, res.Metrics.WireBytesSent, res.Metrics.WireRetries)
 		}
 	default:
-		fail(fmt.Errorf("unknown algorithm %q", *algo))
+		switch *algo {
+		case "apriori":
+			result, err = apriori.Mine(db, opts)
+		case "dhp":
+			result, err = dhp.Mine(db, opts)
+		case "fpgrowth":
+			result, err = fpgrowth.Mine(db, opts)
+		case "mihp":
+			result, err = core.MineMIHP(db, opts)
+		case "ihp":
+			result, err = core.MineIHP(db, opts)
+		case "cd":
+			var pr *core.ParallelResult
+			pr, err = countdist.Mine(db, countdist.Config{Nodes: *nodes}, opts)
+			if pr != nil {
+				result = pr.Result
+				fmt.Fprintf(out, "simulated total time on %d nodes: %.1fs\n", *nodes, pr.TotalSeconds)
+			}
+		case "dd":
+			var pr *core.ParallelResult
+			pr, err = datadist.Mine(db, datadist.Config{Nodes: *nodes}, opts)
+			if pr != nil {
+				result = pr.Result
+				fmt.Fprintf(out, "simulated total time on %d nodes: %.1fs\n", *nodes, pr.TotalSeconds)
+			}
+		case "pmihp":
+			var pr *core.ParallelResult
+			pr, err = core.MinePMIHP(db, core.PMIHPConfig{Nodes: *nodes}, opts)
+			if pr != nil {
+				result = pr.Result
+				fmt.Fprintf(out, "simulated total time on %d nodes: %.1fs\n", *nodes, pr.TotalSeconds)
+			}
+		default:
+			return fmt.Errorf("unknown algorithm %q", *algo)
+		}
+		if err != nil {
+			err = fmt.Errorf("%s: %w", *algo, err)
+		}
 	}
 	if err != nil {
-		fail(fmt.Errorf("%s: %w", *algo, err))
+		return err
 	}
 
-	fmt.Printf("%s\n", result.Metrics.String())
+	fmt.Fprintf(out, "%s\n", result.Metrics.String())
 	byK := result.CountByK()
-	fmt.Printf("frequent itemsets found: %d total", len(result.Frequent))
+	fmt.Fprintf(out, "frequent itemsets found: %d total", len(result.Frequent))
 	for k := 1; ; k++ {
 		n, ok := byK[k]
 		if !ok {
 			break
 		}
-		fmt.Printf(", %d of size %d", n, k)
+		fmt.Fprintf(out, ", %d of size %d", n, k)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 
-	fmt.Printf("\ntop %d frequent itemsets (size >= 2):\n", *top)
+	fmt.Fprintf(out, "\ntop %d frequent itemsets (size >= 2):\n", *top)
 	printed := 0
 	for _, c := range result.Frequent {
 		if len(c.Set) < 2 {
 			continue
 		}
-		fmt.Printf("  %5d  %v\n", c.Count, vocab.Words(c.Set))
+		fmt.Fprintf(out, "  %5d  %v\n", c.Count, vocab.Words(c.Set))
 		printed++
 		if printed >= *top {
 			break
@@ -161,17 +210,13 @@ func main() {
 
 	if *nRules > 0 {
 		rs := rules.Generate(result.Frequent, db.Len(), *minConf)
-		fmt.Printf("\n%d rules at minconf %.2f; top %d:\n", len(rs), *minConf, *nRules)
+		fmt.Fprintf(out, "\n%d rules at minconf %.2f; top %d:\n", len(rs), *minConf, *nRules)
 		for i, r := range rs {
 			if i >= *nRules {
 				break
 			}
-			fmt.Printf("  %s\n", r.Render(vocab.Word))
+			fmt.Fprintf(out, "  %s\n", r.Render(vocab.Word))
 		}
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "pmihp-mine:", err)
-	os.Exit(1)
+	return nil
 }

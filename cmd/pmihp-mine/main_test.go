@@ -1,0 +1,79 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pmihp/internal/distmine"
+)
+
+func TestRunMissingCorpusFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.txt")
+	err := run([]string{"-in", path}, &strings.Builder{})
+	if err == nil {
+		t.Fatal("expected an error for a missing corpus file")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error does not name the file: %v", err)
+	}
+}
+
+func TestRunEmptyCorpusFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-in", path}, &strings.Builder{})
+	if err == nil {
+		t.Fatal("expected an error for an empty corpus")
+	}
+	if !strings.Contains(err.Error(), "no documents") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestRunPresetCorpus(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-corpus", "b", "-scale", "small", "-algo", "pmihp", "-minsup-count", "2", "-maxk", "3", "-rules", "0"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "frequent itemsets found") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunClusterAndSpawnExclusive(t *testing.T) {
+	err := run([]string{"-cluster", "x:1", "-spawn", "2"}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("expected mutual-exclusion error, got %v", err)
+	}
+}
+
+func TestRunClusterMode(t *testing.T) {
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		d := distmine.NewDaemon(distmine.DaemonOptions{})
+		go d.Serve(ln)
+		addrs[i] = ln.Addr().String()
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-cluster", strings.Join(addrs, ","),
+		"-corpus", "b", "-scale", "small", "-minsup-count", "2", "-maxk", "3", "-rules", "0",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cluster of 2 nodes") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}

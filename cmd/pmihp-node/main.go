@@ -1,0 +1,36 @@
+// Command pmihp-node is a PMIHP cluster worker: a daemon that serves
+// mining sessions driven by a pmihp-mine coordinator. It announces its
+// bound address on stdout ("pmihp-node listening on HOST:PORT") so
+// spawners can start it on an ephemeral port, then serves until killed.
+//
+// Usage:
+//
+//	pmihp-node [-listen 127.0.0.1:0] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pmihp/internal/distmine"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "address to listen on (port 0 picks a free port)")
+	verbose := flag.Bool("v", false, "log session lifecycle to stderr")
+	flag.Parse()
+
+	opt := distmine.DaemonOptions{}
+	if *verbose {
+		logger := log.New(os.Stderr, "", log.LstdFlags)
+		opt.Logf = logger.Printf
+	}
+	d := distmine.NewDaemon(opt)
+	announce := log.New(os.Stdout, "", 0)
+	if err := d.ListenAndServe(*listen, announce); err != nil {
+		fmt.Fprintf(os.Stderr, "pmihp-node: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -27,7 +27,7 @@ func TestCubePartner(t *testing.T) {
 		}
 	}
 	// Partnering is symmetric.
-	for n := range []int{2, 4, 8} {
+	for _, n := range []int{2, 4, 8} {
 		for i := 0; i < n; i++ {
 			for d := 0; d < CubeSteps(n); d++ {
 				p, ok := CubePartner(i, d, n)

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"slices"
 	"sync"
 
 	"pmihp/internal/cluster"
@@ -96,6 +95,14 @@ type ParallelResult struct {
 	// exchange.
 	THTExchangeSeconds   float64
 	FinalExchangeSeconds float64
+
+	// ExchangeSecondsByPass records the modeled collective time of each
+	// per-pass count exchange, in pass order. Count Distribution fills it
+	// (one all-reduce per pass); PMIHP has no per-pass collectives. The
+	// multi-process runtime reports measured wall-clock per exchange phase
+	// alongside (mining.Metrics.WireSeconds), so model and measurement can
+	// be validated against each other.
+	ExchangeSecondsByPass []float64
 }
 
 // AvgNodeSeconds returns the mean per-node simulated execution time
@@ -241,18 +248,7 @@ func MinePMIHP(db *txdb.DB, cfg PMIHPConfig, opts mining.Options) (*ParallelResu
 			globalCounts[it] += c
 		}
 	}
-	freq := make([]bool, db.NumItems())
-	var f1 []itemset.Item
-	var f1Counted []itemset.Counted
-	for it, c := range globalCounts {
-		if c >= globalMin {
-			freq[it] = true
-			f1 = append(f1, itemset.Item(it))
-			f1Counted = append(f1Counted, itemset.Counted{
-				Set: itemset.Itemset{itemset.Item(it)}, Count: c,
-			})
-		}
-	}
+	freq, f1, f1Counted := FrequentItems(globalCounts, globalMin)
 
 	// ---- Exchange: local THTs (all-gather), keeping frequent items. ----
 	maxTHTBytes := int64(0)
@@ -353,30 +349,13 @@ func MinePMIHP(db *txdb.DB, cfg PMIHPConfig, opts mining.Options) (*ParallelResu
 	}
 	out.FinalExchangeSeconds = fabric.AllGather(maxListBytes)
 
-	// ---- Merge. ----
-	// Several nodes may report the same itemset (with equal exact counts, or
-	// differing lower bounds in approx mode); sort by set and keep the best
-	// count per run of equals. Sorting replaces the former string-keyed map,
-	// which allocated an encoded key per found itemset.
+	// ---- Merge (shared with the multi-process runtime). ----
 	var all []itemset.Counted
 	for _, nd := range nodes {
 		all = append(all, nd.found...)
 	}
-	slices.SortFunc(all, func(a, b itemset.Counted) int { return itemset.Compare(a.Set, b.Set) })
 	res := &mining.Result{Metrics: mining.NewMetrics("pmihp")}
-	res.Frequent = append(res.Frequent, f1Counted...)
-	for i := 0; i < len(all); {
-		best := all[i]
-		j := i + 1
-		for ; j < len(all) && itemset.Compare(all[j].Set, best.Set) == 0; j++ {
-			if all[j].Count > best.Count {
-				best.Count = all[j].Count
-			}
-		}
-		res.Frequent = append(res.Frequent, best)
-		i = j
-	}
-	itemset.SortCounted(res.Frequent)
+	res.Frequent = MergeFound(f1Counted, all)
 
 	out.Nodes = make([]NodeReport, n)
 	for i, nd := range nodes {

@@ -88,7 +88,7 @@ func Mine(db *txdb.DB, cfg Config, opts mining.Options) (*core.ParallelResult, e
 		fabric.Clock(i).AdvanceWork(m.Work.Units)
 		m.AddCandidates(1, db.NumItems())
 	}
-	fabric.AllReduce(int64(4 * db.NumItems()))
+	out.ExchangeSecondsByPass = append(out.ExchangeSecondsByPass, fabric.AllReduce(int64(4*db.NumItems())))
 
 	frequent := make([]bool, db.NumItems())
 	var f1 []itemset.Item
@@ -150,7 +150,7 @@ func Mine(db *txdb.DB, cfg Config, opts mining.Options) (*core.ParallelResult, e
 		fabric.Clock(i).AdvanceWork(m.Work.Units - before)
 	}
 	// The count vector over the replicated candidate set is all-reduced.
-	fabric.AllReduce(int64(4 * nPairs))
+	out.ExchangeSecondsByPass = append(out.ExchangeSecondsByPass, fabric.AllReduce(int64(4*nPairs)))
 
 	var prev []itemset.Itemset
 	for key, c := range pairCounts {
@@ -199,7 +199,7 @@ func Mine(db *txdb.DB, cfg Config, opts mining.Options) (*core.ParallelResult, e
 			}
 			fabric.Clock(i).AdvanceWork(m.Work.Units - before)
 		}
-		fabric.AllReduce(int64(4 * len(cands)))
+		out.ExchangeSecondsByPass = append(out.ExchangeSecondsByPass, fabric.AllReduce(int64(4*len(cands))))
 
 		prev = prev[:0]
 		for i, c := range total {

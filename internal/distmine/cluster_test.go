@@ -1,0 +1,273 @@
+package distmine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pmihp/internal/corpus"
+	"pmihp/internal/mining"
+	"pmihp/internal/transport"
+)
+
+// nodeBin is the pmihp-node binary built once by TestMain for the
+// multi-process tests.
+var (
+	nodeBin  string
+	buildErr error
+)
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "pmihp-node-bin")
+	if err != nil {
+		buildErr = err
+	} else {
+		bin := filepath.Join(dir, "pmihp-node")
+		out, err := exec.Command("go", "build", "-o", bin, "pmihp/cmd/pmihp-node").CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build pmihp/cmd/pmihp-node: %v\n%s", err, out)
+		} else {
+			nodeBin = bin
+		}
+	}
+	code := m.Run()
+	if dir != "" {
+		os.RemoveAll(dir)
+	}
+	os.Exit(code)
+}
+
+var fastRetry = transport.RetryPolicy{Attempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+
+// startDaemons runs n node daemons in-process on loopback listeners and
+// returns their addresses.
+func startDaemons(t *testing.T, n int, opt DaemonOptions) []string {
+	t.Helper()
+	if opt.Retry.Attempts == 0 {
+		opt.Retry = fastRetry
+	}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		d := NewDaemon(opt)
+		go d.Serve(ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs
+}
+
+func TestClusterMatchesPMIHP(t *testing.T) {
+	for _, n := range []int{2, 3, 8} { // 3 exercises the star fallback
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			addrs := startDaemons(t, n, DaemonOptions{})
+			db := buildDB(t, corpus.CorpusB(corpus.Small))
+			opts := mining.Options{MinSupCount: 2, MaxK: 3}
+			ref := pmihpRef(t, db, n, opts)
+			got, err := MineCluster(db, ClusterConfig{Addrs: addrs, Retry: fastRetry}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, ref, got)
+			if got.Metrics.WireMessagesSent == 0 || got.Metrics.WireBytesSent == 0 {
+				t.Fatalf("wire traffic not accounted: %+v", got.Metrics)
+			}
+		})
+	}
+}
+
+// TestMultiProcessCluster is the headline integration test: real
+// pmihp-node worker processes on loopback, driven end to end by the
+// coordinator, must produce frequent itemsets byte-identical to the
+// in-process PMIHP miner.
+func TestMultiProcessCluster(t *testing.T) {
+	if nodeBin == "" {
+		t.Fatalf("pmihp-node binary unavailable: %v", buildErr)
+	}
+	for _, n := range []int{2, 8} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			addrs, stop, err := SpawnNodes(nodeBin, n, os.Stderr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer stop()
+			db := buildDB(t, corpus.CorpusB(corpus.Small))
+			opts := mining.Options{MinSupCount: 2, MaxK: 3}
+			ref := pmihpRef(t, db, n, opts)
+			got, err := MineCluster(db, ClusterConfig{Addrs: addrs, Retry: fastRetry}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, ref, got)
+		})
+	}
+}
+
+// flakyProxy fronts one node's address and kills the first `kills`
+// peer (cube/poll) connections right after their Hello, leaving the
+// coordinator's control connection alone. It decodes each connection's
+// Hello frame to tell the two apart.
+type flakyProxy struct {
+	ln     net.Listener
+	target string
+	mu     sync.Mutex
+	kills  int
+	killed int
+}
+
+func startFlakyProxy(t *testing.T, target string, kills int) *flakyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	p := &flakyProxy{ln: ln, target: target, kills: kills}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go p.handle(c)
+		}
+	}()
+	return p
+}
+
+func (p *flakyProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *flakyProxy) handle(c net.Conn) {
+	defer c.Close()
+	var hdr [6]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > 1024 {
+		return
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c, payload); err != nil {
+		return
+	}
+	h, err := transport.DecodeHello(payload)
+	if err != nil {
+		return
+	}
+	if h.Purpose != transport.PurposeControl {
+		p.mu.Lock()
+		kill := p.killed < p.kills
+		if kill {
+			p.killed++
+		}
+		p.mu.Unlock()
+		if kill {
+			return // drop the connection mid-handshake
+		}
+	}
+	up, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	up.Write(hdr[:])
+	up.Write(payload)
+	go func() {
+		io.Copy(up, c)
+		if tc, ok := up.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+	io.Copy(c, up)
+}
+
+// TestClusterRecoversFromKilledConns kills one node's first few peer
+// connections mid-exchange; retry/backoff must recover and the result
+// must still be byte-identical.
+func TestClusterRecoversFromKilledConns(t *testing.T) {
+	addrs := startDaemons(t, 2, DaemonOptions{})
+	proxy := startFlakyProxy(t, addrs[1], 2)
+	addrs[1] = proxy.addr()
+
+	db := buildDB(t, corpus.CorpusB(corpus.Small))
+	opts := mining.Options{MinSupCount: 2, MaxK: 3}
+	ref := pmihpRef(t, db, 2, opts)
+	got, err := MineCluster(db, ClusterConfig{Addrs: addrs, Retry: fastRetry}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, ref, got)
+	if got.Metrics.WireRetries == 0 {
+		t.Fatalf("expected retries after killed connections, stats: %+v", got.Metrics)
+	}
+	proxy.mu.Lock()
+	killed := proxy.killed
+	proxy.mu.Unlock()
+	if killed != 2 {
+		t.Fatalf("proxy killed %d connections, want 2", killed)
+	}
+}
+
+// TestClusterPeerRetriesExhausted kills every peer connection to one
+// node; the session must fail with a clean, attributed error rather
+// than hang or panic.
+func TestClusterPeerRetriesExhausted(t *testing.T) {
+	opt := DaemonOptions{
+		Retry:       transport.RetryPolicy{Attempts: 2, BaseDelay: 1 * time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		WaitTimeout: 2 * time.Second,
+	}
+	addrs := startDaemons(t, 2, opt)
+	proxy := startFlakyProxy(t, addrs[1], 1<<30)
+	addrs[1] = proxy.addr()
+
+	db := buildDB(t, corpus.CorpusB(corpus.Small))
+	_, err := MineCluster(db, ClusterConfig{
+		Addrs:       addrs,
+		Retry:       fastRetry,
+		MineTimeout: 30 * time.Second,
+	}, mining.Options{MinSupCount: 2, MaxK: 3})
+	if err == nil {
+		t.Fatal("expected failure with all peer connections killed")
+	}
+	if !strings.Contains(err.Error(), "all-gather") || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("error not attributed to the failing exchange: %v", err)
+	}
+}
+
+// TestClusterDeadNodesFail points the coordinator at addresses nobody
+// is listening on; it must return a clean attributed dial error after
+// exhausting retries.
+func TestClusterDeadNodesFail(t *testing.T) {
+	dead := make([]string, 2)
+	for i := range dead {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dead[i] = ln.Addr().String()
+		ln.Close()
+	}
+	db := buildDB(t, corpus.CorpusB(corpus.Small))
+	_, err := MineCluster(db, ClusterConfig{
+		Addrs: dead,
+		Retry: transport.RetryPolicy{Attempts: 2, BaseDelay: 1 * time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	}, mining.Options{MinSupCount: 2})
+	if err == nil {
+		t.Fatal("expected dial failure against dead addresses")
+	}
+	if !strings.Contains(err.Error(), "node 0") || !strings.Contains(err.Error(), "control dial") {
+		t.Fatalf("error not attributed: %v", err)
+	}
+}

@@ -1,0 +1,202 @@
+package distmine
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pmihp/internal/core"
+	"pmihp/internal/itemset"
+	"pmihp/internal/mining"
+	"pmihp/internal/transport"
+	"pmihp/internal/txdb"
+)
+
+// ClusterConfig configures a coordinator-driven multi-process run.
+type ClusterConfig struct {
+	// Addrs lists the node daemons' listen addresses, one per node; the
+	// cluster size is len(Addrs).
+	Addrs []string
+	// Retry bounds control-plane dials; zero selects the default policy.
+	Retry transport.RetryPolicy
+	// IOTimeout bounds individual control reads/writes (zero: 30s).
+	// MineTimeout bounds the whole mining session (zero: 10min).
+	IOTimeout   time.Duration
+	MineTimeout time.Duration
+}
+
+// MineCluster mines db across the node daemons listed in cfg: it splits
+// the database chronologically, ships each node its partition with the
+// resolved session parameters, lets the nodes run the PMIHP protocol
+// among themselves over their peer exchanges, and merges their reports.
+// The frequent list is byte-identical to core.MinePMIHP's in exact mode
+// on the same inputs.
+func MineCluster(db *txdb.DB, cfg ClusterConfig, opts mining.Options) (*Result, error) {
+	n := len(cfg.Addrs)
+	if n == 0 {
+		return nil, fmt.Errorf("distmine: no node addresses")
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 30 * time.Second
+	}
+	if cfg.MineTimeout <= 0 {
+		cfg.MineTimeout = 10 * time.Minute
+	}
+	cfg.Retry = cfg.Retry.WithDefaults()
+	p, opts := params(db, opts)
+	parts := db.SplitChronological(n)
+
+	var idBytes [8]byte
+	if _, err := rand.Read(idBytes[:]); err != nil {
+		return nil, fmt.Errorf("distmine: cluster id: %w", err)
+	}
+	clusterID := binary.LittleEndian.Uint64(idBytes[:])
+
+	// Dial every daemon's control plane (with retry — daemons may still
+	// be starting up) and initialize it with its partition.
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.MineTimeout)
+	defer cancel()
+	conns := make([]net.Conn, n)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		var conn net.Conn
+		err := transport.Retry(ctx, cfg.Retry, nil, func() error {
+			c, err := net.DialTimeout("tcp", cfg.Addrs[i], cfg.IOTimeout)
+			if err != nil {
+				return err
+			}
+			c.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
+			hello := transport.AppendHello(nil, transport.Hello{
+				ClusterID: clusterID, From: -1, Purpose: transport.PurposeControl,
+			})
+			if err := transport.WriteFrame(c, transport.MsgHello, hello, nil); err != nil {
+				c.Close()
+				return err
+			}
+			conn = c
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("distmine: node %d (%s): control dial: %w", i, cfg.Addrs[i], err)
+		}
+		conns[i] = conn
+
+		var dbBuf bytes.Buffer
+		if err := parts[i].Encode(&dbBuf); err != nil {
+			return nil, fmt.Errorf("distmine: node %d: encoding partition: %w", i, err)
+		}
+		init := transport.Init{
+			ClusterID:     clusterID,
+			NodeID:        int32(i),
+			Nodes:         int32(n),
+			TotalDocs:     int32(p.TotalDocs),
+			NumItems:      int32(p.NumItems),
+			GlobalMin:     int32(p.GlobalMin),
+			THTEntries:    int32(p.THTEntries),
+			PartitionSize: int32(p.PartitionSize),
+			MaxK:          int32(p.MaxK),
+			Workers:       int32(p.Workers),
+			PeerAddrs:     cfg.Addrs,
+			DB:            dbBuf.Bytes(),
+		}
+		conn.SetWriteDeadline(time.Now().Add(cfg.MineTimeout))
+		if err := transport.WriteFrame(conn, transport.MsgInit, transport.AppendInit(nil, init), nil); err != nil {
+			return nil, fmt.Errorf("distmine: node %d (%s): sending init: %w", i, cfg.Addrs[i], err)
+		}
+	}
+
+	// Collect every node's terminal report. On the first failure, abort
+	// the whole session so surviving nodes blocked in collectives are
+	// released instead of waiting out their timeouts.
+	dones := make([]transport.NodeDone, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	shutdownAll := func() {
+		for _, c := range conns {
+			c.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
+			transport.WriteFrame(c, transport.MsgShutdown, nil, nil)
+		}
+	}
+	var abortOnce sync.Once
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn := conns[i]
+			conn.SetReadDeadline(time.Now().Add(cfg.MineTimeout))
+			t, payload, err := transport.ReadFrame(conn, nil)
+			if err != nil {
+				errs[i] = fmt.Errorf("node %d (%s): waiting for report: %w", i, cfg.Addrs[i], err)
+			} else {
+				switch t {
+				case transport.MsgNodeDone:
+					done, derr := transport.DecodeNodeDone(payload)
+					if derr != nil {
+						errs[i] = fmt.Errorf("node %d (%s): bad report: %w", i, cfg.Addrs[i], derr)
+					} else {
+						dones[i] = done
+					}
+				case transport.MsgError:
+					em, _ := transport.DecodeError(payload)
+					errs[i] = fmt.Errorf("node %d (%s) failed: %s", i, cfg.Addrs[i], em.Text)
+				default:
+					errs[i] = fmt.Errorf("node %d (%s): unexpected message type %d", i, cfg.Addrs[i], t)
+				}
+			}
+			if errs[i] != nil {
+				abortOnce.Do(shutdownAll)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("distmine: %w", err)
+		}
+	}
+	shutdownAll()
+
+	// ---- Merge, exactly as the in-process miner does. ----
+	if len(dones[0].GlobalCounts) != p.NumItems {
+		return nil, fmt.Errorf("distmine: node 0 reported %d global item counts, want %d",
+			len(dones[0].GlobalCounts), p.NumItems)
+	}
+	globalCounts := make([]int, p.NumItems)
+	for it, c := range dones[0].GlobalCounts {
+		globalCounts[it] = int(c)
+	}
+	_, _, f1Counted := core.FrequentItems(globalCounts, p.GlobalMin)
+	var all []itemset.Counted
+	for _, done := range dones {
+		all = append(all, done.Found...)
+	}
+	res := &Result{
+		Frequent: core.MergeFound(f1Counted, all),
+		Metrics:  mining.NewMetrics("distmine"),
+		Nodes:    make([]NodeStats, n),
+	}
+	for i, done := range dones {
+		ns := NodeStats{Node: i, Docs: parts[i].Len(), Wire: done.Stats, PhaseSeconds: done.PhaseSeconds}
+		res.Nodes[i] = ns
+		res.Metrics.WireMessagesSent += ns.Wire.MessagesSent
+		res.Metrics.WireMessagesReceived += ns.Wire.MessagesReceived
+		res.Metrics.WireBytesSent += ns.Wire.BytesSent
+		res.Metrics.WireBytesReceived += ns.Wire.BytesReceived
+		res.Metrics.WireRetries += ns.Wire.Retries
+		for _, s := range ns.PhaseSeconds {
+			res.Metrics.WireSeconds += s
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,247 @@
+package distmine
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"pmihp/internal/transport"
+	"pmihp/internal/txdb"
+)
+
+// DaemonOptions tunes a node daemon.
+type DaemonOptions struct {
+	// IOTimeout bounds individual reads/writes; WaitTimeout bounds waits
+	// for cluster-level progress (a peer reaching a collective, an Init
+	// arriving for an early peer connection). Zeros select the transport
+	// defaults (30s / 120s).
+	IOTimeout   time.Duration
+	WaitTimeout time.Duration
+	// Retry bounds the exchange's dial/step retries.
+	Retry transport.RetryPolicy
+	// Logf, when non-nil, receives daemon lifecycle logs.
+	Logf func(format string, args ...any)
+}
+
+// Daemon is a PMIHP worker process: one listener serving the
+// coordinator's control plane and peers' exchange traffic, dispatched
+// by each connection's Hello. A daemon can serve many mining sessions
+// over its lifetime (sequentially or concurrently); sessions are keyed
+// by the coordinator-chosen cluster id.
+type Daemon struct {
+	opt  DaemonOptions
+	addr string
+
+	mu       sync.Mutex
+	sessions map[uint64]*transport.TCPExchange
+}
+
+// NewDaemon returns a daemon with the given options.
+func NewDaemon(opt DaemonOptions) *Daemon {
+	if opt.WaitTimeout <= 0 {
+		opt.WaitTimeout = 120 * time.Second
+	}
+	if opt.IOTimeout <= 0 {
+		opt.IOTimeout = 30 * time.Second
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+	return &Daemon{opt: opt, sessions: make(map[uint64]*transport.TCPExchange)}
+}
+
+// Serve accepts and dispatches connections until the listener closes.
+func (d *Daemon) Serve(ln net.Listener) error {
+	d.addr = ln.Addr().String()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go d.handleConn(conn)
+	}
+}
+
+// handleConn reads the Hello and routes the connection.
+func (d *Daemon) handleConn(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(d.opt.WaitTimeout))
+	t, payload, err := transport.ReadFrame(conn, nil)
+	if err != nil || t != transport.MsgHello {
+		conn.Close()
+		return
+	}
+	hello, err := transport.DecodeHello(payload)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch hello.Purpose {
+	case transport.PurposeControl:
+		d.handleControl(conn, hello)
+	case transport.PurposeCube, transport.PurposePoll:
+		// A peer may connect before this node's Init has been processed
+		// (the coordinator initializes nodes one by one); wait for the
+		// session to appear.
+		x, err := d.exchange(hello.ClusterID)
+		if err != nil {
+			d.opt.Logf("pmihp-node: dropping peer conn for unknown cluster %x: %v", hello.ClusterID, err)
+			conn.Close()
+			return
+		}
+		x.HandlePeerConn(conn, hello)
+	default:
+		conn.Close()
+	}
+}
+
+// exchange waits for the session with the given cluster id to be
+// registered and returns its exchange.
+func (d *Daemon) exchange(clusterID uint64) (*transport.TCPExchange, error) {
+	deadline := time.Now().Add(d.opt.WaitTimeout)
+	for {
+		d.mu.Lock()
+		x := d.sessions[clusterID]
+		d.mu.Unlock()
+		if x != nil {
+			return x, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("no session for cluster %x after %v", clusterID, d.opt.WaitTimeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// handleControl runs one mining session driven by the coordinator:
+// Init in, NodeDone (or ErrorMsg) out, Shutdown to finish.
+func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
+	defer conn.Close()
+	fail := func(err error) {
+		d.opt.Logf("pmihp-node: session %x: %v", hello.ClusterID, err)
+		conn.SetWriteDeadline(time.Now().Add(d.opt.IOTimeout))
+		transport.WriteFrame(conn, transport.MsgError,
+			transport.AppendError(nil, transport.ErrorMsg{Text: err.Error()}), nil)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(d.opt.WaitTimeout))
+	t, payload, err := transport.ReadFrame(conn, nil)
+	if err != nil {
+		d.opt.Logf("pmihp-node: session %x: reading init: %v", hello.ClusterID, err)
+		return
+	}
+	if t != transport.MsgInit {
+		fail(fmt.Errorf("expected init, got message type %d", t))
+		return
+	}
+	init, err := transport.DecodeInit(payload)
+	if err != nil {
+		fail(fmt.Errorf("bad init: %w", err))
+		return
+	}
+	if init.ClusterID != hello.ClusterID {
+		fail(fmt.Errorf("init cluster %x on control conn for %x", init.ClusterID, hello.ClusterID))
+		return
+	}
+	db, err := txdb.ReadDB(bytes.NewReader(init.DB))
+	if err != nil {
+		fail(fmt.Errorf("decoding partition: %w", err))
+		return
+	}
+
+	x, err := transport.NewTCP(transport.TCPOptions{
+		ClusterID:   init.ClusterID,
+		NodeID:      int(init.NodeID),
+		Nodes:       int(init.Nodes),
+		Peers:       init.PeerAddrs,
+		Retry:       d.opt.Retry,
+		IOTimeout:   d.opt.IOTimeout,
+		WaitTimeout: d.opt.WaitTimeout,
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	d.mu.Lock()
+	if d.sessions[init.ClusterID] != nil {
+		d.mu.Unlock()
+		x.Close()
+		fail(fmt.Errorf("cluster %x already has a session here", init.ClusterID))
+		return
+	}
+	d.sessions[init.ClusterID] = x
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		delete(d.sessions, init.ClusterID)
+		d.mu.Unlock()
+		x.Close()
+	}()
+
+	d.opt.Logf("pmihp-node: session %x: node %d/%d, %d docs", init.ClusterID, init.NodeID, init.Nodes, db.Len())
+	outcome, err := runNode(x, db, NodeParams{
+		TotalDocs:     int(init.TotalDocs),
+		NumItems:      int(init.NumItems),
+		GlobalMin:     int(init.GlobalMin),
+		THTEntries:    int(init.THTEntries),
+		PartitionSize: int(init.PartitionSize),
+		MaxK:          int(init.MaxK),
+		Workers:       int(init.Workers),
+	})
+	if err != nil {
+		fail(fmt.Errorf("node %d: %w", init.NodeID, err))
+		// Keep the session registered until Shutdown so surviving peers'
+		// retries meet a live (if failing) endpoint rather than a vanished
+		// one; the coordinator aborts everyone on our ErrorMsg.
+		d.awaitShutdown(conn)
+		return
+	}
+
+	done := transport.NodeDone{
+		Node:         init.NodeID,
+		Found:        outcome.Found,
+		Stats:        x.Stats().Snapshot(),
+		PhaseSeconds: outcome.PhaseSeconds,
+	}
+	if init.NodeID == 0 {
+		done.GlobalCounts = make([]uint32, len(outcome.GlobalCounts))
+		for i, c := range outcome.GlobalCounts {
+			done.GlobalCounts[i] = uint32(c)
+		}
+	}
+	conn.SetWriteDeadline(time.Now().Add(d.opt.WaitTimeout))
+	if err := transport.WriteFrame(conn, transport.MsgNodeDone, transport.AppendNodeDone(nil, done), nil); err != nil {
+		d.opt.Logf("pmihp-node: session %x: sending done: %v", init.ClusterID, err)
+		return
+	}
+	d.awaitShutdown(conn)
+	d.opt.Logf("pmihp-node: session %x: finished", init.ClusterID)
+}
+
+// awaitShutdown blocks until the coordinator's Shutdown (or the control
+// connection drops).
+func (d *Daemon) awaitShutdown(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(d.opt.WaitTimeout))
+	for {
+		t, _, err := transport.ReadFrame(conn, nil)
+		if err != nil || t == transport.MsgShutdown {
+			return
+		}
+	}
+}
+
+// ListenAndServe listens on addr (host:0 picks a free port), announces
+// the bound address on announce in the exact form the spawner parses,
+// and serves until the process exits.
+func (d *Daemon) ListenAndServe(addr string, announce *log.Logger) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if announce != nil {
+		announce.Printf("pmihp-node listening on %s", ln.Addr().String())
+	}
+	return d.Serve(ln)
+}

@@ -1,0 +1,112 @@
+package distmine
+
+import (
+	"fmt"
+	"sync"
+
+	"pmihp/internal/itemset"
+	"pmihp/internal/mining"
+	"pmihp/internal/transport"
+	"pmihp/internal/txdb"
+)
+
+// NodeStats is the per-node outcome of a cluster run: measured wire
+// traffic and the wall-clock seconds of each exchange phase.
+type NodeStats struct {
+	Node int
+	Docs int
+	Wire transport.WireStatsSnapshot
+	// PhaseSeconds: [0] item-count exchange, [1] THT exchange,
+	// [2] candidate polling, [3] final frequent-list exchange.
+	PhaseSeconds [4]float64
+}
+
+// Result is the outcome of a distmine cluster run (in-process or
+// multi-process).
+type Result struct {
+	// Frequent is the merged globally frequent itemset list, identical
+	// to core.MinePMIHP's on the same inputs.
+	Frequent []itemset.Counted
+	// Metrics aggregates the nodes' mining and poll-service accounting;
+	// its Wire* fields carry the cluster-wide measured traffic.
+	Metrics mining.Metrics
+	Nodes   []NodeStats
+}
+
+// params resolves the cluster-wide session parameters from the options,
+// once, at the coordinator (or the in-process driver) — nodes receive
+// resolved values and never re-derive them.
+func params(db *txdb.DB, opts mining.Options) (NodeParams, mining.Options) {
+	opts = opts.WithDefaults()
+	return NodeParams{
+		TotalDocs:     db.Len(),
+		NumItems:      db.NumItems(),
+		GlobalMin:     opts.MinCount(db.Len()),
+		THTEntries:    opts.THTEntries,
+		PartitionSize: opts.PartitionSize,
+		MaxK:          opts.MaxK,
+		Workers:       opts.IntraNodeWorkers,
+	}, opts
+}
+
+// assemble folds per-node outcomes into the cluster result. merged is
+// any node's Merged list (they are all identical).
+func assemble(parts []*txdb.DB, outcomes []*nodeOutcome, stats []transport.WireStatsSnapshot, merged []itemset.Counted) *Result {
+	res := &Result{
+		Frequent: merged,
+		Metrics:  mining.NewMetrics("distmine"),
+		Nodes:    make([]NodeStats, len(outcomes)),
+	}
+	for i, o := range outcomes {
+		ns := NodeStats{Node: i, Docs: parts[i].Len(), Wire: stats[i], PhaseSeconds: o.PhaseSeconds}
+		res.Nodes[i] = ns
+		res.Metrics.Merge(&o.Miner)
+		res.Metrics.Merge(&o.Server)
+		res.Metrics.WireMessagesSent += ns.Wire.MessagesSent
+		res.Metrics.WireMessagesReceived += ns.Wire.MessagesReceived
+		res.Metrics.WireBytesSent += ns.Wire.BytesSent
+		res.Metrics.WireBytesReceived += ns.Wire.BytesReceived
+		res.Metrics.WireRetries += ns.Wire.Retries
+		for _, s := range o.PhaseSeconds {
+			res.Metrics.WireSeconds += s
+		}
+	}
+	res.Metrics.Algorithm = "distmine"
+	return res
+}
+
+// MineInProcess runs the distributed node protocol on n in-process
+// nodes connected by the channel exchange — same protocol, no sockets.
+// It exists for tests and as the reference the TCP runtime is checked
+// against; both produce frequent itemsets byte-identical to
+// core.MinePMIHP in exact mode.
+func MineInProcess(db *txdb.DB, n int, opts mining.Options) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("distmine: need at least one node, got %d", n)
+	}
+	p, opts := params(db, opts)
+	parts := db.SplitChronological(n)
+	exchanges := transport.NewChanGroup(n)
+
+	outcomes := make([]*nodeOutcome, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outcomes[i], errs[i] = runNode(exchanges[i], parts[i], p)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("distmine: node %d: %w", i, err)
+		}
+	}
+	stats := make([]transport.WireStatsSnapshot, n)
+	for i := range stats {
+		stats[i] = exchanges[i].Stats().Snapshot()
+	}
+	return assemble(parts, outcomes, stats, outcomes[0].Merged), nil
+}

@@ -1,0 +1,88 @@
+package distmine
+
+import (
+	"fmt"
+	"testing"
+
+	"pmihp/internal/core"
+	"pmihp/internal/corpus"
+	"pmihp/internal/mining"
+	"pmihp/internal/text"
+	"pmihp/internal/txdb"
+)
+
+func buildDB(t testing.TB, cfg corpus.Config) *txdb.DB {
+	t.Helper()
+	docs, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := text.ToDB(docs, nil)
+	return db
+}
+
+// requireIdentical asserts the distmine frequent list is byte-identical
+// to the in-process PMIHP reference: same itemsets, same counts, same
+// order.
+func requireIdentical(t *testing.T, ref []mining.Result, got *Result) {
+	t.Helper()
+	want := ref[0].Frequent
+	if len(got.Frequent) != len(want) {
+		t.Fatalf("frequent list length %d, want %d", len(got.Frequent), len(want))
+	}
+	for i := range want {
+		if !want[i].Set.Equal(got.Frequent[i].Set) || want[i].Count != got.Frequent[i].Count {
+			t.Fatalf("entry %d: got %v/%d, want %v/%d",
+				i, got.Frequent[i].Set, got.Frequent[i].Count, want[i].Set, want[i].Count)
+		}
+	}
+}
+
+func pmihpRef(t *testing.T, db *txdb.DB, nodes int, opts mining.Options) []mining.Result {
+	t.Helper()
+	r, err := core.MinePMIHP(db, core.PMIHPConfig{Nodes: nodes}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []mining.Result{*r.Result}
+}
+
+func TestInProcessMatchesPMIHP(t *testing.T) {
+	for _, tc := range []struct {
+		nodes int
+		opts  mining.Options
+	}{
+		{1, mining.Options{MinSupCount: 2, MaxK: 3}},
+		{2, mining.Options{MinSupCount: 2, MaxK: 3}},
+		{4, mining.Options{MinSupFrac: 0.05, MaxK: 4}},
+		{7, mining.Options{MinSupCount: 2, MaxK: 3}}, // non-power-of-two
+		{8, mining.Options{MinSupCount: 3}},
+	} {
+		t.Run(fmt.Sprintf("n=%d", tc.nodes), func(t *testing.T) {
+			db := buildDB(t, corpus.CorpusB(corpus.Small))
+			ref := pmihpRef(t, db, tc.nodes, tc.opts)
+			got, err := MineInProcess(db, tc.nodes, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, ref, got)
+		})
+	}
+}
+
+func TestInProcessWireStatsAccounted(t *testing.T) {
+	db := buildDB(t, corpus.CorpusB(corpus.Small))
+	res, err := MineInProcess(db, 4, mining.Options{MinSupCount: 2, MaxK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.WireMessagesSent == 0 || res.Metrics.WireBytesSent == 0 {
+		t.Fatalf("wire traffic not accounted: %+v", res.Metrics)
+	}
+	if res.Metrics.WireRetries != 0 {
+		t.Fatalf("in-process exchange reported retries: %d", res.Metrics.WireRetries)
+	}
+	if len(res.Nodes) != 4 {
+		t.Fatalf("node stats: %d", len(res.Nodes))
+	}
+}

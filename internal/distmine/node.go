@@ -1,0 +1,259 @@
+// Package distmine is the multi-process cluster runtime: it drives the
+// PMIHP node protocol of internal/core over a transport.Exchange, so the
+// same algorithm that runs in-process with simulated clocks also runs
+// across OS processes over real TCP connections.
+//
+// The protocol a node executes is exactly the phase sequence of
+// core.MinePMIHP — pass-1 THT build, item-count exchange, THT exchange,
+// local mining with candidate polling, final frequent-list exchange —
+// with the in-process fabric replaced by the exchange. Global counting
+// runs deferred: every locally frequent itemset is queued during mining
+// and resolved by peer polls afterwards. In exact mode that ordering is
+// invisible in the output — polls have no feedback into local mining,
+// exact counts sum identically in any order, and the merge is a
+// deterministic sort — which is why the distributed runtime produces
+// frequent itemsets byte-identical to the in-process miner.
+package distmine
+
+import (
+	"fmt"
+	"time"
+
+	"pmihp/internal/core"
+	"pmihp/internal/itemset"
+	"pmihp/internal/mining"
+	"pmihp/internal/tht"
+	"pmihp/internal/transport"
+	"pmihp/internal/txdb"
+)
+
+// NodeParams carries the session parameters resolved at the coordinator
+// (the body of the Init message, minus the partition itself).
+type NodeParams struct {
+	TotalDocs int // |D| across the cluster
+	NumItems  int
+	GlobalMin int // global minimum support count
+
+	THTEntries    int // global THT slots; each node builds entries/N (min 4)
+	PartitionSize int
+	MaxK          int
+	Workers       int // intra-node workers (0 = GOMAXPROCS)
+}
+
+// nodeOutcome is what one node's protocol run produces.
+type nodeOutcome struct {
+	// GlobalCounts is the all-reduced per-item count vector (identical at
+	// every node; the coordinator reads node 0's).
+	GlobalCounts []int
+	// Found is this node's globally frequent itemsets (k >= 2), with
+	// exact global counts.
+	Found []itemset.Counted
+	// Merged is the cluster-wide frequent list (F1 included) assembled
+	// from the final all-gather — the full mining result, available at
+	// every node as the paper's protocol provides.
+	Merged []itemset.Counted
+	// PhaseSeconds is measured wall clock: [0] item-count exchange,
+	// [1] THT exchange, [2] candidate polling, [3] final exchange.
+	PhaseSeconds [4]float64
+	// Miner and Server are the node's mining and poll-service accounting.
+	Miner, Server mining.Metrics
+}
+
+// runNode executes the PMIHP node protocol over the exchange. The
+// caller owns the exchange (and its listener, for TCP) and closes it
+// after the coordinator's shutdown.
+func runNode(x transport.Exchange, db *txdb.DB, p NodeParams) (*nodeOutcome, error) {
+	n, self := x.Nodes(), x.NodeID()
+	out := &nodeOutcome{
+		Miner:  mining.NewMetrics("distmine-miner"),
+		Server: mining.NewMetrics("distmine-server"),
+	}
+	opts := mining.Options{
+		MinSupCount:      p.GlobalMin, // resolved at the coordinator
+		MaxK:             p.MaxK,
+		PartitionSize:    p.PartitionSize,
+		THTEntries:       p.THTEntries,
+		IntraNodeWorkers: p.Workers,
+	}.WithDefaults()
+	workers := opts.Workers()
+
+	// ---- Pass 1: local THT build and item counts. ----
+	entries := p.THTEntries / n
+	if entries < 4 {
+		entries = 4
+	}
+	local, counts := tht.BuildLocalShards(db, entries, workers)
+
+	// ---- Exchange: global item counts. The paper's all-reduce is
+	// realized as gather + local sum, which keeps the cascade lossless
+	// and, because integer addition commutes, yields the same vector at
+	// every node regardless of arrival order. ----
+	countBlob := make([]uint32, p.NumItems)
+	for it, c := range counts {
+		countBlob[it] = uint32(c)
+	}
+	t0 := time.Now()
+	blobs, err := x.AllGather(transport.PhaseItemCounts, transport.AppendUint32s(nil, countBlob))
+	out.PhaseSeconds[0] = time.Since(t0).Seconds()
+	if err != nil {
+		return nil, fmt.Errorf("item-count exchange: %w", err)
+	}
+	globalCounts := make([]int, p.NumItems)
+	for i, b := range blobs {
+		v, err := transport.DecodeUint32s(b)
+		if err != nil {
+			return nil, fmt.Errorf("item counts from node %d: %w", i, err)
+		}
+		if len(v) != p.NumItems {
+			return nil, fmt.Errorf("item counts from node %d: %d items, want %d", i, len(v), p.NumItems)
+		}
+		for it, c := range v {
+			globalCounts[it] += int(c)
+		}
+	}
+	out.GlobalCounts = globalCounts
+	freq, f1, f1Counted := core.FrequentItems(globalCounts, p.GlobalMin)
+
+	// ---- Poll service. Installed before the THT exchange: a peer can
+	// only poll after completing that collective, which transitively
+	// guarantees this handler exists before the first request arrives.
+	// The exchange serializes handler calls. ----
+	pc := core.NewPollCounter(db, workers)
+	server := &out.Server
+	x.SetPollHandler(func(k int, sets []itemset.Itemset) []int32 {
+		server.AddCandidates(k, len(sets))
+		replies := make([]int32, len(sets))
+		for i, s := range sets {
+			replies[i] = int32(pc.Count(s, server))
+		}
+		return replies
+	})
+
+	// ---- Exchange: local THTs (frequent rows only), cascade assembly. ----
+	local.Retain(func(it itemset.Item) bool { return freq[it] })
+	local.BuildMasks()
+	t1 := time.Now()
+	blobs, err = x.AllGather(transport.PhaseTHT, local.AppendWire(nil))
+	out.PhaseSeconds[1] = time.Since(t1).Seconds()
+	if err != nil {
+		return nil, fmt.Errorf("tht exchange: %w", err)
+	}
+	segments := make([]*tht.Local, n)
+	for i, b := range blobs {
+		if i == self {
+			segments[i] = local
+			continue
+		}
+		seg, err := tht.DecodeWire(b)
+		if err != nil {
+			return nil, fmt.Errorf("tht segment from node %d: %w", i, err)
+		}
+		seg.BuildMasks()
+		segments[i] = seg
+	}
+	global := tht.NewGlobal(segments)
+
+	// ---- Local mining, queueing every locally frequent itemset. ----
+	partitions := core.Partition(f1, opts.PartitionSize)
+	localMin := core.LocalMinCount(p.GlobalMin, db.Len(), p.TotalDocs)
+	var queueSets []itemset.Itemset
+	var queueCounts []int
+	core.RunLocalMiner(db, opts, core.LocalMineConfig{
+		Self:        self,
+		LocalMin:    localMin,
+		GlobalPrune: p.GlobalMin,
+		Global:      global,
+		FreqItems:   f1,
+		Partitions:  partitions,
+		Emit: func(set itemset.Itemset, count int) {
+			if count < p.GlobalMin {
+				out.Miner.GlobalCandidates++
+			}
+			queueSets = append(queueSets, set)
+			queueCounts = append(queueCounts, count)
+		},
+	}, &out.Miner)
+
+	// ---- Global support counting by peer polling. ----
+	t2 := time.Now()
+	found, err := resolveGlobal(x, global, queueSets, queueCounts, p.GlobalMin, opts.GlobalCandidateBatch, &out.Miner)
+	out.PhaseSeconds[2] = time.Since(t2).Seconds()
+	if err != nil {
+		return nil, err
+	}
+	out.Found = found
+
+	// ---- Final exchange: every node gathers the cluster's frequent
+	// lists. Exiting this collective additionally proves every peer has
+	// finished polling, so the poll service can be torn down safely. ----
+	t3 := time.Now()
+	blobs, err = x.AllGather(transport.PhaseFinal, transport.AppendCountedList(nil, found))
+	out.PhaseSeconds[3] = time.Since(t3).Seconds()
+	if err != nil {
+		return nil, fmt.Errorf("final exchange: %w", err)
+	}
+	var all []itemset.Counted
+	for i, b := range blobs {
+		list, err := transport.DecodeCountedList(b)
+		if err != nil {
+			return nil, fmt.Errorf("frequent list from node %d: %w", i, err)
+		}
+		all = append(all, list...)
+	}
+	out.Merged = core.MergeFound(f1Counted, all)
+	return out, nil
+}
+
+// resolveGlobal polls peers for the queued itemsets' remote support
+// counts and returns those whose exact global support reaches the
+// global minimum. Peers are selected per itemset from the cascaded THT
+// ("only the processing nodes that have a positive TID hash count will
+// be polled"); requests to one peer are batched by itemset size, split
+// into chunks of at most batch sets to bound frame sizes.
+func resolveGlobal(x transport.Exchange, global *tht.Global, sets []itemset.Itemset, totals []int, globalMin, batch int, m *mining.Metrics) ([]itemset.Counted, error) {
+	type peerK struct{ peer, k int }
+	groups := make(map[peerK][]int)
+	var peersBuf []int
+	slotsTotal := int64(0)
+	for pos, set := range sets {
+		peers, slots := global.PollPeers(set, x.NodeID(), peersBuf)
+		peersBuf = peers
+		slotsTotal += int64(slots)
+		for _, p := range peers {
+			gk := peerK{p, len(set)}
+			groups[gk] = append(groups[gk], pos)
+		}
+	}
+	m.Work.Charge(slotsTotal, mining.CostTHTSlot)
+	if len(groups) > 0 {
+		m.PollRounds++
+	}
+	for gk, positions := range groups {
+		for lo := 0; lo < len(positions); lo += batch {
+			hi := lo + batch
+			if hi > len(positions) {
+				hi = len(positions)
+			}
+			chunk := positions[lo:hi]
+			req := make([]itemset.Itemset, len(chunk))
+			for i, pos := range chunk {
+				req[i] = sets[pos]
+			}
+			m.MessagesSent++
+			counts, err := x.Poll(gk.peer, gk.k, req)
+			if err != nil {
+				return nil, fmt.Errorf("global counting: %w", err)
+			}
+			for i, pos := range chunk {
+				totals[pos] += int(counts[i])
+			}
+		}
+	}
+	var found []itemset.Counted
+	for i, set := range sets {
+		if totals[i] >= globalMin {
+			found = append(found, itemset.Counted{Set: set, Count: totals[i]})
+		}
+	}
+	return found, nil
+}

@@ -1,0 +1,85 @@
+package distmine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// announcePrefix is the line a node daemon prints on startup; the
+// spawner parses the bound address from it.
+const announcePrefix = "pmihp-node listening on "
+
+// SpawnNodes starts n pmihp-node worker processes from the given binary
+// (each listening on an ephemeral loopback port), waits for their
+// address announcements, and returns the addresses in node order plus a
+// stop function that terminates the processes. On error, any processes
+// already started are stopped.
+func SpawnNodes(bin string, n int, stderr io.Writer) (addrs []string, stop func(), err error) {
+	var procs []*exec.Cmd
+	stop = func() {
+		for _, cmd := range procs {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+			}
+			cmd.Wait()
+		}
+	}
+	defer func() {
+		if err != nil {
+			stop()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(bin, "-listen", "127.0.0.1:0")
+		cmd.Stderr = stderr
+		out, perr := cmd.StdoutPipe()
+		if perr != nil {
+			return nil, stop, fmt.Errorf("distmine: node %d stdout: %w", i, perr)
+		}
+		if serr := cmd.Start(); serr != nil {
+			return nil, stop, fmt.Errorf("distmine: starting node %d (%s): %w", i, bin, serr)
+		}
+		procs = append(procs, cmd)
+		addr, aerr := readAnnouncement(out, 15*time.Second)
+		if aerr != nil {
+			return nil, stop, fmt.Errorf("distmine: node %d did not announce its address: %w", i, aerr)
+		}
+		addrs = append(addrs, addr)
+	}
+	return addrs, stop, nil
+}
+
+// readAnnouncement scans the daemon's stdout for the announce line.
+func readAnnouncement(out io.Reader, timeout time.Duration) (string, error) {
+	type lineOrErr struct {
+		line string
+		err  error
+	}
+	ch := make(chan lineOrErr, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, announcePrefix) {
+				at := strings.Index(line, announcePrefix)
+				ch <- lineOrErr{line: strings.TrimSpace(line[at+len(announcePrefix):])}
+				return
+			}
+		}
+		err := sc.Err()
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		ch <- lineOrErr{err: err}
+	}()
+	select {
+	case r := <-ch:
+		return r.line, r.err
+	case <-time.After(timeout):
+		return "", fmt.Errorf("timed out after %v", timeout)
+	}
+}

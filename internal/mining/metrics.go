@@ -116,6 +116,19 @@ type Metrics struct {
 	MessagesSent     int   // fabric messages originated by this node
 	BytesSent        int64 // fabric bytes originated by this node
 
+	// Real-wire fields, filled by the multi-process cluster runtime
+	// (internal/distmine) from measured TCP traffic. Zero in simulated
+	// runs; they coexist with the modeled MessagesSent/BytesSent above so
+	// model and measurement can be compared side by side.
+	WireMessagesSent     int64
+	WireMessagesReceived int64
+	WireBytesSent        int64
+	WireBytesReceived    int64
+	WireRetries          int64
+	// WireSeconds is measured wall-clock spent in exchange collectives
+	// and candidate polling, summed over the run's phases.
+	WireSeconds float64
+
 	Work Work
 }
 
@@ -178,6 +191,12 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.PollRounds += o.PollRounds
 	m.MessagesSent += o.MessagesSent
 	m.BytesSent += o.BytesSent
+	m.WireMessagesSent += o.WireMessagesSent
+	m.WireMessagesReceived += o.WireMessagesReceived
+	m.WireBytesSent += o.WireBytesSent
+	m.WireBytesReceived += o.WireBytesReceived
+	m.WireRetries += o.WireRetries
+	m.WireSeconds += o.WireSeconds
 	m.Work.Add(o.Work)
 }
 

@@ -1,0 +1,76 @@
+package tht
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pmihp/internal/itemset"
+)
+
+// Wire form of a Local, used by the TCP transport's THT exchange. The
+// encoding carries exactly what a receiving node needs to rebuild the
+// segment for cascade bounds: the geometry and the counter rows. Masks
+// are never shipped — the receiver rebuilds them after its own Retain,
+// matching Clone's contract.
+//
+// Layout (little-endian):
+//
+//	u32 entries
+//	u32 numItems   (row-index width; item ids are below this)
+//	u32 rows
+//	rows × { u32 item, entries × u32 counters }
+
+// AppendWire appends the wire encoding of the table set to b.
+func (l *Local) AppendWire(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(l.entries))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(l.rowIdx)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(l.rowItem)))
+	for r, it := range l.rowItem {
+		b = binary.LittleEndian.AppendUint32(b, uint32(it))
+		for _, c := range l.data[r*l.entries : (r+1)*l.entries] {
+			b = binary.LittleEndian.AppendUint32(b, c)
+		}
+	}
+	return b
+}
+
+// DecodeWire rebuilds a Local from its wire encoding. Every length is
+// validated against the remaining payload before allocation, so corrupt
+// input produces an error, never a panic or an outsized allocation.
+func DecodeWire(b []byte) (*Local, error) {
+	if len(b) < 12 {
+		return nil, fmt.Errorf("tht: wire header truncated: %d bytes", len(b))
+	}
+	entries := int(binary.LittleEndian.Uint32(b[0:]))
+	numItems := int(binary.LittleEndian.Uint32(b[4:]))
+	rows := int(binary.LittleEndian.Uint32(b[8:]))
+	b = b[12:]
+	if entries <= 0 {
+		return nil, fmt.Errorf("tht: wire table with %d entries", entries)
+	}
+	rowBytes := 4 * (1 + entries)
+	if rows < 0 || numItems < 0 || rows > numItems || len(b) != rows*rowBytes {
+		return nil, fmt.Errorf("tht: wire body is %d bytes, want %d rows × %d", len(b), rows, rowBytes)
+	}
+	l := NewLocalSized(entries, numItems)
+	l.rowItem = make([]itemset.Item, rows)
+	l.data = make([]uint32, rows*entries)
+	for r := 0; r < rows; r++ {
+		it := itemset.Item(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if int(it) >= numItems {
+			return nil, fmt.Errorf("tht: wire row %d for item %d outside index width %d", r, it, numItems)
+		}
+		if l.rowIdx[it] >= 0 {
+			return nil, fmt.Errorf("tht: wire carries item %d twice", it)
+		}
+		l.rowItem[r] = it
+		l.rowIdx[it] = int32(r)
+		row := l.data[r*entries : (r+1)*entries]
+		for j := range row {
+			row[j] = binary.LittleEndian.Uint32(b)
+			b = b[4:]
+		}
+	}
+	return l, nil
+}

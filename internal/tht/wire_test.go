@@ -1,0 +1,93 @@
+package tht
+
+import (
+	"testing"
+
+	"pmihp/internal/itemset"
+	"pmihp/internal/txdb"
+)
+
+func buildWireFixture(t *testing.T) *Local {
+	t.Helper()
+	db := txdb.New([]txdb.Transaction{
+		{TID: 0, Items: itemset.Itemset{0, 2, 5}},
+		{TID: 1, Items: itemset.Itemset{2, 5, 9}},
+		{TID: 2, Items: itemset.Itemset{0, 9}},
+		{TID: 3, Items: itemset.Itemset{5}},
+	}, 10)
+	l, _ := BuildLocal(db, 7)
+	return l
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	l := buildWireFixture(t)
+	got, err := DecodeWire(l.AppendWire(nil))
+	if err != nil {
+		t.Fatalf("DecodeWire: %v", err)
+	}
+	if got.Entries() != l.Entries() || got.NumItems() != l.NumItems() {
+		t.Fatalf("geometry: got %d/%d want %d/%d", got.Entries(), got.NumItems(), l.Entries(), l.NumItems())
+	}
+	for _, it := range []itemset.Item{0, 2, 5, 9, 3} {
+		a, b := l.Row(it), got.Row(it)
+		if len(a) != len(b) {
+			t.Fatalf("item %d: row lengths %d vs %d", it, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("item %d slot %d: %d vs %d", it, j, a[j], b[j])
+			}
+		}
+	}
+	// Bounds must agree — that is what the cascade consumes.
+	for _, x := range []itemset.Itemset{{0, 5}, {2, 9}, {0, 2, 5}, {3, 5}} {
+		if a, b := l.MaxPossible(x), got.MaxPossible(x); a != b {
+			t.Fatalf("MaxPossible(%v): %d vs %d", x, a, b)
+		}
+	}
+}
+
+func TestWireRoundTripAfterRetain(t *testing.T) {
+	l := buildWireFixture(t)
+	l.Retain(func(it itemset.Item) bool { return it == 2 || it == 5 })
+	got, err := DecodeWire(l.AppendWire(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Row(0) != nil || got.Row(9) != nil {
+		t.Fatal("dropped rows survived the round trip")
+	}
+	if got.MaxPossible(itemset.Itemset{2, 5}) != l.MaxPossible(itemset.Itemset{2, 5}) {
+		t.Fatal("bound mismatch after Retain round trip")
+	}
+	// The receiver builds masks itself, like pmihp does after Retain.
+	got.BuildMasks()
+	if got.MaxPossible(itemset.Itemset{2, 5}) != l.MaxPossible(itemset.Itemset{2, 5}) {
+		t.Fatal("bound changed by BuildMasks")
+	}
+}
+
+func TestDecodeWireRejectsCorruption(t *testing.T) {
+	l := buildWireFixture(t)
+	enc := l.AppendWire(nil)
+	for cut := 0; cut < len(enc); cut += 3 {
+		if _, err := DecodeWire(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", cut)
+		}
+	}
+	if _, err := DecodeWire(append(append([]byte{}, enc...), 1, 2, 3, 4)); err == nil {
+		t.Fatal("trailing bytes decoded")
+	}
+	// A hostile row count must not cause a huge allocation or a panic.
+	bad := append([]byte{}, enc...)
+	bad[8], bad[9], bad[10], bad[11] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := DecodeWire(bad); err == nil {
+		t.Fatal("absurd row count decoded")
+	}
+	// Zero entries is invalid geometry.
+	zero := append([]byte{}, enc...)
+	zero[0], zero[1], zero[2], zero[3] = 0, 0, 0, 0
+	if _, err := DecodeWire(zero); err == nil {
+		t.Fatal("zero-entry table decoded")
+	}
+}

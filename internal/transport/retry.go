@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// RetryPolicy bounds the retries of a transient-failure-prone operation
+// (dialing a peer, one cube step, one poll round trip). Zero values
+// select the defaults.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (first try included).
+	Attempts int
+	// BaseDelay is the wait before the first retry; each subsequent
+	// retry doubles it up to MaxDelay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// DefaultRetry is the policy used when a zero RetryPolicy is given:
+// five attempts, 25ms first backoff, capped at one second.
+var DefaultRetry = RetryPolicy{Attempts: 5, BaseDelay: 25 * time.Millisecond, MaxDelay: time.Second}
+
+// WithDefaults fills zero fields from DefaultRetry.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = DefaultRetry.Attempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetry.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetry.MaxDelay
+	}
+	return p
+}
+
+// permanentError marks an error that retrying cannot fix (a protocol
+// violation or an explicit peer-reported failure, as opposed to a
+// connection drop).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retry stops immediately instead of retrying.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Retry runs f up to p.Attempts times with exponential backoff between
+// tries, counting each retry into stats (which may be nil). It stops
+// early on ctx cancellation or when f returns an error wrapped by
+// Permanent. The returned error is the last failure, annotated with the
+// attempt count when the budget is exhausted.
+func Retry(ctx context.Context, p RetryPolicy, stats *WireStats, f func() error) error {
+	p = p.WithDefaults()
+	delay := p.BaseDelay
+	var last error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			if stats != nil {
+				stats.AddRetry()
+			}
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("canceled while retrying: %w", last)
+			case <-time.After(delay):
+			}
+			if delay *= 2; delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
+		err := f()
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		last = err
+		if ctx.Err() != nil {
+			return fmt.Errorf("canceled: %w", last)
+		}
+	}
+	return fmt.Errorf("after %d attempts: %w", p.Attempts, last)
+}

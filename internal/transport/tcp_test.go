@@ -1,0 +1,244 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"pmihp/internal/itemset"
+)
+
+// startTCPCluster brings up n TCP exchange endpoints on loopback
+// listeners, each with its own Serve loop.
+func startTCPCluster(t *testing.T, n int) []*TCPExchange {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	xs := make([]*TCPExchange, n)
+	for i := range xs {
+		x, err := NewTCP(TCPOptions{
+			ClusterID: 42, NodeID: i, Nodes: n, Peers: addrs,
+			Retry:       RetryPolicy{Attempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+			IOTimeout:   5 * time.Second,
+			WaitTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("NewTCP(%d): %v", i, err)
+		}
+		xs[i] = x
+		go x.Serve(listeners[i])
+	}
+	t.Cleanup(func() {
+		for i := range xs {
+			xs[i].Close()
+			listeners[i].Close()
+		}
+	})
+	return xs
+}
+
+// runAllGather drives the collective on every node concurrently and
+// checks each one sees all n blobs.
+func runAllGather(t *testing.T, xs []*TCPExchange, phase Phase) {
+	t.Helper()
+	n := len(xs)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	outs := make([][][]byte, n)
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = xs[i].AllGather(phase, []byte(fmt.Sprintf("blob-from-%d", i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: AllGather(%s): %v", i, phase, err)
+		}
+		for j := 0; j < n; j++ {
+			want := fmt.Sprintf("blob-from-%d", j)
+			if string(outs[i][j]) != want {
+				t.Fatalf("node %d slot %d = %q, want %q", i, j, outs[i][j], want)
+			}
+		}
+	}
+}
+
+func TestTCPAllGatherCube(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			xs := startTCPCluster(t, n)
+			runAllGather(t, xs, PhaseItemCounts)
+			runAllGather(t, xs, PhaseTHT) // distinct phases don't collide
+		})
+	}
+}
+
+func TestTCPAllGatherStarFallback(t *testing.T) {
+	for _, n := range []int{3, 5, 6} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			runAllGather(t, startTCPCluster(t, n), PhaseItemCounts)
+		})
+	}
+}
+
+func TestTCPPoll(t *testing.T) {
+	xs := startTCPCluster(t, 2)
+	xs[1].SetPollHandler(func(k int, sets []itemset.Itemset) []int32 {
+		counts := make([]int32, len(sets))
+		for i, s := range sets {
+			counts[i] = int32(s[0]) * int32(k)
+		}
+		return counts
+	})
+	sets := []itemset.Itemset{{3, 9}, {5, 7}}
+	counts, err := xs[0].Poll(1, 2, sets)
+	if err != nil {
+		t.Fatalf("Poll: %v", err)
+	}
+	if len(counts) != 2 || counts[0] != 6 || counts[1] != 10 {
+		t.Fatalf("counts = %v, want [6 10]", counts)
+	}
+	// Second poll reuses the persistent connection.
+	if _, err := xs[0].Poll(1, 2, sets); err != nil {
+		t.Fatalf("second Poll: %v", err)
+	}
+	if s := xs[0].Stats().Snapshot(); s.Retries != 0 {
+		t.Fatalf("unexpected retries: %+v", s)
+	}
+}
+
+func TestTCPPollNoHandlerIsAttributedError(t *testing.T) {
+	xs := startTCPCluster(t, 2)
+	_, err := xs[0].Poll(1, 1, []itemset.Itemset{{1}})
+	if err == nil {
+		t.Fatal("want error when peer has no poll handler")
+	}
+}
+
+func TestTCPPollRecoversFromDroppedConn(t *testing.T) {
+	xs := startTCPCluster(t, 2)
+	xs[1].SetPollHandler(func(k int, sets []itemset.Itemset) []int32 {
+		return make([]int32, len(sets))
+	})
+	if _, err := xs[0].Poll(1, 1, []itemset.Itemset{{1}}); err != nil {
+		t.Fatalf("first Poll: %v", err)
+	}
+	// Kill the persistent poll connection out from under the client;
+	// the next poll must redial transparently.
+	xs[0].pollPeers[1].mu.Lock()
+	xs[0].pollPeers[1].conn.Close()
+	xs[0].pollPeers[1].mu.Unlock()
+	if _, err := xs[0].Poll(1, 1, []itemset.Itemset{{2}}); err != nil {
+		t.Fatalf("Poll after drop: %v", err)
+	}
+	if s := xs[0].Stats().Snapshot(); s.Retries == 0 {
+		t.Fatalf("expected a counted retry after the drop, stats %+v", s)
+	}
+}
+
+func TestTCPDeadPeerExhaustsRetries(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close() // nothing listens here anymore
+	x, err := NewTCP(TCPOptions{
+		ClusterID: 1, NodeID: 0, Nodes: 2,
+		Peers:       []string{"unused", dead},
+		Retry:       RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		IOTimeout:   200 * time.Millisecond,
+		WaitTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	_, err = x.Poll(1, 1, []itemset.Itemset{{1}})
+	if err == nil {
+		t.Fatal("want error polling a dead peer")
+	}
+	if s := x.Stats().Snapshot(); s.Retries != 2 {
+		t.Fatalf("retries = %d, want 2 (3 attempts)", s.Retries)
+	}
+}
+
+func TestTCPRejectsWrongClusterID(t *testing.T) {
+	xs := startTCPCluster(t, 2)
+	intruder, err := NewTCP(TCPOptions{
+		ClusterID: 999, NodeID: 0, Nodes: 2,
+		Peers:       []string{"unused", xs[1].opt.Peers[1]},
+		Retry:       RetryPolicy{Attempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+		IOTimeout:   300 * time.Millisecond,
+		WaitTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer intruder.Close()
+	if _, err := intruder.Poll(1, 1, []itemset.Itemset{{1}}); err == nil {
+		t.Fatal("want error for mismatched cluster id")
+	}
+}
+
+func TestChanExchangeAllGatherAndPoll(t *testing.T) {
+	xs := NewChanGroup(4)
+	var wg sync.WaitGroup
+	outs := make([][][]byte, 4)
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], _ = xs[i].AllGather(PhaseTHT, []byte{byte(i)})
+		}(i)
+	}
+	wg.Wait()
+	for i := range xs {
+		for j := range xs {
+			if len(outs[i][j]) != 1 || outs[i][j][0] != byte(j) {
+				t.Fatalf("node %d slot %d = %v", i, j, outs[i][j])
+			}
+		}
+	}
+
+	xs[2].SetPollHandler(func(k int, sets []itemset.Itemset) []int32 {
+		counts := make([]int32, len(sets))
+		for i := range counts {
+			counts[i] = 7
+		}
+		return counts
+	})
+	counts, err := xs[0].Poll(2, 1, []itemset.Itemset{{4}})
+	if err != nil || len(counts) != 1 || counts[0] != 7 {
+		t.Fatalf("Poll = %v, %v", counts, err)
+	}
+	if _, err := xs[0].Poll(0, 1, nil); err == nil {
+		t.Fatal("want error for self-poll")
+	}
+	if _, err := xs[0].Poll(1, 1, []itemset.Itemset{{1}}); err == nil {
+		t.Fatal("want error for handler-less peer")
+	}
+}
+
+func TestChanExchangeDoubleEntryFails(t *testing.T) {
+	xs := NewChanGroup(1)
+	if _, err := xs[0].AllGather(PhaseFinal, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xs[0].AllGather(PhaseFinal, nil); err == nil {
+		t.Fatal("want error entering the same phase twice")
+	}
+}
