@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"strings"
 
@@ -58,6 +59,9 @@ func run(args []string, out io.Writer) error {
 		cluster     = fs.String("cluster", "", "comma-separated pmihp-node addresses: mine on a real multi-process cluster")
 		spawn       = fs.Int("spawn", 0, "spawn N local pmihp-node worker processes and mine on them")
 		nodeBin     = fs.String("node-bin", "pmihp-node", "pmihp-node binary for -spawn")
+		heartbeat   = fs.Duration("heartbeat", 0, "cluster heartbeat interval (0 = 500ms); timeout is 6x the interval")
+		failPolicy  = fs.String("failure-policy", "abort", "on worker death: abort | reassign")
+		ckptDir     = fs.String("checkpoint-dir", "", "persist per-pass session checkpoints into this directory")
 		top         = fs.Int("top", 15, "frequent itemsets to print")
 		nRules      = fs.Int("rules", 10, "association rules to print (0 to skip)")
 		minConf     = fs.Float64("minconf", 0.75, "minimum rule confidence")
@@ -122,18 +126,32 @@ func run(args []string, out io.Writer) error {
 	var err error
 	switch {
 	case *cluster != "" || *spawn > 0:
+		policy, perr := distmine.ParseFailurePolicy(*failPolicy)
+		if perr != nil {
+			return perr
+		}
+		cfg := distmine.ClusterConfig{
+			FailurePolicy:     policy,
+			HeartbeatInterval: *heartbeat,
+			CheckpointDir:     *ckptDir,
+			Logf:              log.New(os.Stderr, "", 0).Printf,
+		}
 		addrs := strings.Split(*cluster, ",")
 		if *spawn > 0 {
-			var stop func()
-			addrs, stop, err = distmine.SpawnNodes(*nodeBin, *spawn, os.Stderr)
+			spawner := distmine.NewSpawner(*nodeBin, os.Stderr)
+			defer spawner.Stop()
+			addrs, err = spawner.SpawnN(*spawn)
 			if err != nil {
 				return err
 			}
-			defer stop()
+			if policy == distmine.FailurePolicyReassign {
+				cfg.Respawn = spawner.Spawn
+			}
 			fmt.Fprintf(out, "spawned %d pmihp-node workers: %s\n", *spawn, strings.Join(addrs, ", "))
 		}
+		cfg.Addrs = addrs
 		var res *distmine.Result
-		res, err = distmine.MineCluster(db, distmine.ClusterConfig{Addrs: addrs}, opts)
+		res, err = distmine.MineCluster(db, cfg, opts)
 		if res != nil {
 			result = &mining.Result{Frequent: res.Frequent, Metrics: res.Metrics}
 			fmt.Fprintf(out, "cluster of %d nodes: %d wire messages, %d bytes, %d retries\n",

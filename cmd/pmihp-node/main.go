@@ -19,10 +19,11 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on (port 0 picks a free port)")
+	heartbeat := flag.Duration("heartbeat", 0, "control-plane heartbeat interval when a session's Init does not set one (0 = 500ms)")
 	verbose := flag.Bool("v", false, "log session lifecycle to stderr")
 	flag.Parse()
 
-	opt := distmine.DaemonOptions{}
+	opt := distmine.DaemonOptions{HeartbeatInterval: *heartbeat}
 	if *verbose {
 		logger := log.New(os.Stderr, "", log.LstdFlags)
 		opt.Logf = logger.Printf

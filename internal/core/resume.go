@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+
+	"pmihp/internal/tht"
+)
+
+// Resume seams for the fault-tolerant cluster runtime. A resumed node
+// re-enters the PMIHP protocol from a checkpoint instead of repeating
+// the collectives that already completed; these helpers rebuild the
+// exact state those collectives would have produced, so the mining that
+// follows is byte-identical to an uninterrupted run (pinned by
+// resume_test.go).
+
+// ResumeCounts converts checkpointed global item counts back into the
+// vector FrequentItems consumes, validating the item-universe width.
+func ResumeCounts(counts []uint32, numItems int) ([]int, error) {
+	if len(counts) != numItems {
+		return nil, fmt.Errorf("core: checkpoint carries %d item counts, want %d", len(counts), numItems)
+	}
+	global := make([]int, numItems)
+	for it, c := range counts {
+		global[it] = int(c)
+	}
+	return global, nil
+}
+
+// SegmentsFromWire rebuilds the cascaded global THT view from
+// checkpointed wire blobs (one per logical node, in node order). The
+// wire form carries exactly the post-Retain counter rows, and masks are
+// rebuilt locally, so the cascade bounds of the result equal those of
+// the segments the original THT exchange delivered.
+func SegmentsFromWire(blobs [][]byte) (*tht.Global, error) {
+	if len(blobs) == 0 {
+		return nil, fmt.Errorf("core: checkpoint carries no THT segments")
+	}
+	segments := make([]*tht.Local, len(blobs))
+	for i, b := range blobs {
+		seg, err := tht.DecodeWire(b)
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpointed THT segment %d: %w", i, err)
+		}
+		seg.BuildMasks()
+		segments[i] = seg
+	}
+	return tht.NewGlobal(segments), nil
+}

@@ -246,6 +246,144 @@ func TestClusterPeerRetriesExhausted(t *testing.T) {
 	}
 }
 
+// deadAddr returns a loopback address nobody is listening on.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestClusterReassignsToSurvivors: with failure-policy reassign, a dead
+// daemon's logical node moves to a surviving daemon (which then hosts
+// two logical nodes of the session) and the result stays byte-identical,
+// with the failover accounted in the metrics.
+func TestClusterReassignsToSurvivors(t *testing.T) {
+	addrs := startDaemons(t, 3, DaemonOptions{})
+	addrs[2] = deadAddr(t) // node 2's daemon is dead from the start
+
+	db := buildDB(t, corpus.CorpusB(corpus.Small))
+	opts := mining.Options{MinSupCount: 2, MaxK: 3}
+	ref := pmihpRef(t, db, 3, opts)
+	got, err := MineCluster(db, ClusterConfig{
+		Addrs:         addrs,
+		Retry:         transport.RetryPolicy{Attempts: 2, BaseDelay: 1 * time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		FailurePolicy: FailurePolicyReassign,
+		Logf:          t.Logf,
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, ref, got)
+	if got.Metrics.Failovers != 1 || got.Metrics.ReassignedPartitions != 1 {
+		t.Fatalf("failovers=%d reassigned=%d, want 1/1", got.Metrics.Failovers, got.Metrics.ReassignedPartitions)
+	}
+	if got.Metrics.RecoverySeconds <= 0 {
+		t.Fatalf("recovery time not accounted: %+v", got.Metrics)
+	}
+}
+
+// TestClusterReassignsToRespawned: with a Respawn hook, the dead
+// daemon's logical node goes to a freshly spawned replacement instead
+// of doubling up on a survivor.
+func TestClusterReassignsToRespawned(t *testing.T) {
+	addrs := startDaemons(t, 2, DaemonOptions{})
+	addrs[1] = deadAddr(t)
+
+	respawns := 0
+	respawn := func() (string, error) {
+		respawns++
+		return startDaemons(t, 1, DaemonOptions{})[0], nil
+	}
+	db := buildDB(t, corpus.CorpusB(corpus.Small))
+	opts := mining.Options{MinSupCount: 2, MaxK: 3}
+	ref := pmihpRef(t, db, 2, opts)
+	got, err := MineCluster(db, ClusterConfig{
+		Addrs:         addrs,
+		Retry:         transport.RetryPolicy{Attempts: 2, BaseDelay: 1 * time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		FailurePolicy: FailurePolicyReassign,
+		Respawn:       respawn,
+		Logf:          t.Logf,
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, ref, got)
+	if respawns != 1 {
+		t.Fatalf("respawn called %d times, want 1", respawns)
+	}
+	if got.Metrics.Failovers != 1 || got.Metrics.ReassignedPartitions != 1 {
+		t.Fatalf("failovers=%d reassigned=%d, want 1/1", got.Metrics.Failovers, got.Metrics.ReassignedPartitions)
+	}
+}
+
+// TestClusterAllDaemonsDead: reassignment runs out of survivors and the
+// session fails with an attributed error instead of looping.
+func TestClusterAllDaemonsDead(t *testing.T) {
+	addrs := []string{deadAddr(t), deadAddr(t)}
+	db := buildDB(t, corpus.CorpusB(corpus.Small))
+	_, err := MineCluster(db, ClusterConfig{
+		Addrs:         addrs,
+		Retry:         transport.RetryPolicy{Attempts: 2, BaseDelay: 1 * time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		FailurePolicy: FailurePolicyReassign,
+	}, mining.Options{MinSupCount: 2})
+	if err == nil {
+		t.Fatal("expected failure with every daemon dead")
+	}
+	if !strings.Contains(err.Error(), "control dial") {
+		t.Fatalf("error not attributed: %v", err)
+	}
+}
+
+// silentDaemon accepts connections and reads frames but never writes —
+// a worker that is alive at the TCP level yet stuck. The coordinator
+// must declare it dead by heartbeat timeout, not hang.
+func silentDaemon(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestClusterHeartbeatTimeout: a stuck (silent) worker is detected by
+// the missing heartbeats and attributed in the error under the abort
+// policy.
+func TestClusterHeartbeatTimeout(t *testing.T) {
+	addrs := startDaemons(t, 2, DaemonOptions{HeartbeatInterval: 50 * time.Millisecond})
+	addrs[1] = silentDaemon(t)
+
+	db := buildDB(t, corpus.CorpusB(corpus.Small))
+	_, err := MineCluster(db, ClusterConfig{
+		Addrs:             addrs,
+		Retry:             fastRetry,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  400 * time.Millisecond,
+		MineTimeout:       30 * time.Second,
+	}, mining.Options{MinSupCount: 2, MaxK: 3})
+	if err == nil {
+		t.Fatal("expected heartbeat-timeout failure against a silent worker")
+	}
+	if !strings.Contains(err.Error(), "node 1") || !strings.Contains(err.Error(), "no heartbeat") {
+		t.Fatalf("error not attributed to the silent worker: %v", err)
+	}
+}
+
 // TestClusterDeadNodesFail points the coordinator at addresses nobody
 // is listening on; it must return a clean attributed dial error after
 // exhausting retries.

@@ -5,9 +5,13 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pmihp/internal/core"
@@ -17,25 +21,78 @@ import (
 	"pmihp/internal/txdb"
 )
 
+// FailurePolicy selects what the coordinator does when a worker dies
+// mid-session.
+type FailurePolicy string
+
+const (
+	// FailurePolicyAbort fails the whole session fast with an error
+	// attributing the dead node. This is the default.
+	FailurePolicyAbort FailurePolicy = "abort"
+	// FailurePolicyReassign moves the dead daemon's logical nodes (their
+	// transaction shards keep their original chronological partitioning)
+	// to surviving or respawned daemons and restarts the session from the
+	// last checkpointed pass. The final frequent list is byte-identical
+	// to an undisturbed run.
+	FailurePolicyReassign FailurePolicy = "reassign"
+)
+
+// ParseFailurePolicy parses a -failure-policy flag value. Empty selects
+// the default (abort).
+func ParseFailurePolicy(s string) (FailurePolicy, error) {
+	switch FailurePolicy(s) {
+	case "":
+		return FailurePolicyAbort, nil
+	case FailurePolicyAbort, FailurePolicyReassign:
+		return FailurePolicy(s), nil
+	}
+	return "", fmt.Errorf("unknown failure policy %q (want %q or %q)", s, FailurePolicyAbort, FailurePolicyReassign)
+}
+
 // ClusterConfig configures a coordinator-driven multi-process run.
 type ClusterConfig struct {
-	// Addrs lists the node daemons' listen addresses, one per node; the
-	// cluster size is len(Addrs).
+	// Addrs lists the node daemons' listen addresses, one per logical
+	// node; the cluster size is len(Addrs).
 	Addrs []string
 	// Retry bounds control-plane dials; zero selects the default policy.
 	Retry transport.RetryPolicy
 	// IOTimeout bounds individual control reads/writes (zero: 30s).
-	// MineTimeout bounds the whole mining session (zero: 10min).
+	// MineTimeout bounds the whole mining session, recovery attempts
+	// included (zero: 10min).
 	IOTimeout   time.Duration
 	MineTimeout time.Duration
+	// FailurePolicy selects abort (default) or reassign-and-resume.
+	FailurePolicy FailurePolicy
+	// HeartbeatInterval is how often daemons beat on their control
+	// connections (zero: 500ms). HeartbeatTimeout is the quiet interval
+	// after which the coordinator declares a node dead (zero: 6x the
+	// interval).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// CheckpointDir, when non-empty, receives the session's checkpoint
+	// file (session-<id>.ckpt, atomically replaced as passes complete) so
+	// a future coordinator process could inspect or reuse it. Resume
+	// itself works from the in-memory checkpoint and does not need this.
+	CheckpointDir string
+	// MaxFailovers caps recoveries before the coordinator gives up
+	// (zero: n-1 — at least one original daemon must survive).
+	MaxFailovers int
+	// Respawn, when non-nil, starts a replacement daemon and returns its
+	// address; a dead daemon's logical nodes move there instead of
+	// doubling up on survivors. Used by pmihp-mine -spawn.
+	Respawn func() (string, error)
+	// Logf, when non-nil, receives recovery lifecycle logs.
+	Logf func(format string, args ...any)
 }
 
 // MineCluster mines db across the node daemons listed in cfg: it splits
-// the database chronologically, ships each node its partition with the
-// resolved session parameters, lets the nodes run the PMIHP protocol
-// among themselves over their peer exchanges, and merges their reports.
-// The frequent list is byte-identical to core.MinePMIHP's in exact mode
-// on the same inputs.
+// the database chronologically, ships each logical node its partition
+// with the resolved session parameters, lets the nodes run the PMIHP
+// protocol among themselves over their peer exchanges, and merges their
+// reports. The frequent list is byte-identical to core.MinePMIHP's in
+// exact mode on the same inputs — including across failovers, because
+// reassignment never changes the partitioning, only which daemon hosts
+// a partition.
 func MineCluster(db *txdb.DB, cfg ClusterConfig, opts mining.Options) (*Result, error) {
 	n := len(cfg.Addrs)
 	if n == 0 {
@@ -47,19 +104,248 @@ func MineCluster(db *txdb.DB, cfg ClusterConfig, opts mining.Options) (*Result, 
 	if cfg.MineTimeout <= 0 {
 		cfg.MineTimeout = 10 * time.Minute
 	}
+	if cfg.FailurePolicy == "" {
+		cfg.FailurePolicy = FailurePolicyAbort
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 6 * cfg.HeartbeatInterval
+	}
+	if cfg.MaxFailovers <= 0 {
+		cfg.MaxFailovers = n - 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
 	cfg.Retry = cfg.Retry.WithDefaults()
 	p, opts := params(db, opts)
 	parts := db.SplitChronological(n)
 
-	var idBytes [8]byte
-	if _, err := rand.Read(idBytes[:]); err != nil {
+	// Encode every partition once; recovery attempts re-ship the same
+	// bytes, which is what keeps reassignment byte-identical: the
+	// chronological partitioning is fixed for the session's lifetime.
+	partBytes := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		var buf bytes.Buffer
+		if err := parts[i].Encode(&buf); err != nil {
+			return nil, fmt.Errorf("distmine: node %d: encoding partition: %w", i, err)
+		}
+		partBytes[i] = buf.Bytes()
+	}
+
+	baseID, err := randomID()
+	if err != nil {
 		return nil, fmt.Errorf("distmine: cluster id: %w", err)
 	}
-	clusterID := binary.LittleEndian.Uint64(idBytes[:])
 
-	// Dial every daemon's control plane (with retry — daemons may still
-	// be starting up) and initialize it with its partition.
-	ctx, cancel := context.WithTimeout(context.Background(), cfg.MineTimeout)
+	s := &session{
+		cfg:       cfg,
+		p:         p,
+		parts:     parts,
+		partBytes: partBytes,
+		baseID:    baseID,
+		roster:    append([]string(nil), cfg.Addrs...),
+		alive:     make([]bool, n),
+		hostOf:    make([]int, n),
+		deadline:  time.Now().Add(cfg.MineTimeout),
+	}
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	for i := range s.hostOf {
+		s.hostOf[i] = i
+	}
+	s.ckpt = transport.Checkpoint{ClusterID: baseID, Nodes: int32(n), Stage: transport.StageNone}
+
+	for {
+		res, deaths, err := s.runAttempt()
+		if err == nil {
+			res.Metrics.Failovers = s.failovers
+			res.Metrics.ReassignedPartitions = s.reassigned
+			res.Metrics.RecoverySeconds = s.recoverySeconds
+			return res, nil
+		}
+		if len(deaths) == 0 || cfg.FailurePolicy != FailurePolicyReassign {
+			return nil, err
+		}
+		t0 := time.Now()
+		s.failovers += len(deaths)
+		cfg.Logf("distmine: failover %d: %v", s.failovers, err)
+		if s.failovers > cfg.MaxFailovers {
+			return nil, fmt.Errorf("distmine: giving up after %d failovers: %w", s.failovers, err)
+		}
+		if rerr := s.reassign(deaths, err); rerr != nil {
+			return nil, rerr
+		}
+		s.recoverySeconds += time.Since(t0).Seconds()
+		if time.Now().After(s.deadline) {
+			return nil, fmt.Errorf("distmine: session deadline passed during recovery: %w", err)
+		}
+	}
+}
+
+func randomID() (uint64, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// session is the coordinator's state across recovery attempts.
+type session struct {
+	cfg       ClusterConfig
+	p         NodeParams
+	parts     []*txdb.DB
+	partBytes [][]byte
+	baseID    uint64
+	deadline  time.Time
+
+	// roster grows as daemons are respawned; alive marks which entries
+	// still accept work; hostOf maps each logical node to its current
+	// roster entry. The logical partitioning itself never changes.
+	roster []string
+	alive  []bool
+	hostOf []int
+
+	// ckpt is the most advanced checkpoint node 0 has reported; guarded
+	// by ckptMu because reader goroutines update it mid-attempt.
+	ckptMu sync.Mutex
+	ckpt   transport.Checkpoint
+
+	failovers       int
+	reassigned      int
+	recoverySeconds float64
+}
+
+// reassign moves the dead roster entries' logical nodes to replacements
+// (respawned daemons when possible, otherwise least-loaded survivors).
+// cause is the attempt's error, kept for context in follow-on failures.
+func (s *session) reassign(deaths []int, cause error) error {
+	for _, r := range deaths {
+		s.alive[r] = false
+	}
+	for _, r := range deaths {
+		var orphans []int
+		for node, host := range s.hostOf {
+			if host == r {
+				orphans = append(orphans, node)
+			}
+		}
+		if len(orphans) == 0 {
+			continue
+		}
+		target := -1
+		if s.cfg.Respawn != nil {
+			addr, err := s.cfg.Respawn()
+			if err != nil {
+				s.cfg.Logf("distmine: respawn failed (%v), reassigning to survivors", err)
+			} else {
+				s.roster = append(s.roster, addr)
+				s.alive = append(s.alive, true)
+				target = len(s.roster) - 1
+			}
+		}
+		for _, node := range orphans {
+			host := target
+			if host < 0 {
+				host = s.leastLoadedAlive()
+				if host < 0 {
+					return fmt.Errorf("distmine: no surviving daemons to reassign node %d to: %w", node, cause)
+				}
+			}
+			s.hostOf[node] = host
+			s.reassigned++
+			s.cfg.Logf("distmine: reassigned node %d (%s dead) to %s, resuming from %s",
+				node, s.roster[r], s.roster[host], transport.StageName(s.checkpoint().Stage))
+		}
+	}
+	return nil
+}
+
+// leastLoadedAlive returns the alive roster entry hosting the fewest
+// logical nodes (lowest index breaks ties), or -1 if none survive.
+func (s *session) leastLoadedAlive() int {
+	load := make(map[int]int)
+	for _, host := range s.hostOf {
+		load[host]++
+	}
+	best, bestLoad := -1, 0
+	for r := range s.roster {
+		if !s.alive[r] {
+			continue
+		}
+		if best < 0 || load[r] < bestLoad {
+			best, bestLoad = r, load[r]
+		}
+	}
+	return best
+}
+
+func (s *session) checkpoint() transport.Checkpoint {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	return s.ckpt
+}
+
+// noteProgress folds a node-0 progress report into the session
+// checkpoint (monotonically — a stale report never regresses it) and
+// persists it to CheckpointDir when configured. Persistence failures are
+// logged, never fatal: resume works from the in-memory checkpoint.
+func (s *session) noteProgress(payload []byte) {
+	c, err := transport.DecodeCheckpoint(payload)
+	if err != nil {
+		s.cfg.Logf("distmine: ignoring bad progress report: %v", err)
+		return
+	}
+	if int(c.Nodes) != len(s.hostOf) {
+		s.cfg.Logf("distmine: ignoring progress report for %d nodes (session has %d)", c.Nodes, len(s.hostOf))
+		return
+	}
+	s.ckptMu.Lock()
+	if c.Stage <= s.ckpt.Stage {
+		s.ckptMu.Unlock()
+		return
+	}
+	c.ClusterID = s.baseID
+	s.ckpt = c
+	s.ckptMu.Unlock()
+	s.cfg.Logf("distmine: session %016x checkpointed at %s", s.baseID, transport.StageName(c.Stage))
+	if s.cfg.CheckpointDir != "" {
+		path := filepath.Join(s.cfg.CheckpointDir, fmt.Sprintf("session-%016x.ckpt", s.baseID))
+		if err := transport.WriteCheckpointFile(path, c); err != nil {
+			s.cfg.Logf("distmine: persisting checkpoint: %v", err)
+		}
+	}
+}
+
+// runAttempt drives one full try of the session: dial and initialize
+// every logical node on its current host, watch heartbeats, collect
+// terminal reports. On failure it also returns the roster entries it
+// attributes deaths to (empty when the failure was not a worker death —
+// those are not recoverable by reassignment).
+func (s *session) runAttempt() (*Result, []int, error) {
+	cfg := s.cfg
+	n := len(s.hostOf)
+	// Each attempt gets a fresh cluster ID so a respawn-and-resume never
+	// collides with a half-dead prior attempt's sessions still draining
+	// on surviving daemons.
+	attemptID, err := randomID()
+	if err != nil {
+		return nil, nil, fmt.Errorf("distmine: attempt id: %w", err)
+	}
+	peerAddrs := make([]string, n)
+	for i, host := range s.hostOf {
+		peerAddrs[i] = s.roster[host]
+	}
+	var resume []byte
+	if ck := s.checkpoint(); ck.Stage > transport.StageNone {
+		resume = transport.AppendCheckpoint(nil, ck)
+	}
+
+	ctx, cancel := context.WithDeadline(context.Background(), s.deadline)
 	defer cancel()
 	conns := make([]net.Conn, n)
 	defer func() {
@@ -69,16 +355,23 @@ func MineCluster(db *txdb.DB, cfg ClusterConfig, opts mining.Options) (*Result, 
 			}
 		}
 	}()
+
+	// Dial every logical node's control plane (with retry — daemons may
+	// still be starting up) and initialize it with its partition. A
+	// setup failure is attributed as a death of the node's host so the
+	// reassign policy can route around daemons that died between
+	// attempts.
 	for i := 0; i < n; i++ {
+		addr := peerAddrs[i]
 		var conn net.Conn
 		err := transport.Retry(ctx, cfg.Retry, nil, func() error {
-			c, err := net.DialTimeout("tcp", cfg.Addrs[i], cfg.IOTimeout)
+			c, err := net.DialTimeout("tcp", addr, cfg.IOTimeout)
 			if err != nil {
 				return err
 			}
 			c.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
 			hello := transport.AppendHello(nil, transport.Hello{
-				ClusterID: clusterID, From: -1, Purpose: transport.PurposeControl,
+				ClusterID: attemptID, From: -1, To: int32(i), Purpose: transport.PurposeControl,
 			})
 			if err := transport.WriteFrame(c, transport.MsgHello, hello, nil); err != nil {
 				c.Close()
@@ -88,95 +381,157 @@ func MineCluster(db *txdb.DB, cfg ClusterConfig, opts mining.Options) (*Result, 
 			return nil
 		})
 		if err != nil {
-			return nil, fmt.Errorf("distmine: node %d (%s): control dial: %w", i, cfg.Addrs[i], err)
+			return nil, []int{s.hostOf[i]}, fmt.Errorf("distmine: node %d (%s): control dial: %w", i, addr, err)
 		}
 		conns[i] = conn
 
-		var dbBuf bytes.Buffer
-		if err := parts[i].Encode(&dbBuf); err != nil {
-			return nil, fmt.Errorf("distmine: node %d: encoding partition: %w", i, err)
-		}
 		init := transport.Init{
-			ClusterID:     clusterID,
-			NodeID:        int32(i),
-			Nodes:         int32(n),
-			TotalDocs:     int32(p.TotalDocs),
-			NumItems:      int32(p.NumItems),
-			GlobalMin:     int32(p.GlobalMin),
-			THTEntries:    int32(p.THTEntries),
-			PartitionSize: int32(p.PartitionSize),
-			MaxK:          int32(p.MaxK),
-			Workers:       int32(p.Workers),
-			PeerAddrs:     cfg.Addrs,
-			DB:            dbBuf.Bytes(),
+			ClusterID:       attemptID,
+			NodeID:          int32(i),
+			Nodes:           int32(n),
+			TotalDocs:       int32(s.p.TotalDocs),
+			NumItems:        int32(s.p.NumItems),
+			GlobalMin:       int32(s.p.GlobalMin),
+			THTEntries:      int32(s.p.THTEntries),
+			PartitionSize:   int32(s.p.PartitionSize),
+			MaxK:            int32(s.p.MaxK),
+			Workers:         int32(s.p.Workers),
+			HeartbeatMillis: int32(cfg.HeartbeatInterval / time.Millisecond),
+			PeerAddrs:       peerAddrs,
+			DB:              s.partBytes[i],
+			Resume:          resume,
 		}
 		conn.SetWriteDeadline(time.Now().Add(cfg.MineTimeout))
 		if err := transport.WriteFrame(conn, transport.MsgInit, transport.AppendInit(nil, init), nil); err != nil {
-			return nil, fmt.Errorf("distmine: node %d (%s): sending init: %w", i, cfg.Addrs[i], err)
+			return nil, []int{s.hostOf[i]}, fmt.Errorf("distmine: node %d (%s): sending init: %w", i, addr, err)
 		}
 	}
 
-	// Collect every node's terminal report. On the first failure, abort
-	// the whole session so surviving nodes blocked in collectives are
-	// released instead of waiting out their timeouts.
+	// Watch every control connection: heartbeats and progress reports
+	// stream in until the terminal NodeDone or ErrorMsg. A quiet
+	// connection past HeartbeatTimeout — or a broken one — is a death.
+	live := NewLiveness(n)
 	dones := make([]transport.NodeDone, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	shutdownAll := func() {
-		for _, c := range conns {
-			c.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
-			transport.WriteFrame(c, transport.MsgShutdown, nil, nil)
-		}
-	}
+	gotDone := make([]bool, n)
+	nodeErrs := make([]error, n)
+	var cancelled atomic.Bool
 	var abortOnce sync.Once
+	cancelAttempt := func() {
+		abortOnce.Do(func() {
+			cancelled.Store(true)
+			for i, c := range conns {
+				c.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
+				transport.WriteFrame(c, transport.MsgShutdown, nil, nil)
+				// Node 0's control conn stays open: a progress frame may
+				// already be buffered on it, and closing now would discard the
+				// checkpoint the recovery is about to resume from. Its daemon
+				// closes the conn after the shutdown, which ends the reader
+				// deterministically after every buffered frame was processed.
+				if i != 0 {
+					c.Close()
+				}
+			}
+		})
+	}
+	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			conn := conns[i]
-			conn.SetReadDeadline(time.Now().Add(cfg.MineTimeout))
-			t, payload, err := transport.ReadFrame(conn, nil)
-			if err != nil {
-				errs[i] = fmt.Errorf("node %d (%s): waiting for report: %w", i, cfg.Addrs[i], err)
-			} else {
+			conn, addr := conns[i], peerAddrs[i]
+			for {
+				readDeadline := time.Now().Add(cfg.HeartbeatTimeout)
+				if readDeadline.After(s.deadline) {
+					readDeadline = s.deadline
+				}
+				conn.SetReadDeadline(readDeadline)
+				t, payload, err := transport.ReadFrame(conn, nil)
+				if err != nil {
+					if cancelled.Load() {
+						// The attempt was already aborted; this conn error is
+						// cancellation fallout, not an independent death. (A
+						// daemon that also died in the same window is discovered
+						// by the next attempt's control dial instead.)
+						return
+					}
+					var cause error
+					if errors.Is(err, os.ErrDeadlineExceeded) {
+						cause = fmt.Errorf("node %d (%s): no heartbeat within %v: %v", i, addr, cfg.HeartbeatTimeout, err)
+					} else {
+						cause = fmt.Errorf("node %d (%s): control connection lost: %v", i, addr, err)
+					}
+					live.MarkDead(i, cause)
+					cancelAttempt()
+					return
+				}
+				live.Beat(i)
 				switch t {
+				case transport.MsgHeartbeat:
+				case transport.MsgProgress:
+					if i == 0 {
+						s.noteProgress(payload)
+					}
 				case transport.MsgNodeDone:
 					done, derr := transport.DecodeNodeDone(payload)
 					if derr != nil {
-						errs[i] = fmt.Errorf("node %d (%s): bad report: %w", i, cfg.Addrs[i], derr)
-					} else {
-						dones[i] = done
+						nodeErrs[i] = fmt.Errorf("node %d (%s): bad report: %w", i, addr, derr)
+						cancelAttempt()
+						return
 					}
+					dones[i], gotDone[i] = done, true
+					return
 				case transport.MsgError:
 					em, _ := transport.DecodeError(payload)
-					errs[i] = fmt.Errorf("node %d (%s) failed: %s", i, cfg.Addrs[i], em.Text)
+					nodeErrs[i] = fmt.Errorf("node %d (%s) failed: %s", i, addr, em.Text)
+					cancelAttempt()
+					return
 				default:
-					errs[i] = fmt.Errorf("node %d (%s): unexpected message type %d", i, cfg.Addrs[i], t)
+					nodeErrs[i] = fmt.Errorf("node %d (%s): unexpected message type %d", i, addr, t)
+					cancelAttempt()
+					return
 				}
-			}
-			if errs[i] != nil {
-				abortOnce.Do(shutdownAll)
 			}
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
+
+	if dead := live.DeadNodes(); len(dead) > 0 {
+		hosts := make(map[int]bool)
+		var deadHosts []int
+		for _, node := range dead {
+			if h := s.hostOf[node]; !hosts[h] {
+				hosts[h] = true
+				deadHosts = append(deadHosts, h)
+			}
+		}
+		return nil, deadHosts, fmt.Errorf("distmine: %w", live.Dead(dead[0]))
+	}
+	for _, err := range nodeErrs {
 		if err != nil {
-			return nil, fmt.Errorf("distmine: %w", err)
+			return nil, nil, fmt.Errorf("distmine: %w", err)
 		}
 	}
-	shutdownAll()
+	for i, ok := range gotDone {
+		if !ok {
+			return nil, nil, fmt.Errorf("distmine: node %d (%s): no terminal report", i, peerAddrs[i])
+		}
+	}
+	// Graceful shutdown: release the daemons' sessions.
+	for _, c := range conns {
+		c.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
+		transport.WriteFrame(c, transport.MsgShutdown, nil, nil)
+	}
 
 	// ---- Merge, exactly as the in-process miner does. ----
-	if len(dones[0].GlobalCounts) != p.NumItems {
-		return nil, fmt.Errorf("distmine: node 0 reported %d global item counts, want %d",
-			len(dones[0].GlobalCounts), p.NumItems)
+	if len(dones[0].GlobalCounts) != s.p.NumItems {
+		return nil, nil, fmt.Errorf("distmine: node 0 reported %d global item counts, want %d",
+			len(dones[0].GlobalCounts), s.p.NumItems)
 	}
-	globalCounts := make([]int, p.NumItems)
+	globalCounts := make([]int, s.p.NumItems)
 	for it, c := range dones[0].GlobalCounts {
 		globalCounts[it] = int(c)
 	}
-	_, _, f1Counted := core.FrequentItems(globalCounts, p.GlobalMin)
+	_, _, f1Counted := core.FrequentItems(globalCounts, s.p.GlobalMin)
 	var all []itemset.Counted
 	for _, done := range dones {
 		all = append(all, done.Found...)
@@ -187,16 +542,16 @@ func MineCluster(db *txdb.DB, cfg ClusterConfig, opts mining.Options) (*Result, 
 		Nodes:    make([]NodeStats, n),
 	}
 	for i, done := range dones {
-		ns := NodeStats{Node: i, Docs: parts[i].Len(), Wire: done.Stats, PhaseSeconds: done.PhaseSeconds}
+		ns := NodeStats{Node: i, Docs: s.parts[i].Len(), Wire: done.Stats, PhaseSeconds: done.PhaseSeconds}
 		res.Nodes[i] = ns
 		res.Metrics.WireMessagesSent += ns.Wire.MessagesSent
 		res.Metrics.WireMessagesReceived += ns.Wire.MessagesReceived
 		res.Metrics.WireBytesSent += ns.Wire.BytesSent
 		res.Metrics.WireBytesReceived += ns.Wire.BytesReceived
 		res.Metrics.WireRetries += ns.Wire.Retries
-		for _, s := range ns.PhaseSeconds {
-			res.Metrics.WireSeconds += s
+		for _, sec := range ns.PhaseSeconds {
+			res.Metrics.WireSeconds += sec
 		}
 	}
-	return res, nil
+	return res, nil, nil
 }

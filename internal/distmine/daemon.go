@@ -20,23 +20,35 @@ type DaemonOptions struct {
 	// defaults (30s / 120s).
 	IOTimeout   time.Duration
 	WaitTimeout time.Duration
+	// HeartbeatInterval is the control-plane liveness beacon interval
+	// used when a session's Init does not set one (zero: 500ms).
+	HeartbeatInterval time.Duration
 	// Retry bounds the exchange's dial/step retries.
 	Retry transport.RetryPolicy
 	// Logf, when non-nil, receives daemon lifecycle logs.
 	Logf func(format string, args ...any)
 }
 
+// sessionKey identifies one logical node of one mining session. After a
+// failover a daemon may host several logical nodes of the same cluster,
+// so sessions are keyed by (cluster, node) and peer connections are
+// routed by their Hello's To field.
+type sessionKey struct {
+	cluster uint64
+	node    int32
+}
+
 // Daemon is a PMIHP worker process: one listener serving the
 // coordinator's control plane and peers' exchange traffic, dispatched
 // by each connection's Hello. A daemon can serve many mining sessions
-// over its lifetime (sequentially or concurrently); sessions are keyed
-// by the coordinator-chosen cluster id.
+// (and, after failovers, several logical nodes of one session) over its
+// lifetime; each logical node is driven by its own control connection.
 type Daemon struct {
 	opt  DaemonOptions
 	addr string
 
 	mu       sync.Mutex
-	sessions map[uint64]*transport.TCPExchange
+	sessions map[sessionKey]*transport.TCPExchange
 }
 
 // NewDaemon returns a daemon with the given options.
@@ -47,10 +59,13 @@ func NewDaemon(opt DaemonOptions) *Daemon {
 	if opt.IOTimeout <= 0 {
 		opt.IOTimeout = 30 * time.Second
 	}
+	if opt.HeartbeatInterval <= 0 {
+		opt.HeartbeatInterval = 500 * time.Millisecond
+	}
 	if opt.Logf == nil {
 		opt.Logf = func(string, ...any) {}
 	}
-	return &Daemon{opt: opt, sessions: make(map[uint64]*transport.TCPExchange)}
+	return &Daemon{opt: opt, sessions: make(map[sessionKey]*transport.TCPExchange)}
 }
 
 // Serve accepts and dispatches connections until the listener closes.
@@ -85,9 +100,9 @@ func (d *Daemon) handleConn(conn net.Conn) {
 		// A peer may connect before this node's Init has been processed
 		// (the coordinator initializes nodes one by one); wait for the
 		// session to appear.
-		x, err := d.exchange(hello.ClusterID)
+		x, err := d.exchange(hello.ClusterID, hello.To)
 		if err != nil {
-			d.opt.Logf("pmihp-node: dropping peer conn for unknown cluster %x: %v", hello.ClusterID, err)
+			d.opt.Logf("pmihp-node: dropping peer conn for cluster %x node %d: %v", hello.ClusterID, hello.To, err)
 			conn.Close()
 			return
 		}
@@ -97,33 +112,43 @@ func (d *Daemon) handleConn(conn net.Conn) {
 	}
 }
 
-// exchange waits for the session with the given cluster id to be
-// registered and returns its exchange.
-func (d *Daemon) exchange(clusterID uint64) (*transport.TCPExchange, error) {
+// exchange waits for the logical node's session to be registered and
+// returns its exchange.
+func (d *Daemon) exchange(clusterID uint64, node int32) (*transport.TCPExchange, error) {
+	key := sessionKey{clusterID, node}
 	deadline := time.Now().Add(d.opt.WaitTimeout)
 	for {
 		d.mu.Lock()
-		x := d.sessions[clusterID]
+		x := d.sessions[key]
 		d.mu.Unlock()
 		if x != nil {
 			return x, nil
 		}
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("no session for cluster %x after %v", clusterID, d.opt.WaitTimeout)
+			return nil, fmt.Errorf("no session for cluster %x node %d after %v", clusterID, node, d.opt.WaitTimeout)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
 }
 
-// handleControl runs one mining session driven by the coordinator:
-// Init in, NodeDone (or ErrorMsg) out, Shutdown to finish.
+// handleControl runs one logical node's mining session driven by the
+// coordinator: Init in, heartbeats and (from node 0) progress
+// checkpoints during, NodeDone (or ErrorMsg) out, Shutdown to finish.
 func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
 	defer conn.Close()
+
+	// All control-plane writes (heartbeats, progress, the terminal
+	// report) share the connection; serialize them.
+	var writeMu sync.Mutex
+	write := func(msgType uint8, payload []byte, timeout time.Duration) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+		return transport.WriteFrame(conn, msgType, payload, nil)
+	}
 	fail := func(err error) {
 		d.opt.Logf("pmihp-node: session %x: %v", hello.ClusterID, err)
-		conn.SetWriteDeadline(time.Now().Add(d.opt.IOTimeout))
-		transport.WriteFrame(conn, transport.MsgError,
-			transport.AppendError(nil, transport.ErrorMsg{Text: err.Error()}), nil)
+		write(transport.MsgError, transport.AppendError(nil, transport.ErrorMsg{Text: err.Error()}), d.opt.IOTimeout)
 	}
 
 	conn.SetReadDeadline(time.Now().Add(d.opt.WaitTimeout))
@@ -150,6 +175,17 @@ func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
 		fail(fmt.Errorf("decoding partition: %w", err))
 		return
 	}
+	var resume *transport.Checkpoint
+	if len(init.Resume) > 0 {
+		c, cerr := transport.DecodeCheckpoint(init.Resume)
+		if cerr != nil {
+			// A checkpoint this build cannot speak (future version, corrupt
+			// bytes) degrades to an attributed session error, never a panic.
+			fail(fmt.Errorf("node %d: decoding resume checkpoint: %w", init.NodeID, cerr))
+			return
+		}
+		resume = &c
+	}
 
 	x, err := transport.NewTCP(transport.TCPOptions{
 		ClusterID:   init.ClusterID,
@@ -164,23 +200,91 @@ func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
 		fail(err)
 		return
 	}
+	key := sessionKey{init.ClusterID, init.NodeID}
 	d.mu.Lock()
-	if d.sessions[init.ClusterID] != nil {
+	if d.sessions[key] != nil {
 		d.mu.Unlock()
 		x.Close()
-		fail(fmt.Errorf("cluster %x already has a session here", init.ClusterID))
+		fail(fmt.Errorf("cluster %x node %d already has a session here", init.ClusterID, init.NodeID))
 		return
 	}
-	d.sessions[init.ClusterID] = x
+	d.sessions[key] = x
 	d.mu.Unlock()
 	defer func() {
 		d.mu.Lock()
-		delete(d.sessions, init.ClusterID)
+		delete(d.sessions, key)
 		d.mu.Unlock()
 		x.Close()
 	}()
 
-	d.opt.Logf("pmihp-node: session %x: node %d/%d, %d docs", init.ClusterID, init.NodeID, init.Nodes, db.Len())
+	// stop is closed when the coordinator shuts the session down — or
+	// abandons it (control connection breaks). Closing the exchange
+	// unblocks any collective this node is waiting in, so an aborted
+	// session's survivors fail over quickly instead of waiting out their
+	// timeouts.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	signalStop := func() {
+		stopOnce.Do(func() {
+			close(stop)
+			x.Close()
+		})
+	}
+	go func() {
+		for {
+			conn.SetReadDeadline(time.Now().Add(time.Hour))
+			t, _, err := transport.ReadFrame(conn, nil)
+			if err != nil || t == transport.MsgShutdown {
+				signalStop()
+				return
+			}
+		}
+	}()
+
+	// Heartbeat writer: the coordinator declares this node dead after a
+	// configurable quiet interval, so beat for the whole session — mining
+	// itself produces no control-plane traffic.
+	interval := time.Duration(init.HeartbeatMillis) * time.Millisecond
+	if interval <= 0 {
+		interval = d.opt.HeartbeatInterval
+	}
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if write(transport.MsgHeartbeat, nil, d.opt.IOTimeout) != nil {
+					signalStop()
+					return
+				}
+			}
+		}
+	}()
+
+	hooks := nodeHooks{resume: resume}
+	if init.NodeID == 0 {
+		hooks.progress = func(stage uint8, counts []uint32, segs [][]byte) {
+			ck := transport.Checkpoint{
+				ClusterID:    init.ClusterID,
+				Nodes:        init.Nodes,
+				Stage:        stage,
+				GlobalCounts: counts,
+				THTSegments:  segs,
+			}
+			if err := write(transport.MsgProgress, transport.AppendCheckpoint(nil, ck), d.opt.IOTimeout); err != nil {
+				d.opt.Logf("pmihp-node: session %x: sending %s progress: %v", init.ClusterID, transport.StageName(stage), err)
+			}
+		}
+	}
+
+	from := "fresh"
+	if resume != nil {
+		from = "resume from " + transport.StageName(resume.Stage)
+	}
+	d.opt.Logf("pmihp-node: session %x: node %d/%d, %d docs (%s)", init.ClusterID, init.NodeID, init.Nodes, db.Len(), from)
 	outcome, err := runNode(x, db, NodeParams{
 		TotalDocs:     int(init.TotalDocs),
 		NumItems:      int(init.NumItems),
@@ -189,13 +293,13 @@ func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
 		PartitionSize: int(init.PartitionSize),
 		MaxK:          int(init.MaxK),
 		Workers:       int(init.Workers),
-	})
+	}, hooks)
 	if err != nil {
 		fail(fmt.Errorf("node %d: %w", init.NodeID, err))
 		// Keep the session registered until Shutdown so surviving peers'
 		// retries meet a live (if failing) endpoint rather than a vanished
 		// one; the coordinator aborts everyone on our ErrorMsg.
-		d.awaitShutdown(conn)
+		<-stop
 		return
 	}
 
@@ -206,30 +310,14 @@ func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
 		PhaseSeconds: outcome.PhaseSeconds,
 	}
 	if init.NodeID == 0 {
-		done.GlobalCounts = make([]uint32, len(outcome.GlobalCounts))
-		for i, c := range outcome.GlobalCounts {
-			done.GlobalCounts[i] = uint32(c)
-		}
+		done.GlobalCounts = u32Counts(outcome.GlobalCounts)
 	}
-	conn.SetWriteDeadline(time.Now().Add(d.opt.WaitTimeout))
-	if err := transport.WriteFrame(conn, transport.MsgNodeDone, transport.AppendNodeDone(nil, done), nil); err != nil {
+	if err := write(transport.MsgNodeDone, transport.AppendNodeDone(nil, done), d.opt.WaitTimeout); err != nil {
 		d.opt.Logf("pmihp-node: session %x: sending done: %v", init.ClusterID, err)
 		return
 	}
-	d.awaitShutdown(conn)
-	d.opt.Logf("pmihp-node: session %x: finished", init.ClusterID)
-}
-
-// awaitShutdown blocks until the coordinator's Shutdown (or the control
-// connection drops).
-func (d *Daemon) awaitShutdown(conn net.Conn) {
-	conn.SetReadDeadline(time.Now().Add(d.opt.WaitTimeout))
-	for {
-		t, _, err := transport.ReadFrame(conn, nil)
-		if err != nil || t == transport.MsgShutdown {
-			return
-		}
-	}
+	<-stop
+	d.opt.Logf("pmihp-node: session %x: node %d finished", init.ClusterID, init.NodeID)
 }
 
 // ListenAndServe listens on addr (host:0 picks a free port), announces

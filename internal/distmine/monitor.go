@@ -1,0 +1,69 @@
+package distmine
+
+import (
+	"sync"
+	"time"
+)
+
+// Liveness is the coordinator's heartbeat bookkeeping for one session
+// attempt: last-beat times and death attributions per logical node.
+// All methods are safe for concurrent use — one reader goroutine per
+// node feeds it while failure handling inspects it.
+type Liveness struct {
+	mu   sync.Mutex
+	last []time.Time
+	dead []error
+}
+
+// NewLiveness returns a tracker for n logical nodes.
+func NewLiveness(n int) *Liveness {
+	return &Liveness{last: make([]time.Time, n), dead: make([]error, n)}
+}
+
+// Beat records a sign of life (any control-plane frame) from the node.
+func (l *Liveness) Beat(node int) {
+	l.mu.Lock()
+	l.last[node] = time.Now()
+	l.mu.Unlock()
+}
+
+// LastBeat returns the node's most recent sign of life (zero if none).
+func (l *Liveness) LastBeat(node int) time.Time {
+	l.mu.Lock()
+	t := l.last[node]
+	l.mu.Unlock()
+	return t
+}
+
+// MarkDead records the node's death attribution. The first cause wins;
+// it reports whether this call was the one that marked it.
+func (l *Liveness) MarkDead(node int, cause error) bool {
+	l.mu.Lock()
+	first := l.dead[node] == nil
+	if first {
+		l.dead[node] = cause
+	}
+	l.mu.Unlock()
+	return first
+}
+
+// Dead returns the node's death attribution, or nil while it lives.
+func (l *Liveness) Dead(node int) error {
+	l.mu.Lock()
+	err := l.dead[node]
+	l.mu.Unlock()
+	return err
+}
+
+// DeadNodes returns the indices of nodes marked dead, ascending.
+func (l *Liveness) DeadNodes() []int {
+	l.mu.Lock()
+	var dead []int
+	for i, err := range l.dead {
+		if err != nil {
+			dead = append(dead, i)
+		}
+	}
+	l.mu.Unlock()
+	return dead
+}

@@ -40,6 +40,18 @@ type NodeParams struct {
 	Workers       int // intra-node workers (0 = GOMAXPROCS)
 }
 
+// nodeHooks wires a node run into the fault-tolerance machinery.
+type nodeHooks struct {
+	// resume, when non-nil, is the checkpoint of a failed session: the
+	// run skips the collectives the checkpoint covers and rebuilds their
+	// results from it instead (the same state, by core's resume seams, so
+	// the mining that follows is byte-identical to an uninterrupted run).
+	resume *transport.Checkpoint
+	// progress, when non-nil (node 0 of a coordinator-driven session),
+	// receives the checkpointable state after each collective completes.
+	progress func(stage uint8, counts []uint32, thtSegments [][]byte)
+}
+
 // nodeOutcome is what one node's protocol run produces.
 type nodeOutcome struct {
 	// GlobalCounts is the all-reduced per-item count vector (identical at
@@ -61,9 +73,18 @@ type nodeOutcome struct {
 
 // runNode executes the PMIHP node protocol over the exchange. The
 // caller owns the exchange (and its listener, for TCP) and closes it
-// after the coordinator's shutdown.
-func runNode(x transport.Exchange, db *txdb.DB, p NodeParams) (*nodeOutcome, error) {
+// after the coordinator's shutdown. With h.resume set, the run skips
+// the collectives the checkpoint covers and continues from their
+// recorded results.
+func runNode(x transport.Exchange, db *txdb.DB, p NodeParams, h nodeHooks) (*nodeOutcome, error) {
 	n, self := x.Nodes(), x.NodeID()
+	stage := transport.StageNone
+	if h.resume != nil {
+		if int(h.resume.Nodes) != n {
+			return nil, fmt.Errorf("resume checkpoint for %d nodes, this session has %d", h.resume.Nodes, n)
+		}
+		stage = h.resume.Stage
+	}
 	out := &nodeOutcome{
 		Miner:  mining.NewMetrics("distmine-miner"),
 		Server: mining.NewMetrics("distmine-server"),
@@ -77,38 +98,57 @@ func runNode(x transport.Exchange, db *txdb.DB, p NodeParams) (*nodeOutcome, err
 	}.WithDefaults()
 	workers := opts.Workers()
 
-	// ---- Pass 1: local THT build and item counts. ----
-	entries := p.THTEntries / n
-	if entries < 4 {
-		entries = 4
+	// ---- Pass 1: local THT build and item counts. A resume beyond the
+	// THT stage needs neither — every segment comes from the checkpoint.
+	var local *tht.Local
+	var counts []int
+	if stage < transport.StageTHT {
+		entries := p.THTEntries / n
+		if entries < 4 {
+			entries = 4
+		}
+		local, counts = tht.BuildLocalShards(db, entries, workers)
 	}
-	local, counts := tht.BuildLocalShards(db, entries, workers)
 
 	// ---- Exchange: global item counts. The paper's all-reduce is
 	// realized as gather + local sum, which keeps the cascade lossless
 	// and, because integer addition commutes, yields the same vector at
-	// every node regardless of arrival order. ----
-	countBlob := make([]uint32, p.NumItems)
-	for it, c := range counts {
-		countBlob[it] = uint32(c)
-	}
-	t0 := time.Now()
-	blobs, err := x.AllGather(transport.PhaseItemCounts, transport.AppendUint32s(nil, countBlob))
-	out.PhaseSeconds[0] = time.Since(t0).Seconds()
-	if err != nil {
-		return nil, fmt.Errorf("item-count exchange: %w", err)
-	}
-	globalCounts := make([]int, p.NumItems)
-	for i, b := range blobs {
-		v, err := transport.DecodeUint32s(b)
+	// every node regardless of arrival order. A resume restores the
+	// vector from the checkpoint instead — it is the exact sum the
+	// original collective produced.
+	var globalCounts []int
+	if stage < transport.StageItemCounts {
+		countBlob := make([]uint32, p.NumItems)
+		for it, c := range counts {
+			countBlob[it] = uint32(c)
+		}
+		t0 := time.Now()
+		blobs, err := x.AllGather(transport.PhaseItemCounts, transport.AppendUint32s(nil, countBlob))
+		out.PhaseSeconds[0] = time.Since(t0).Seconds()
 		if err != nil {
-			return nil, fmt.Errorf("item counts from node %d: %w", i, err)
+			return nil, fmt.Errorf("item-count exchange: %w", err)
 		}
-		if len(v) != p.NumItems {
-			return nil, fmt.Errorf("item counts from node %d: %d items, want %d", i, len(v), p.NumItems)
+		globalCounts = make([]int, p.NumItems)
+		for i, b := range blobs {
+			v, err := transport.DecodeUint32s(b)
+			if err != nil {
+				return nil, fmt.Errorf("item counts from node %d: %w", i, err)
+			}
+			if len(v) != p.NumItems {
+				return nil, fmt.Errorf("item counts from node %d: %d items, want %d", i, len(v), p.NumItems)
+			}
+			for it, c := range v {
+				globalCounts[it] += int(c)
+			}
 		}
-		for it, c := range v {
-			globalCounts[it] += int(c)
+		if h.progress != nil {
+			h.progress(transport.StageItemCounts, u32Counts(globalCounts), nil)
+		}
+	} else {
+		var err error
+		globalCounts, err = core.ResumeCounts(h.resume.GlobalCounts, p.NumItems)
+		if err != nil {
+			return nil, fmt.Errorf("resuming item counts: %w", err)
 		}
 	}
 	out.GlobalCounts = globalCounts
@@ -129,29 +169,53 @@ func runNode(x transport.Exchange, db *txdb.DB, p NodeParams) (*nodeOutcome, err
 		return replies
 	})
 
-	// ---- Exchange: local THTs (frequent rows only), cascade assembly. ----
-	local.Retain(func(it itemset.Item) bool { return freq[it] })
-	local.BuildMasks()
-	t1 := time.Now()
-	blobs, err = x.AllGather(transport.PhaseTHT, local.AppendWire(nil))
-	out.PhaseSeconds[1] = time.Since(t1).Seconds()
-	if err != nil {
-		return nil, fmt.Errorf("tht exchange: %w", err)
-	}
-	segments := make([]*tht.Local, n)
-	for i, b := range blobs {
-		if i == self {
-			segments[i] = local
-			continue
-		}
-		seg, err := tht.DecodeWire(b)
+	// ---- Exchange: local THTs (frequent rows only), cascade assembly.
+	// A resume past this stage decodes every segment (its own included)
+	// from the checkpointed wire blobs — the cascade bounds are identical
+	// to the live segments' (pinned by core's resume fidelity test) — and
+	// replaces the skipped collective with a cheap barrier, because
+	// exiting a collective is what licenses peers to start polling.
+	var global *tht.Global
+	if stage < transport.StageTHT {
+		local.Retain(func(it itemset.Item) bool { return freq[it] })
+		local.BuildMasks()
+		t1 := time.Now()
+		blobs, err := x.AllGather(transport.PhaseTHT, local.AppendWire(nil))
+		out.PhaseSeconds[1] = time.Since(t1).Seconds()
 		if err != nil {
-			return nil, fmt.Errorf("tht segment from node %d: %w", i, err)
+			return nil, fmt.Errorf("tht exchange: %w", err)
 		}
-		seg.BuildMasks()
-		segments[i] = seg
+		segments := make([]*tht.Local, n)
+		for i, b := range blobs {
+			if i == self {
+				segments[i] = local
+				continue
+			}
+			seg, err := tht.DecodeWire(b)
+			if err != nil {
+				return nil, fmt.Errorf("tht segment from node %d: %w", i, err)
+			}
+			seg.BuildMasks()
+			segments[i] = seg
+		}
+		global = tht.NewGlobal(segments)
+		if h.progress != nil {
+			h.progress(transport.StageTHT, u32Counts(globalCounts), blobs)
+		}
+	} else {
+		var err error
+		global, err = core.SegmentsFromWire(h.resume.THTSegments)
+		if err != nil {
+			return nil, fmt.Errorf("resuming tht segments: %w", err)
+		}
+		t1 := time.Now()
+		// The one-byte payload matters: the all-gather treats nil blobs as
+		// missing contributions.
+		if _, err := x.AllGather(transport.PhaseResume, []byte{1}); err != nil {
+			return nil, fmt.Errorf("resume barrier: %w", err)
+		}
+		out.PhaseSeconds[1] = time.Since(t1).Seconds()
 	}
-	global := tht.NewGlobal(segments)
 
 	// ---- Local mining, queueing every locally frequent itemset. ----
 	partitions := core.Partition(f1, opts.PartitionSize)
@@ -187,13 +251,13 @@ func runNode(x transport.Exchange, db *txdb.DB, p NodeParams) (*nodeOutcome, err
 	// lists. Exiting this collective additionally proves every peer has
 	// finished polling, so the poll service can be torn down safely. ----
 	t3 := time.Now()
-	blobs, err = x.AllGather(transport.PhaseFinal, transport.AppendCountedList(nil, found))
+	finalBlobs, err := x.AllGather(transport.PhaseFinal, transport.AppendCountedList(nil, found))
 	out.PhaseSeconds[3] = time.Since(t3).Seconds()
 	if err != nil {
 		return nil, fmt.Errorf("final exchange: %w", err)
 	}
 	var all []itemset.Counted
-	for i, b := range blobs {
+	for i, b := range finalBlobs {
 		list, err := transport.DecodeCountedList(b)
 		if err != nil {
 			return nil, fmt.Errorf("frequent list from node %d: %w", i, err)
@@ -202,6 +266,16 @@ func runNode(x transport.Exchange, db *txdb.DB, p NodeParams) (*nodeOutcome, err
 	}
 	out.Merged = core.MergeFound(f1Counted, all)
 	return out, nil
+}
+
+// u32Counts converts the summed global item counts into their wire
+// (and checkpoint) form.
+func u32Counts(globalCounts []int) []uint32 {
+	v := make([]uint32, len(globalCounts))
+	for it, c := range globalCounts {
+		v[it] = uint32(c)
+	}
+	return v
 }
 
 // resolveGlobal polls peers for the queued itemsets' remote support

@@ -1,0 +1,329 @@
+package integration
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pmihp/internal/core"
+	"pmihp/internal/corpus"
+	"pmihp/internal/distmine"
+	"pmihp/internal/mining"
+	"pmihp/internal/transport"
+)
+
+// nodeBin is the pmihp-node binary built once for the fault-injection
+// suite.
+var (
+	nodeBin  string
+	buildErr error
+)
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "pmihp-fault-bin")
+	if err != nil {
+		buildErr = err
+	} else {
+		bin := filepath.Join(dir, "pmihp-node")
+		out, err := exec.Command("go", "build", "-o", bin, "pmihp/cmd/pmihp-node").CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build pmihp/cmd/pmihp-node: %v\n%s", err, out)
+		} else {
+			nodeBin = bin
+		}
+	}
+	code := m.Run()
+	if dir != "" {
+		os.RemoveAll(dir)
+	}
+	os.Exit(code)
+}
+
+var faultRetry = transport.RetryPolicy{Attempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+
+// faultCase is one scripted failure scenario.
+type faultCase struct {
+	name   string
+	nodes  int
+	plan   FaultPlan
+	policy distmine.FailurePolicy
+	// respawn spawns replacements instead of doubling up on survivors.
+	respawn bool
+	// wantErr: the session must fail, with an error containing each
+	// substring. Otherwise it must succeed byte-identically.
+	wantErr []string
+	// wantLogs must each appear in the coordinator's recovery log.
+	wantLog []string
+	// failovers/reassigned are exact expectations on the metrics.
+	failovers  int
+	reassigned int
+}
+
+// faultRecord feeds the harness's JSON summary (PMIHP_FAULT_JSON).
+type faultRecord struct {
+	Name            string  `json:"name"`
+	Nodes           int     `json:"nodes"`
+	Policy          string  `json:"policy"`
+	Failed          bool    `json:"failed"`
+	Identical       bool    `json:"identical"`
+	Failovers       int     `json:"failovers"`
+	Reassigned      int     `json:"reassigned_partitions"`
+	RecoverySeconds float64 `json:"recovery_seconds"`
+	WireRetries     int64   `json:"wire_retries"`
+	Error           string  `json:"error,omitempty"`
+}
+
+var (
+	faultRecMu   sync.Mutex
+	faultRecords []faultRecord
+)
+
+func recordFault(r faultRecord) {
+	faultRecMu.Lock()
+	faultRecords = append(faultRecords, r)
+	faultRecMu.Unlock()
+}
+
+// TestFaultInjection is the deterministic fault suite: scripted kills,
+// wedges, and delays against real worker processes. Every recovered
+// session must produce frequent itemsets byte-identical to the
+// in-process PMIHP miner; every aborted one must fail fast with an
+// attributed error.
+func TestFaultInjection(t *testing.T) {
+	if nodeBin == "" {
+		t.Fatalf("pmihp-node binary unavailable: %v", buildErr)
+	}
+	cases := []faultCase{
+		{
+			// Kill a worker while the very first collective is in flight:
+			// nothing is checkpointed yet, so recovery is a clean restart on
+			// the survivors.
+			name:  "kill-during-item-counts-4node",
+			nodes: 4,
+			plan: FaultPlan{Faults: []Fault{{
+				Observe: 2, Target: 2, Action: ActKill,
+				Trigger: Trigger{MsgType: transport.MsgCubeBlock, Phase: transport.PhaseItemCounts, Count: 1},
+			}}},
+			policy:     distmine.FailurePolicyReassign,
+			failovers:  1,
+			reassigned: 1,
+		},
+		{
+			// Kill a worker after node 0's item-count checkpoint reaches the
+			// coordinator (the trigger watches node 0's control plane and
+			// kills node 3): the session must resume from the item-counts
+			// pass, not restart.
+			name:  "kill-after-item-counts-8node",
+			nodes: 8,
+			plan: FaultPlan{Faults: []Fault{{
+				Observe: 0, Target: 3, Action: ActKill,
+				Trigger: Trigger{Purpose: transport.PurposeControl, MsgType: transport.MsgProgress, Dir: DirFromWorker, Count: 1},
+			}}},
+			policy:     distmine.FailurePolicyReassign,
+			wantLog:    []string{"resuming from item-counts"},
+			failovers:  1,
+			reassigned: 1,
+		},
+		{
+			// Kill a worker after the THT checkpoint: the resumed session
+			// skips pass 1 and both collectives, rebuilding every THT segment
+			// from checkpointed wire bytes.
+			name:  "kill-after-tht-8node",
+			nodes: 8,
+			plan: FaultPlan{Faults: []Fault{{
+				Observe: 0, Target: 5, Action: ActKill,
+				Trigger: Trigger{Purpose: transport.PurposeControl, MsgType: transport.MsgProgress, Dir: DirFromWorker, Count: 2},
+			}}},
+			policy:     distmine.FailurePolicyReassign,
+			wantLog:    []string{"resuming from tht"},
+			failovers:  1,
+			reassigned: 1,
+		},
+		{
+			// Same THT-stage kill, but the dead worker is replaced by a
+			// freshly spawned process instead of doubling up on a survivor.
+			name:  "kill-after-tht-respawn-4node",
+			nodes: 4,
+			plan: FaultPlan{Faults: []Fault{{
+				Observe: 0, Target: 2, Action: ActKill,
+				Trigger: Trigger{Purpose: transport.PurposeControl, MsgType: transport.MsgProgress, Dir: DirFromWorker, Count: 2},
+			}}},
+			policy:     distmine.FailurePolicyReassign,
+			respawn:    true,
+			wantLog:    []string{"resuming from tht", "replacement worker"},
+			failovers:  1,
+			reassigned: 1,
+		},
+		{
+			// Under the default abort policy the same kill fails the session
+			// fast, attributing the dead worker.
+			name:  "kill-aborts-under-abort-policy",
+			nodes: 4,
+			plan: FaultPlan{Faults: []Fault{{
+				Observe: 1, Target: 1, Action: ActKill,
+				Trigger: Trigger{MsgType: transport.MsgCubeBlock, Phase: transport.PhaseItemCounts, Count: 1},
+			}}},
+			policy:  distmine.FailurePolicyAbort,
+			wantErr: []string{"node 1"},
+		},
+		{
+			// A wedged worker: alive at the TCP level, but its heartbeats
+			// (and eventually its report) silently vanish. Detection is by
+			// heartbeat timeout; recovery must still be byte-identical.
+			name:  "dropped-heartbeats-4node",
+			nodes: 4,
+			plan: FaultPlan{Faults: []Fault{{
+				Observe: 2, Target: 2, Action: ActDropHeartbeats,
+				Trigger: Trigger{Purpose: transport.PurposeControl, MsgType: transport.MsgHeartbeat, Dir: DirFromWorker, Count: 1},
+			}}},
+			policy:     distmine.FailurePolicyReassign,
+			wantLog:    []string{"no heartbeat"},
+			failovers:  1,
+			reassigned: 1,
+		},
+		{
+			// Delayed peer connections stress retries and timeouts without
+			// any failure: no failover may be charged and the result must be
+			// identical.
+			name:  "delayed-peer-frames-4node",
+			nodes: 4,
+			plan: FaultPlan{Faults: []Fault{{
+				Observe: 1, Target: 1, Action: ActDelay, Delay: 25 * time.Millisecond,
+				Trigger: Trigger{Purpose: transport.PurposeCube, MsgType: transport.MsgCubeBlock, Count: 3},
+			}}},
+			policy:     distmine.FailurePolicyReassign,
+			failovers:  0,
+			reassigned: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runFaultCase(t, tc)
+		})
+	}
+	writeFaultSummary(t)
+}
+
+func runFaultCase(t *testing.T, tc faultCase) {
+	var logMu sync.Mutex
+	var logs []string
+	logf := func(format string, args ...any) {
+		line := fmt.Sprintf(format, args...)
+		logMu.Lock()
+		logs = append(logs, line)
+		logMu.Unlock()
+		t.Log(line)
+	}
+	fc, err := StartFaultCluster(nodeBin, tc.nodes, tc.plan, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Stop()
+
+	db := buildDB(t, corpus.CorpusB(corpus.Small))
+	opts := mining.Options{MinSupCount: 2, MaxK: 3}
+	ref, err := core.MinePMIHP(db, core.PMIHPConfig{Nodes: tc.nodes}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := distmine.ClusterConfig{
+		Addrs:             fc.Addrs(),
+		Retry:             faultRetry,
+		FailurePolicy:     tc.policy,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  500 * time.Millisecond,
+		MineTimeout:       2 * time.Minute,
+		CheckpointDir:     t.TempDir(),
+		Logf:              logf,
+	}
+	if tc.respawn {
+		cfg.Respawn = fc.SpawnReplacement
+	}
+	got, err := distmine.MineCluster(db, cfg, opts)
+
+	rec := faultRecord{Name: tc.name, Nodes: tc.nodes, Policy: string(tc.policy), Failed: err != nil}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	defer func() { recordFault(rec) }()
+
+	if len(tc.wantErr) > 0 {
+		if err == nil {
+			t.Fatal("expected the session to fail")
+		}
+		for _, want := range tc.wantErr {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("error %q does not mention %q", err, want)
+			}
+		}
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Failovers = got.Metrics.Failovers
+	rec.Reassigned = got.Metrics.ReassignedPartitions
+	rec.RecoverySeconds = got.Metrics.RecoverySeconds
+	rec.WireRetries = got.Metrics.WireRetries
+
+	// The core invariant: a recovered session is byte-identical to the
+	// in-process miner — same itemsets, same exact counts, same order.
+	want := ref.Result.Frequent
+	if len(got.Frequent) != len(want) {
+		t.Fatalf("frequent list length %d, want %d", len(got.Frequent), len(want))
+	}
+	for i := range want {
+		if !want[i].Set.Equal(got.Frequent[i].Set) || want[i].Count != got.Frequent[i].Count {
+			t.Fatalf("entry %d: got %v/%d, want %v/%d",
+				i, got.Frequent[i].Set, got.Frequent[i].Count, want[i].Set, want[i].Count)
+		}
+	}
+	rec.Identical = true
+
+	if got.Metrics.Failovers != tc.failovers {
+		t.Fatalf("failovers = %d, want %d", got.Metrics.Failovers, tc.failovers)
+	}
+	if got.Metrics.ReassignedPartitions != tc.reassigned {
+		t.Fatalf("reassigned partitions = %d, want %d", got.Metrics.ReassignedPartitions, tc.reassigned)
+	}
+	if tc.failovers > 0 && got.Metrics.RecoverySeconds <= 0 {
+		t.Fatalf("recovery time not accounted: %+v", got.Metrics)
+	}
+	logMu.Lock()
+	joined := strings.Join(logs, "\n")
+	logMu.Unlock()
+	for _, want := range tc.wantLog {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("coordinator log does not mention %q:\n%s", want, joined)
+		}
+	}
+}
+
+// writeFaultSummary dumps the collected case records as JSON when
+// PMIHP_FAULT_JSON names a file — the artifact the nightly CI job
+// uploads.
+func writeFaultSummary(t *testing.T) {
+	path := os.Getenv("PMIHP_FAULT_JSON")
+	if path == "" {
+		return
+	}
+	faultRecMu.Lock()
+	defer faultRecMu.Unlock()
+	b, err := json.MarshalIndent(struct {
+		Cases []faultRecord `json:"cases"`
+	}{faultRecords}, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal fault summary: %v", err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		t.Fatalf("write fault summary: %v", err)
+	}
+	t.Logf("fault summary written to %s", path)
+}

@@ -1,0 +1,472 @@
+package integration
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"pmihp/internal/transport"
+)
+
+// This file is the deterministic fault-injection harness for cluster
+// sessions: real pmihp-node worker processes on loopback, each fronted
+// by a frame-aware relay proxy. Faults do not fire on wall-clock timers
+// — they fire when a scripted protocol event (the Nth frame matching a
+// trigger) passes through a proxy, so every run injects the failure at
+// the same point in the mining protocol regardless of host speed.
+
+// Direction selects which relay direction of a proxied connection a
+// trigger watches.
+type Direction uint8
+
+const (
+	// DirAny matches frames in both directions.
+	DirAny Direction = iota
+	// DirToWorker matches frames flowing coordinator/peer -> worker.
+	DirToWorker
+	// DirFromWorker matches frames flowing worker -> coordinator/peer.
+	DirFromWorker
+)
+
+// Trigger matches frames relayed through one worker's proxy. Zero
+// fields match anything; Count selects the Nth match (minimum 1).
+type Trigger struct {
+	// Purpose filters by the connection's Hello purpose
+	// (transport.PurposeControl/Cube/Poll); 0 matches any connection.
+	Purpose uint8
+	// MsgType filters by frame type (transport.Msg*); 0 matches any.
+	MsgType uint8
+	// Phase filters MsgCubeBlock frames by their exchange phase; 0
+	// matches any frame. Non-cube frames never match a non-zero Phase.
+	Phase transport.Phase
+	// Dir filters by relay direction.
+	Dir Direction
+	// Count fires the fault on the Count-th matching frame (0 means 1).
+	Count int
+}
+
+// FaultAction is what a fired fault does.
+type FaultAction uint8
+
+const (
+	// ActKill SIGKILLs the target worker process and severs its proxied
+	// connections — a crashed workstation.
+	ActKill FaultAction = iota + 1
+	// ActDropHeartbeats silently discards every subsequent worker ->
+	// coordinator control frame of the observed worker (heartbeats,
+	// progress, the terminal report) while leaving the connection open —
+	// a wedged worker the coordinator can only detect by silence.
+	ActDropHeartbeats
+	// ActDelay stalls each matching frame (up to Count of them) by Delay
+	// before relaying it — a slow or congested link.
+	ActDelay
+)
+
+// Fault is one scripted failure: when Trigger matches on the Observe
+// worker's proxy, Action fires against the Target worker.
+type Fault struct {
+	// Observe is the worker whose proxy watches for the trigger.
+	Observe int
+	// Target is the worker the action applies to; defaults to Observe.
+	// (Killing node N when node 0's checkpoint passes through is how the
+	// tests pin "kill after pass K" deterministically.)
+	Target  int
+	Trigger Trigger
+	Action  FaultAction
+	// Delay is the per-frame stall for ActDelay.
+	Delay time.Duration
+}
+
+// FaultPlan scripts a session's failures.
+type FaultPlan struct {
+	Faults []Fault
+}
+
+// faultState tracks one fault's match count.
+type faultState struct {
+	Fault
+	mu      sync.Mutex
+	matches int
+	fired   bool
+}
+
+// verdict is what the relay loop must do for one frame.
+type verdict struct {
+	killTarget int // worker to kill, -1 for none
+	dropFrom   int // worker whose control output starts being dropped, -1 for none
+	delay      time.Duration
+}
+
+// FaultCluster is a set of proxied worker processes plus the plan's
+// live state.
+type FaultCluster struct {
+	bin     string
+	logf    func(format string, args ...any)
+	faults  []*faultState
+	mu      sync.Mutex
+	workers []*faultWorker
+	stopped bool
+}
+
+// faultWorker is one pmihp-node process and its fronting proxy.
+type faultWorker struct {
+	index int
+	cmd   *exec.Cmd
+	addr  string // the worker's real listen address
+	ln    net.Listener
+
+	killOnce sync.Once
+	mu       sync.Mutex
+	conns    []net.Conn
+	killed   bool
+	dropping bool // discard worker->coordinator control frames
+}
+
+// StartFaultCluster spawns n workers from the pmihp-node binary, each
+// behind a fault proxy, and returns the cluster. logf may be nil.
+func StartFaultCluster(bin string, n int, plan FaultPlan, logf func(string, ...any)) (*FaultCluster, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	fc := &FaultCluster{bin: bin, logf: logf}
+	for _, f := range plan.Faults {
+		fs := &faultState{Fault: f}
+		if fs.Trigger.Count <= 0 {
+			fs.Trigger.Count = 1
+		}
+		fc.faults = append(fc.faults, fs)
+	}
+	for i := 0; i < n; i++ {
+		w, err := fc.spawnWorker(i, true)
+		if err != nil {
+			fc.Stop()
+			return nil, fmt.Errorf("worker %d: %w", i, err)
+		}
+		fc.workers = append(fc.workers, w)
+	}
+	return fc, nil
+}
+
+// Addrs returns the proxy addresses, one per worker, in node order.
+// Hand these to the coordinator; all traffic then flows through the
+// fault relays.
+func (fc *FaultCluster) Addrs() []string {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	addrs := make([]string, 0, len(fc.workers))
+	for _, w := range fc.workers {
+		if w.ln != nil {
+			addrs = append(addrs, w.ln.Addr().String())
+		} else {
+			addrs = append(addrs, w.addr)
+		}
+	}
+	return addrs
+}
+
+// SpawnReplacement starts a fresh, unproxied worker (no faults apply to
+// it) and returns its address — the shape ClusterConfig.Respawn wants.
+func (fc *FaultCluster) SpawnReplacement() (string, error) {
+	fc.mu.Lock()
+	index := len(fc.workers)
+	stopped := fc.stopped
+	fc.mu.Unlock()
+	if stopped {
+		return "", fmt.Errorf("fault cluster stopped")
+	}
+	w, err := fc.spawnWorker(index, false)
+	if err != nil {
+		return "", err
+	}
+	fc.mu.Lock()
+	fc.workers = append(fc.workers, w)
+	fc.mu.Unlock()
+	fc.logf("faultplan: replacement worker %d at %s", index, w.addr)
+	return w.addr, nil
+}
+
+// Stop kills every worker and closes every proxy. Idempotent.
+func (fc *FaultCluster) Stop() {
+	fc.mu.Lock()
+	workers := append([]*faultWorker(nil), fc.workers...)
+	fc.stopped = true
+	fc.mu.Unlock()
+	for _, w := range workers {
+		fc.killWorker(w)
+	}
+}
+
+// spawnWorker starts one pmihp-node process and, when proxied, a fault
+// relay in front of it.
+func (fc *FaultCluster) spawnWorker(index int, proxied bool) (*faultWorker, error) {
+	cmd := exec.Command(fc.bin, "-listen", "127.0.0.1:0")
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addr, err := awaitAnnouncement(out, 15*time.Second)
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("worker did not announce: %w", err)
+	}
+	w := &faultWorker{index: index, cmd: cmd, addr: addr}
+	if proxied {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, err
+		}
+		w.ln = ln
+		go fc.serveProxy(w)
+	}
+	return w, nil
+}
+
+// awaitAnnouncement scans a worker's stdout for its listen address.
+func awaitAnnouncement(out io.Reader, timeout time.Duration) (string, error) {
+	const prefix = "pmihp-node listening on "
+	ch := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			if at := strings.Index(sc.Text(), prefix); at >= 0 {
+				ch <- strings.TrimSpace(sc.Text()[at+len(prefix):])
+				return
+			}
+		}
+		close(ch)
+	}()
+	select {
+	case addr, ok := <-ch:
+		if !ok {
+			return "", io.ErrUnexpectedEOF
+		}
+		return addr, nil
+	case <-time.After(timeout):
+		return "", fmt.Errorf("timed out after %v", timeout)
+	}
+}
+
+// killWorker fires at most once per worker: SIGKILL plus severing every
+// relayed connection, so the coordinator and peers see the death
+// immediately instead of waiting out timeouts.
+func (fc *FaultCluster) killWorker(w *faultWorker) {
+	w.killOnce.Do(func() {
+		if w.cmd.Process != nil {
+			w.cmd.Process.Kill()
+		}
+		w.cmd.Wait()
+		w.mu.Lock()
+		w.killed = true
+		conns := w.conns
+		w.conns = nil
+		w.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+		fc.logf("faultplan: killed worker %d (%s)", w.index, w.addr)
+	})
+}
+
+// serveProxy accepts connections for one worker and relays them.
+func (fc *FaultCluster) serveProxy(w *faultWorker) {
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			return
+		}
+		go fc.relay(w, conn)
+	}
+}
+
+// relay handles one proxied connection: forward the Hello, then pump
+// frames both ways through the fault evaluation.
+func (fc *FaultCluster) relay(w *faultWorker, client net.Conn) {
+	defer client.Close()
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		return
+	}
+	w.conns = append(w.conns, client)
+	w.mu.Unlock()
+
+	hdr, payload, err := readRawFrame(client)
+	if err != nil || hdr[5] != transport.MsgHello {
+		return
+	}
+	hello, err := transport.DecodeHello(payload)
+	if err != nil {
+		return
+	}
+	up, err := net.Dial("tcp", w.addr)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		return
+	}
+	w.conns = append(w.conns, up)
+	w.mu.Unlock()
+	if _, err := up.Write(append(hdr[:], payload...)); err != nil {
+		return
+	}
+	done := make(chan struct{}, 2)
+	go func() { fc.pump(w, client, up, hello.Purpose, DirToWorker); done <- struct{}{} }()
+	go func() { fc.pump(w, up, client, hello.Purpose, DirFromWorker); done <- struct{}{} }()
+	<-done
+	client.Close()
+	up.Close()
+	<-done
+}
+
+// readRawFrame reads one frame without interpreting it.
+func readRawFrame(r io.Reader) ([6]byte, []byte, error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return hdr, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > transport.MaxFrame {
+		return hdr, nil, fmt.Errorf("frame length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return hdr, nil, err
+	}
+	return hdr, payload, nil
+}
+
+// pump relays frames src -> dst in one direction, evaluating each
+// against the fault plan.
+func (fc *FaultCluster) pump(w *faultWorker, src, dst net.Conn, purpose uint8, dir Direction) {
+	for {
+		hdr, payload, err := readRawFrame(src)
+		if err != nil {
+			return
+		}
+		msgType := hdr[5]
+		var phase transport.Phase
+		if msgType == transport.MsgCubeBlock && len(payload) > 0 {
+			phase = transport.Phase(payload[0])
+		}
+		v := fc.evaluate(w.index, purpose, msgType, phase, dir)
+		if v.dropFrom >= 0 {
+			fc.worker(v.dropFrom).setDropping()
+			fc.logf("faultplan: dropping worker %d control output from now on", v.dropFrom)
+		}
+		if v.delay > 0 {
+			time.Sleep(v.delay)
+		}
+		if v.killTarget >= 0 && v.killTarget == w.index {
+			// Killing the observed worker: the triggering frame dies with it.
+			fc.killWorker(fc.worker(v.killTarget))
+			return
+		}
+		if dir == DirFromWorker && purpose == transport.PurposeControl && w.isDropping() {
+			continue // wedged worker: its control output vanishes
+		}
+		if _, err := dst.Write(append(hdr[:], payload...)); err != nil {
+			return
+		}
+		if v.killTarget >= 0 {
+			// Killing another worker: forward the triggering frame first so
+			// e.g. a checkpoint that defines "after pass K" still arrives.
+			fc.killWorker(fc.worker(v.killTarget))
+		}
+	}
+}
+
+func (fc *FaultCluster) worker(i int) *faultWorker {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.workers[i]
+}
+
+func (w *faultWorker) setDropping() {
+	w.mu.Lock()
+	w.dropping = true
+	w.mu.Unlock()
+}
+
+func (w *faultWorker) isDropping() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropping
+}
+
+// evaluate runs one observed frame through every fault and folds the
+// fired actions into a verdict.
+func (fc *FaultCluster) evaluate(node int, purpose, msgType uint8, phase transport.Phase, dir Direction) verdict {
+	v := verdict{killTarget: -1, dropFrom: -1}
+	for _, f := range fc.faults {
+		if f.Observe != node {
+			continue
+		}
+		tr := f.Trigger
+		if tr.Purpose != 0 && tr.Purpose != purpose {
+			continue
+		}
+		if tr.MsgType != 0 && tr.MsgType != msgType {
+			continue
+		}
+		if tr.Phase != 0 && tr.Phase != phase {
+			continue
+		}
+		if tr.Dir != DirAny && tr.Dir != dir {
+			continue
+		}
+		f.mu.Lock()
+		if f.fired {
+			f.mu.Unlock()
+			continue
+		}
+		f.matches++
+		switch f.Action {
+		case ActDelay:
+			// Delay applies to each of the first Count matches.
+			if f.matches <= tr.Count {
+				if f.matches == tr.Count {
+					f.fired = true
+				}
+				if f.Delay > v.delay {
+					v.delay = f.Delay
+				}
+			}
+		case ActKill:
+			if f.matches == tr.Count {
+				f.fired = true
+				target := f.Target
+				if target == 0 && f.Observe != 0 {
+					target = f.Observe
+				}
+				v.killTarget = target
+			}
+		case ActDropHeartbeats:
+			if f.matches == tr.Count {
+				f.fired = true
+				target := f.Target
+				if target == 0 && f.Observe != 0 {
+					target = f.Observe
+				}
+				v.dropFrom = target
+			}
+		}
+		f.mu.Unlock()
+	}
+	return v
+}

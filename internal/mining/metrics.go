@@ -129,6 +129,16 @@ type Metrics struct {
 	// and candidate polling, summed over the run's phases.
 	WireSeconds float64
 
+	// Recovery fields, filled by the coordinator when a cluster session
+	// survives worker failures. Failovers counts detected node deaths
+	// that were recovered from; ReassignedPartitions counts the logical
+	// partitions (transaction shards) moved to surviving or respawned
+	// workers; RecoverySeconds is wall-clock spent detecting failures and
+	// restarting from checkpoints, excluded from WireSeconds.
+	Failovers            int
+	ReassignedPartitions int
+	RecoverySeconds      float64
+
 	Work Work
 }
 
@@ -197,6 +207,9 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.WireBytesReceived += o.WireBytesReceived
 	m.WireRetries += o.WireRetries
 	m.WireSeconds += o.WireSeconds
+	m.Failovers += o.Failovers
+	m.ReassignedPartitions += o.ReassignedPartitions
+	m.RecoverySeconds += o.RecoverySeconds
 	m.Work.Add(o.Work)
 }
 

@@ -1,0 +1,31 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpoint holds the checkpoint codec to the same bar as the
+// frame codec (codec_fuzz_test.go): arbitrary input never panics, and
+// anything that decodes successfully re-encodes to the exact bytes it
+// came from — one canonical encoding per checkpoint.
+func FuzzCheckpoint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(checkpointMagic))
+	f.Add(AppendCheckpoint(nil, sampleCheckpoint(StageNone)))
+	f.Add(AppendCheckpoint(nil, sampleCheckpoint(StageItemCounts)))
+	f.Add(AppendCheckpoint(nil, sampleCheckpoint(StageTHT)))
+	skew := AppendCheckpoint(nil, sampleCheckpoint(StageTHT))
+	skew[len(checkpointMagic)] = CheckpointVersion + 1
+	f.Add(skew)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		if got := AppendCheckpoint(nil, c); !bytes.Equal(got, data) {
+			t.Fatalf("checkpoint re-encode mismatch: %x vs %x", got, data)
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package transport
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleCheckpoint(stage uint8) Checkpoint {
+	c := Checkpoint{ClusterID: 0xfeedface, Nodes: 4, Stage: stage}
+	if stage >= StageItemCounts {
+		c.GlobalCounts = []uint32{5, 0, 12, 3, 9}
+	}
+	if stage >= StageTHT {
+		c.THTSegments = [][]byte{[]byte("seg-0"), []byte("seg-1"), nil, []byte("seg-3")}
+	}
+	return c
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, stage := range []uint8{StageNone, StageItemCounts, StageTHT} {
+		in := sampleCheckpoint(stage)
+		out, err := DecodeCheckpoint(AppendCheckpoint(nil, in))
+		if err != nil {
+			t.Fatalf("stage %s: %v", StageName(stage), err)
+		}
+		if out.ClusterID != in.ClusterID || out.Nodes != in.Nodes || out.Stage != in.Stage {
+			t.Fatalf("stage %s: got %+v want %+v", StageName(stage), out, in)
+		}
+		if !reflect.DeepEqual(out.GlobalCounts, in.GlobalCounts) {
+			t.Fatalf("stage %s: counts %v want %v", StageName(stage), out.GlobalCounts, in.GlobalCounts)
+		}
+		if len(out.THTSegments) != len(in.THTSegments) {
+			t.Fatalf("stage %s: %d segments want %d", StageName(stage), len(out.THTSegments), len(in.THTSegments))
+		}
+		for i := range in.THTSegments {
+			if string(out.THTSegments[i]) != string(in.THTSegments[i]) {
+				t.Fatalf("stage %s: segment %d differs", StageName(stage), i)
+			}
+		}
+	}
+}
+
+// A daemon built for checkpoint version 1 must reject a checkpoint
+// stamped with a future version with an error naming both versions —
+// never decode garbage, never panic.
+func TestCheckpointVersionSkew(t *testing.T) {
+	enc := AppendCheckpoint(nil, sampleCheckpoint(StageTHT))
+	enc[len(checkpointMagic)] = CheckpointVersion + 1
+	_, err := DecodeCheckpoint(enc)
+	if err == nil {
+		t.Fatal("want error for future checkpoint version")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "version 2") || !strings.Contains(msg, "version 1") {
+		t.Fatalf("version-skew error %q does not name both versions", msg)
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	enc := AppendCheckpoint(nil, sampleCheckpoint(StageTHT))
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeCheckpoint(enc[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes decoded without error", cut)
+		}
+	}
+	if _, err := DecodeCheckpoint(append(append([]byte{}, enc...), 0xAB)); err == nil {
+		t.Error("trailing byte decoded without error")
+	}
+	bad := append([]byte{}, enc...)
+	copy(bad, "NOPE")
+	if _, err := DecodeCheckpoint(bad); err == nil {
+		t.Error("wrong magic decoded without error")
+	}
+}
+
+// The stage byte and the payload it promises must agree; mismatches are
+// corruption, and rejecting them keeps the encoding canonical.
+func TestCheckpointRejectsStageMismatch(t *testing.T) {
+	cases := map[string]Checkpoint{
+		"counts before item-count stage":  {ClusterID: 1, Nodes: 2, Stage: StageNone, GlobalCounts: []uint32{1}},
+		"item-count stage without counts": {ClusterID: 1, Nodes: 2, Stage: StageItemCounts},
+		"segments before tht stage": {ClusterID: 1, Nodes: 2, Stage: StageItemCounts,
+			GlobalCounts: []uint32{1}, THTSegments: [][]byte{{1}, {2}}},
+		"segment/node mismatch": {ClusterID: 1, Nodes: 2, Stage: StageTHT,
+			GlobalCounts: []uint32{1}, THTSegments: [][]byte{{1}}},
+		"unknown stage": {ClusterID: 1, Nodes: 2, Stage: 9},
+		"no nodes":      {ClusterID: 1, Nodes: 0},
+	}
+	for name, c := range cases {
+		if _, err := DecodeCheckpoint(AppendCheckpoint(nil, c)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "session.ckpt")
+	in := sampleCheckpoint(StageItemCounts)
+	if err := WriteCheckpointFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ClusterID != in.ClusterID || out.Stage != in.Stage || !reflect.DeepEqual(out.GlobalCounts, in.GlobalCounts) {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+	// Overwrite must be atomic-and-clean, not append.
+	in.Stage = StageNone
+	in.GlobalCounts = nil
+	if err := WriteCheckpointFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err = ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stage != StageNone || out.GlobalCounts != nil {
+		t.Fatalf("overwrite left %+v", out)
+	}
+	if _, err := ReadCheckpointFile(filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Fatal("want error reading a missing checkpoint")
+	}
+}

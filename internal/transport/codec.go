@@ -18,7 +18,12 @@ import (
 type Hello struct {
 	ClusterID uint64 // session identity; mismatches are rejected
 	From      int32  // sender's node id (-1 for the coordinator)
-	Purpose   uint8  // PurposeControl | PurposeCube | PurposePoll
+	// To is the logical node the connection targets. After a failover a
+	// daemon may host several logical nodes of one session, so the
+	// listener routes peer connections by (ClusterID, To) rather than by
+	// cluster alone. -1 addresses the daemon itself (control plane).
+	To      int32
+	Purpose uint8 // PurposeControl | PurposeCube | PurposePoll
 }
 
 // Init is the coordinator's session opener to one node: the cluster
@@ -38,8 +43,17 @@ type Init struct {
 	MaxK          int32
 	Workers       int32 // intra-node workers (0 = GOMAXPROCS)
 
+	// HeartbeatMillis is the interval at which the daemon beats on the
+	// control connection (0 selects the daemon's default).
+	HeartbeatMillis int32
+
 	PeerAddrs []string // node listen addresses, indexed by node id
 	DB        []byte   // txdb.Encode bytes of this node's partition
+
+	// Resume, when non-empty, is an encoded Checkpoint: the session is a
+	// failover resumption and the node skips the collectives the
+	// checkpoint already covers.
+	Resume []byte
 }
 
 // NodeBlob is one node's contribution inside a CubeBlock.
@@ -129,6 +143,7 @@ func appendBytes(b, p []byte) []byte {
 func AppendHello(b []byte, h Hello) []byte {
 	b = appendU64(b, h.ClusterID)
 	b = appendU32(b, uint32(h.From))
+	b = appendU32(b, uint32(h.To))
 	return append(b, h.Purpose)
 }
 
@@ -138,6 +153,7 @@ func AppendInit(b []byte, m Init) []byte {
 	for _, v := range []int32{
 		m.NodeID, m.Nodes, m.TotalDocs, m.NumItems, m.GlobalMin,
 		m.THTEntries, m.PartitionSize, m.MaxK, m.Workers,
+		m.HeartbeatMillis,
 	} {
 		b = appendU32(b, uint32(v))
 	}
@@ -145,7 +161,8 @@ func AppendInit(b []byte, m Init) []byte {
 	for _, a := range m.PeerAddrs {
 		b = appendStr(b, a)
 	}
-	return appendBytes(b, m.DB)
+	b = appendBytes(b, m.DB)
+	return appendBytes(b, m.Resume)
 }
 
 // AppendCubeBlock encodes a CubeBlock.
@@ -348,7 +365,7 @@ func (r *wireReader) done() error {
 // DecodeHello decodes a Hello payload.
 func DecodeHello(b []byte) (Hello, error) {
 	r := wireReader{b: b}
-	h := Hello{ClusterID: r.u64(), From: r.i32(), Purpose: r.u8()}
+	h := Hello{ClusterID: r.u64(), From: r.i32(), To: r.i32(), Purpose: r.u8()}
 	if h.Purpose < PurposeControl || h.Purpose > PurposePoll {
 		r.fail("unknown connection purpose %d", h.Purpose)
 	}
@@ -362,6 +379,7 @@ func DecodeInit(b []byte) (Init, error) {
 	for _, p := range []*int32{
 		&m.NodeID, &m.Nodes, &m.TotalDocs, &m.NumItems, &m.GlobalMin,
 		&m.THTEntries, &m.PartitionSize, &m.MaxK, &m.Workers,
+		&m.HeartbeatMillis,
 	} {
 		*p = r.i32()
 	}
@@ -370,6 +388,7 @@ func DecodeInit(b []byte) (Init, error) {
 		m.PeerAddrs = append(m.PeerAddrs, r.str())
 	}
 	m.DB = r.bytes()
+	m.Resume = r.bytes()
 	if r.err == nil {
 		if m.Nodes <= 0 || m.NodeID < 0 || m.NodeID >= m.Nodes {
 			r.fail("invalid geometry: node %d of %d", m.NodeID, m.Nodes)

@@ -48,7 +48,7 @@ func TestFrameRejectsBadVersionAndLength(t *testing.T) {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
-	in := Hello{ClusterID: 0xdeadbeefcafe, From: -1, Purpose: PurposeControl}
+	in := Hello{ClusterID: 0xdeadbeefcafe, From: -1, To: 3, Purpose: PurposeControl}
 	out, err := DecodeHello(AppendHello(nil, in))
 	if err != nil {
 		t.Fatal(err)
@@ -66,8 +66,10 @@ func TestInitRoundTrip(t *testing.T) {
 		ClusterID: 7, NodeID: 1, Nodes: 3,
 		TotalDocs: 1000, NumItems: 5000, GlobalMin: 10,
 		THTEntries: 400, PartitionSize: 100, MaxK: 8, Workers: 2,
-		PeerAddrs: []string{"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"},
-		DB:        []byte("PMDB-partition-bytes"),
+		HeartbeatMillis: 250,
+		PeerAddrs:       []string{"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"},
+		DB:              []byte("PMDB-partition-bytes"),
+		Resume:          []byte("PMCK-resume-checkpoint"),
 	}
 	out, err := DecodeInit(AppendInit(nil, in))
 	if err != nil {

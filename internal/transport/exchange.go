@@ -20,6 +20,12 @@ const (
 	PhaseTHT Phase = 2
 	// PhaseFinal is the final exchange of globally frequent itemsets.
 	PhaseFinal Phase = 3
+	// PhaseResume is the barrier a resumed session runs before polling.
+	// A resume skips the collectives its checkpoint covers, and with
+	// them the guarantee that every peer's poll handler is installed by
+	// the time the first poll arrives; this cheap extra all-gather
+	// restores that ordering.
+	PhaseResume Phase = 4
 )
 
 func (p Phase) String() string {
@@ -30,6 +36,8 @@ func (p Phase) String() string {
 		return "tht"
 	case PhaseFinal:
 		return "frequent-lists"
+	case PhaseResume:
+		return "resume-barrier"
 	}
 	return fmt.Sprintf("phase-%d", uint8(p))
 }

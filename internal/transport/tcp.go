@@ -171,7 +171,7 @@ func (x *TCPExchange) Serve(ln net.Listener) {
 				return
 			}
 			h, err := DecodeHello(payload)
-			if err != nil || h.ClusterID != x.opt.ClusterID {
+			if err != nil || h.ClusterID != x.opt.ClusterID || h.To != int32(x.opt.NodeID) {
 				conn.Close()
 				return
 			}
@@ -215,7 +215,7 @@ func (x *TCPExchange) dialPeer(peer int, purpose uint8) (net.Conn, error) {
 		return nil, err
 	}
 	conn.SetDeadline(time.Now().Add(x.opt.IOTimeout))
-	hello := AppendHello(nil, Hello{ClusterID: x.opt.ClusterID, From: int32(x.opt.NodeID), Purpose: purpose})
+	hello := AppendHello(nil, Hello{ClusterID: x.opt.ClusterID, From: int32(x.opt.NodeID), To: int32(peer), Purpose: purpose})
 	if err := WriteFrame(conn, MsgHello, hello, &x.stats); err != nil {
 		conn.Close()
 		return nil, err

@@ -22,8 +22,10 @@ import (
 )
 
 // WireVersion is the protocol version carried in every frame header.
-// Decoders reject frames from other versions.
-const WireVersion = 1
+// Decoders reject frames from other versions. Version 2 added the
+// Hello routing target (To), session heartbeats/progress reports, and
+// the resumable-session fields of Init.
+const WireVersion = 2
 
 // MaxFrame bounds a frame payload; oversized length prefixes are
 // rejected before any allocation (a corrupt or hostile peer cannot make
@@ -44,6 +46,14 @@ const (
 	MsgNodeDone
 	MsgError
 	MsgShutdown
+	// MsgHeartbeat is a daemon's periodic liveness beacon on the control
+	// connection (empty payload); the coordinator declares a node dead
+	// after a configurable quiet interval.
+	MsgHeartbeat
+	// MsgProgress carries an encoded Checkpoint from node 0 to the
+	// coordinator after a collective completes, so a failed session can
+	// resume instead of restarting from scratch.
+	MsgProgress
 )
 
 // Connection purposes carried by Hello.
