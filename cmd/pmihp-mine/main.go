@@ -22,6 +22,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"pmihp/internal/apriori"
 	"pmihp/internal/core"
@@ -32,6 +33,7 @@ import (
 	"pmihp/internal/distmine"
 	"pmihp/internal/fpgrowth"
 	"pmihp/internal/mining"
+	"pmihp/internal/obs"
 	"pmihp/internal/rules"
 	"pmihp/internal/text"
 	"pmihp/internal/trec"
@@ -65,6 +67,9 @@ func run(args []string, out io.Writer) error {
 		top         = fs.Int("top", 15, "frequent itemsets to print")
 		nRules      = fs.Int("rules", 10, "association rules to print (0 to skip)")
 		minConf     = fs.Float64("minconf", 0.75, "minimum rule confidence")
+		metricsAddr = fs.String("metrics-addr", "", "serve live metrics on this address (/metrics, /snapshot, /debug/pprof)")
+		traceJSON   = fs.String("trace-json", "", "write per-pass/span/poll events as JSON lines to this file")
+		linger      = fs.Duration("metrics-linger", 0, "keep the -metrics-addr endpoint up this long after mining finishes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,6 +127,39 @@ func run(args []string, out io.Writer) error {
 		label, st.Docs, st.UniqueItems, st.MeanLen)
 
 	opts := mining.Options{MinSupFrac: *minsup, MinSupCount: *minsupCount, MaxK: *maxK}
+
+	// Observability is opt-in and out-of-band: the recorder taps pass,
+	// span, and poll events without influencing the mining itself.
+	var rec *obs.Recorder
+	var traceFile *os.File
+	if *metricsAddr != "" || *traceJSON != "" {
+		var obsCfg obs.Config
+		if *traceJSON != "" {
+			f, ferr := os.Create(*traceJSON)
+			if ferr != nil {
+				return fmt.Errorf("creating trace file: %w", ferr)
+			}
+			traceFile = f
+			obsCfg.Writer = f
+		}
+		rec = obs.New(obsCfg)
+		if *metricsAddr != "" {
+			bound, stop, serr := obs.Serve(*metricsAddr, rec)
+			if serr != nil {
+				return fmt.Errorf("metrics endpoint: %w", serr)
+			}
+			fmt.Fprintf(out, "metrics endpoint on http://%s/metrics\n", bound)
+			defer func() {
+				if *linger > 0 {
+					fmt.Fprintf(out, "metrics endpoint lingering %v\n", *linger)
+					time.Sleep(*linger)
+				}
+				stop()
+			}()
+		}
+	}
+	opts.Obs = rec
+
 	var result *mining.Result
 	var err error
 	switch {
@@ -135,6 +173,7 @@ func run(args []string, out io.Writer) error {
 			HeartbeatInterval: *heartbeat,
 			CheckpointDir:     *ckptDir,
 			Logf:              log.New(os.Stderr, "", 0).Printf,
+			Obs:               rec,
 		}
 		addrs := strings.Split(*cluster, ",")
 		if *spawn > 0 {
@@ -199,6 +238,15 @@ func run(args []string, out io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+	if traceFile != nil {
+		if werr := rec.Err(); werr != nil {
+			fmt.Fprintf(os.Stderr, "pmihp-mine: trace truncated: %v\n", werr)
+		}
+		if cerr := traceFile.Close(); cerr != nil {
+			return fmt.Errorf("closing trace file: %w", cerr)
+		}
+		fmt.Fprintf(out, "wrote observability trace to %s\n", *traceJSON)
 	}
 
 	fmt.Fprintf(out, "%s\n", result.Metrics.String())

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	pmihp-node [-listen 127.0.0.1:0] [-v]
+//	pmihp-node [-listen 127.0.0.1:0] [-metrics-addr 127.0.0.1:9090] [-trace-json node.jsonl] [-v]
 package main
 
 import (
@@ -15,11 +15,14 @@ import (
 	"os"
 
 	"pmihp/internal/distmine"
+	"pmihp/internal/obs"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on (port 0 picks a free port)")
 	heartbeat := flag.Duration("heartbeat", 0, "control-plane heartbeat interval when a session's Init does not set one (0 = 500ms)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (/metrics, /snapshot, /debug/pprof)")
+	traceJSON := flag.String("trace-json", "", "write hosted nodes' pass/span/poll events as JSON lines to this file")
 	verbose := flag.Bool("v", false, "log session lifecycle to stderr")
 	flag.Parse()
 
@@ -27,6 +30,28 @@ func main() {
 	if *verbose {
 		logger := log.New(os.Stderr, "", log.LstdFlags)
 		opt.Logf = logger.Printf
+	}
+	if *metricsAddr != "" || *traceJSON != "" {
+		var cfg obs.Config
+		if *traceJSON != "" {
+			// The daemon serves sessions until killed, so the trace file is
+			// written line-by-line and never needs a final flush.
+			f, err := os.Create(*traceJSON)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pmihp-node: creating trace file: %v\n", err)
+				os.Exit(1)
+			}
+			cfg.Writer = f
+		}
+		opt.Obs = obs.New(cfg)
+		if *metricsAddr != "" {
+			bound, _, err := obs.Serve(*metricsAddr, opt.Obs)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pmihp-node: metrics endpoint: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("pmihp-node metrics on http://%s/metrics\n", bound)
+		}
 	}
 	d := distmine.NewDaemon(opt)
 	announce := log.New(os.Stdout, "", 0)

@@ -1,0 +1,92 @@
+package benchharness
+
+import (
+	"testing"
+
+	"pmihp/internal/core"
+	"pmihp/internal/corpus"
+	"pmihp/internal/countdist"
+	"pmihp/internal/distmine"
+	"pmihp/internal/mining"
+	"pmihp/internal/obs"
+	"pmihp/internal/text"
+	"pmihp/internal/txdb"
+)
+
+func traceDB(t *testing.T) *txdb.DB {
+	t.Helper()
+	docs, err := corpus.Generate(corpus.CorpusB(corpus.Small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := text.ToDB(docs, nil)
+	return db
+}
+
+// TestVerifyTrace pins the acceptance invariant of the trace format:
+// replaying the event stream of a run reproduces the run's own metrics
+// — pass counts, per-k candidate totals (mined plus poll-served), and,
+// for measured cluster runs, the wire time.
+func TestVerifyTrace(t *testing.T) {
+	db := traceDB(t)
+	opts := mining.Options{MinSupCount: 2, MaxK: 3}
+
+	t.Run("pmihp-simulated", func(t *testing.T) {
+		rec := obs.New(obs.Config{Keep: true})
+		o := opts
+		o.Obs = rec
+		r, err := core.MinePMIHP(db, core.PMIHPConfig{Nodes: 8}, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad := VerifyTrace(rec.Events(), &r.Result.Metrics); len(bad) != 0 {
+			t.Fatalf("trace does not replay to the run's metrics:\n%v", bad)
+		}
+	})
+
+	t.Run("countdist", func(t *testing.T) {
+		rec := obs.New(obs.Config{Keep: true})
+		o := opts
+		o.Obs = rec
+		r, err := countdist.Mine(db, countdist.Config{Nodes: 8}, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad := VerifyTrace(rec.Events(), &r.Result.Metrics); len(bad) != 0 {
+			t.Fatalf("trace does not replay to the run's metrics:\n%v", bad)
+		}
+	})
+
+	t.Run("distmine", func(t *testing.T) {
+		rec := obs.New(obs.Config{Keep: true})
+		o := opts
+		o.Obs = rec
+		r, err := distmine.MineInProcess(db, 8, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Metrics.WireSeconds <= 0 {
+			t.Fatalf("in-process cluster run measured no wire time: %+v", r.Metrics)
+		}
+		if bad := VerifyTrace(rec.Events(), &r.Metrics); len(bad) != 0 {
+			t.Fatalf("trace does not replay to the run's metrics:\n%v", bad)
+		}
+	})
+
+	t.Run("detects-drift", func(t *testing.T) {
+		rec := obs.New(obs.Config{Keep: true})
+		o := opts
+		o.Obs = rec
+		r, err := core.MinePMIHP(db, core.PMIHPConfig{Nodes: 2}, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := r.Result.Metrics
+		m.Passes++
+		m.AddCandidates(2, 5)
+		bad := VerifyTrace(rec.Events(), &m)
+		if len(bad) != 2 {
+			t.Fatalf("tampered metrics produced %d discrepancies, want 2: %v", len(bad), bad)
+		}
+	})
+}

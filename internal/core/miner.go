@@ -2,10 +2,12 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"pmihp/internal/hashtree"
 	"pmihp/internal/itemset"
 	"pmihp/internal/mining"
+	"pmihp/internal/obs"
 	"pmihp/internal/tht"
 	"pmihp/internal/txdb"
 )
@@ -49,6 +51,10 @@ type localMiner struct {
 	partitions [][]itemset.Item // Partition(freqItems, opts.PartitionSize)
 
 	metrics *mining.Metrics
+
+	// curPart is the partition index currently being mined, stamped on the
+	// observability pass events (opts.Obs).
+	curPart int
 
 	// emit receives every locally frequent k-itemset (k >= 2) with its local
 	// support count.
@@ -165,8 +171,70 @@ func (lm *localMiner) run() {
 	accum := make(map[int]*itemset.Set)
 
 	for m := len(lm.partitions) - 1; m >= 0; m-- {
+		lm.curPart = m
 		lm.minePartition(lm.partitions[m], accum)
 	}
+}
+
+// passProbe snapshots the miner's metrics at the start of one counting
+// pass (candidate generation through scan) so the pass's observability
+// event can report deltas. The zero probe — returned when observability
+// is disabled — makes every method a no-op: no clock reads, no event
+// construction, no allocations on the counting path.
+type passProbe struct {
+	rec                                     *obs.Recorder
+	prunedTHT, prunedSub, trimmed, prunedTx int64
+	scanT0                                  time.Time
+	scanSeconds                             float64
+}
+
+// beginPass opens a probe at the start of a pass's candidate generation.
+func (lm *localMiner) beginPass() passProbe {
+	r := lm.opts.Obs
+	if !r.Enabled() {
+		return passProbe{}
+	}
+	m := lm.metrics
+	return passProbe{
+		rec:       r,
+		prunedTHT: m.PrunedByTHT,
+		prunedSub: m.PrunedBySubset,
+		trimmed:   m.TrimmedItems,
+		prunedTx:  m.PrunedTx,
+	}
+}
+
+func (p *passProbe) startScan() {
+	if p.rec.Enabled() {
+		p.scanT0 = time.Now()
+	}
+}
+
+func (p *passProbe) endScan() {
+	if p.rec.Enabled() {
+		p.scanSeconds = time.Since(p.scanT0).Seconds()
+	}
+}
+
+// endPass emits the pass event. Only executed passes emit: a generation
+// whose candidates all prune away never scans, and its (rare) pruning
+// deltas stay out of the trace just as they stay out of Metrics.Passes.
+func (lm *localMiner) endPass(p *passProbe, k, candidates int) {
+	if !p.rec.Enabled() {
+		return
+	}
+	m := lm.metrics
+	p.rec.Pass(obs.PassEvent{
+		Node:         lm.self,
+		Partition:    lm.curPart,
+		K:            k,
+		Candidates:   candidates,
+		PrunedTHT:    m.PrunedByTHT - p.prunedTHT,
+		PrunedSubset: m.PrunedBySubset - p.prunedSub,
+		TrimmedItems: m.TrimmedItems - p.trimmed,
+		PrunedTx:     m.PrunedTx - p.prunedTx,
+		ScanSeconds:  p.scanSeconds,
+	})
 }
 
 // minePartition discovers every locally frequent itemset whose minimum item
@@ -177,6 +245,7 @@ func (lm *localMiner) minePartition(part []itemset.Item, accum map[int]*itemset.
 	prevM := lm.pass2(part, work, accum)
 
 	for k := 3; len(prevM) >= 1 && (lm.opts.MaxK == 0 || k <= lm.opts.MaxK); k++ {
+		probe := lm.beginPass()
 		var cands []itemset.Itemset
 		var potential, prunedSub int
 		if k == 3 {
@@ -210,7 +279,9 @@ func (lm *localMiner) minePartition(part []itemset.Item, accum map[int]*itemset.
 
 		tree := hashtree.Build(k, cands)
 		lm.metrics.Work.Charge(int64(len(cands)), mining.CostTreeInsert)
+		probe.startScan()
 		lm.countPassTree(tree, work, k)
+		probe.endScan()
 		lm.metrics.Work.Charge(tree.WalkCost(), 1)
 
 		prevM = prevM[:0]
@@ -232,6 +303,7 @@ func (lm *localMiner) minePartition(part []itemset.Item, accum map[int]*itemset.
 			}
 		}
 		itemset.Sort(prevM)
+		lm.endPass(&probe, k, len(cands))
 		if lm.onPass != nil {
 			lm.onPass()
 		}
@@ -257,6 +329,7 @@ func (lm *localMiner) partitionWork(first itemset.Item) *txdb.Work {
 // larger frequent item. It returns the locally frequent 2-itemsets of the
 // partition in lexicographic order.
 func (lm *localMiner) pass2(part []itemset.Item, work *txdb.Work, accum map[int]*itemset.Set) []itemset.Itemset {
+	probe := lm.beginPass()
 	inPart := lm.inPart
 	for _, it := range part {
 		inPart[it] = true
@@ -333,7 +406,9 @@ func (lm *localMiner) pass2(part []itemset.Item, work *txdb.Work, accum map[int]
 		clear(lm.counts2)
 	}
 	counts = lm.counts2
+	probe.startScan()
 	lm.countPass2(cands, counts, inPart, work)
+	probe.endScan()
 
 	var frequent []itemset.Itemset
 	for i, key := range keys {
@@ -348,6 +423,7 @@ func (lm *localMiner) pass2(part []itemset.Item, work *txdb.Work, accum map[int]
 	}
 	lm.keys = keys
 	itemset.Sort(frequent)
+	lm.endPass(&probe, 2, len(keys))
 	if lm.onPass != nil {
 		lm.onPass()
 	}

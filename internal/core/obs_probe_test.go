@@ -1,0 +1,33 @@
+package core
+
+import "testing"
+
+// TestPassProbeDisabledAllocs proves the zero-cost-when-disabled
+// contract of the observability hooks on the counting hot path: with no
+// recorder configured, a full begin/scan/end probe cycle performs no
+// clock reads that matter and — checked here — zero heap allocations.
+func TestPassProbeDisabledAllocs(t *testing.T) {
+	var lm localMiner
+	n := testing.AllocsPerRun(1000, func() {
+		probe := lm.beginPass()
+		probe.startScan()
+		probe.endScan()
+		lm.endPass(&probe, 2, 0)
+	})
+	if n != 0 {
+		t.Fatalf("disabled pass probe allocates %.0f times per pass, want 0", n)
+	}
+}
+
+// BenchmarkPassProbeDisabled reports the per-pass overhead of the
+// disabled probe (expected: a few nanoseconds and 0 allocs/op).
+func BenchmarkPassProbeDisabled(b *testing.B) {
+	var lm localMiner
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		probe := lm.beginPass()
+		probe.startScan()
+		probe.endScan()
+		lm.endPass(&probe, 2, 0)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"pmihp/internal/cluster"
 	"pmihp/internal/itemset"
 	"pmihp/internal/mining"
+	"pmihp/internal/obs"
 	"pmihp/internal/tht"
 	"pmihp/internal/txdb"
 )
@@ -260,6 +261,11 @@ func MinePMIHP(db *txdb.DB, cfg PMIHPConfig, opts mining.Options) (*ParallelResu
 		}
 	}
 	out.THTExchangeSeconds = fabric.AllGather(maxTHTBytes)
+	if r := opts.Obs; r.Enabled() {
+		// Simulated runs span the modeled collective times, so the trace
+		// carries the same quantities in both runtimes.
+		r.RecordSpan(obs.SpanEvent{Name: "exchange:tht", Node: -1, Seconds: out.THTExchangeSeconds})
+	}
 	global := tht.NewGlobal(locals)
 
 	partitions := Partition(f1, opts.PartitionSize)
@@ -348,6 +354,9 @@ func MinePMIHP(db *txdb.DB, cfg PMIHPConfig, opts mining.Options) (*ParallelResu
 		}
 	}
 	out.FinalExchangeSeconds = fabric.AllGather(maxListBytes)
+	if r := opts.Obs; r.Enabled() {
+		r.RecordSpan(obs.SpanEvent{Name: "exchange:final", Node: -1, Seconds: out.FinalExchangeSeconds})
+	}
 
 	// ---- Merge (shared with the multi-process runtime). ----
 	var all []itemset.Counted
@@ -510,6 +519,9 @@ func (nd *pmihpNode) servePolls() {
 func (nd *pmihpNode) countBatch(k int, sets []itemset.Itemset) []int {
 	m := &nd.server
 	m.AddCandidates(k, len(sets))
+	if r := nd.opts.Obs; r.Enabled() {
+		r.Poll(obs.PollEvent{Node: nd.id, K: k, Sets: len(sets)})
+	}
 	if nd.cfg.Tally != nil {
 		nd.cfg.Tally.noteBatch(nd.id, k, sets)
 	}

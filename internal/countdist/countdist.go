@@ -13,12 +13,14 @@ package countdist
 
 import (
 	"fmt"
+	"time"
 
 	"pmihp/internal/cluster"
 	"pmihp/internal/core"
 	"pmihp/internal/hashtree"
 	"pmihp/internal/itemset"
 	"pmihp/internal/mining"
+	"pmihp/internal/obs"
 	"pmihp/internal/txdb"
 )
 
@@ -49,6 +51,45 @@ func Mine(db *txdb.DB, cfg Config, opts mining.Options) (*core.ParallelResult, e
 	for i := range metrics {
 		metrics[i] = mining.NewMetrics("cd-node")
 	}
+
+	// Observability: one pass event per node per counting pass. The
+	// all-reduce is one shared collective, so its modeled time and payload
+	// attach to node 0's event only — trace replays then reconcile with
+	// ExchangeSecondsByPass instead of multiplying it by n. scanSec is
+	// only allocated when a recorder is live.
+	var scanSec []float64
+	if opts.Obs.Enabled() {
+		scanSec = make([]float64, n)
+	}
+	scanStart := func(i int) time.Time {
+		if scanSec != nil {
+			return time.Now()
+		}
+		return time.Time{}
+	}
+	scanEnd := func(i int, t0 time.Time) {
+		if scanSec != nil {
+			scanSec[i] = time.Since(t0).Seconds()
+		}
+	}
+	emitPass := func(k, candidates int, exch float64, wireBytes int64) {
+		r := opts.Obs
+		if !r.Enabled() {
+			return
+		}
+		for i := 0; i < n; i++ {
+			ev := obs.PassEvent{
+				Node: i, Partition: -1, K: k,
+				Candidates:  candidates,
+				ScanSeconds: scanSec[i],
+			}
+			if i == 0 {
+				ev.ExchangeSeconds = exch
+				ev.WireBytes = wireBytes
+			}
+			r.Pass(ev)
+		}
+	}
 	res := &mining.Result{Metrics: mining.NewMetrics("countdist")}
 	out := &core.ParallelResult{Result: res}
 	finish := func(err error) (*core.ParallelResult, error) {
@@ -78,17 +119,20 @@ func Mine(db *txdb.DB, cfg Config, opts mining.Options) (*core.ParallelResult, e
 		m := &metrics[i]
 		m.Passes++
 		items := 0
+		t0 := scanStart(i)
 		parts[i].Each(func(t *txdb.Transaction) {
 			items += len(t.Items)
 			for _, it := range t.Items {
 				globalCounts[it]++
 			}
 		})
+		scanEnd(i, t0)
 		m.Work.Charge(int64(items), mining.CostScanItem)
 		fabric.Clock(i).AdvanceWork(m.Work.Units)
 		m.AddCandidates(1, db.NumItems())
 	}
 	out.ExchangeSecondsByPass = append(out.ExchangeSecondsByPass, fabric.AllReduce(int64(4*db.NumItems())))
+	emitPass(1, db.NumItems(), out.ExchangeSecondsByPass[0], int64(4*db.NumItems()))
 
 	frequent := make([]bool, db.NumItems())
 	var f1 []itemset.Item
@@ -127,6 +171,7 @@ func Mine(db *txdb.DB, cfg Config, opts mining.Options) (*core.ParallelResult, e
 		m := &metrics[i]
 		m.Passes++
 		before := m.Work.Units
+		t0 := scanStart(i)
 		buf := make(itemset.Itemset, 0, 256)
 		parts[i].Each(func(t *txdb.Transaction) {
 			m.Work.Charge(int64(len(t.Items)), mining.CostScanItem)
@@ -147,10 +192,12 @@ func Mine(db *txdb.DB, cfg Config, opts mining.Options) (*core.ParallelResult, e
 			m.Work.Charge(mining.Pass2TreeCharge(l, nPairs), 1)
 			m.Work.Charge(int64(l*(l-1)/2), mining.CostCandidateHit)
 		})
+		scanEnd(i, t0)
 		fabric.Clock(i).AdvanceWork(m.Work.Units - before)
 	}
 	// The count vector over the replicated candidate set is all-reduced.
 	out.ExchangeSecondsByPass = append(out.ExchangeSecondsByPass, fabric.AllReduce(int64(4*nPairs)))
+	emitPass(2, nPairs, out.ExchangeSecondsByPass[1], int64(4*nPairs))
 
 	var prev []itemset.Itemset
 	for key, c := range pairCounts {
@@ -187,12 +234,14 @@ func Mine(db *txdb.DB, cfg Config, opts mining.Options) (*core.ParallelResult, e
 			m := &metrics[i]
 			m.Passes++
 			before := m.Work.Units
+			t0 := scanStart(i)
 			tree := hashtree.Build(k, cands)
 			parts[i].Each(func(t *txdb.Transaction) {
 				m.Work.Charge(int64(len(t.Items)), mining.CostScanItem)
 				hits := tree.CountTx(t.Items)
 				m.Work.Charge(int64(hits), mining.CostCandidateHit)
 			})
+			scanEnd(i, t0)
 			m.Work.Charge(tree.WalkCost(), 1)
 			for c, v := range tree.Counts() {
 				total[c] += v
@@ -200,6 +249,7 @@ func Mine(db *txdb.DB, cfg Config, opts mining.Options) (*core.ParallelResult, e
 			fabric.Clock(i).AdvanceWork(m.Work.Units - before)
 		}
 		out.ExchangeSecondsByPass = append(out.ExchangeSecondsByPass, fabric.AllReduce(int64(4*len(cands))))
+		emitPass(k, len(cands), out.ExchangeSecondsByPass[len(out.ExchangeSecondsByPass)-1], int64(4*len(cands)))
 
 		prev = prev[:0]
 		for i, c := range total {

@@ -17,6 +17,7 @@ import (
 	"pmihp/internal/core"
 	"pmihp/internal/itemset"
 	"pmihp/internal/mining"
+	"pmihp/internal/obs"
 	"pmihp/internal/transport"
 	"pmihp/internal/txdb"
 )
@@ -83,6 +84,11 @@ type ClusterConfig struct {
 	Respawn func() (string, error)
 	// Logf, when non-nil, receives recovery lifecycle logs.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, receives the coordinator's session telemetry:
+	// per-node heartbeat liveness, checkpoint-stage and failover gauges,
+	// checkpoint-write and recovery-attempt spans. Worker pass events stay
+	// on the daemons' own recorders — they are separate processes.
+	Obs *obs.Recorder
 }
 
 // MineCluster mines db across the node daemons listed in cfg: it splits
@@ -158,6 +164,7 @@ func MineCluster(db *txdb.DB, cfg ClusterConfig, opts mining.Options) (*Result, 
 		s.hostOf[i] = i
 	}
 	s.ckpt = transport.Checkpoint{ClusterID: baseID, Nodes: int32(n), Stage: transport.StageNone}
+	cfg.Obs.SetDaemon("coordinator")
 
 	for {
 		res, deaths, err := s.runAttempt()
@@ -172,6 +179,7 @@ func MineCluster(db *txdb.DB, cfg ClusterConfig, opts mining.Options) (*Result, 
 		}
 		t0 := time.Now()
 		s.failovers += len(deaths)
+		cfg.Obs.SetGauge("failovers_total", int64(s.failovers))
 		cfg.Logf("distmine: failover %d: %v", s.failovers, err)
 		if s.failovers > cfg.MaxFailovers {
 			return nil, fmt.Errorf("distmine: giving up after %d failovers: %w", s.failovers, err)
@@ -179,11 +187,31 @@ func MineCluster(db *txdb.DB, cfg ClusterConfig, opts mining.Options) (*Result, 
 		if rerr := s.reassign(deaths, err); rerr != nil {
 			return nil, rerr
 		}
-		s.recoverySeconds += time.Since(t0).Seconds()
-		if time.Now().After(s.deadline) {
-			return nil, fmt.Errorf("distmine: session deadline passed during recovery: %w", err)
+		if derr := s.finishRecovery(t0, err); derr != nil {
+			return nil, derr
 		}
 	}
+}
+
+// finishRecovery closes one recovery window. The deadline check comes
+// FIRST: a recovery that overran the session deadline is attributed
+// entirely to the returned error and never accumulated into
+// RecoverySeconds, so the elapsed time cannot be double-counted into
+// both the metric and the error path. Only a recovery the session
+// survives adds to RecoverySeconds — which keeps the reported metric
+// the recovery time of the run that actually produced a result, and
+// keeps RecoverySeconds disjoint from WireSeconds (WireSeconds sums the
+// successful attempt's exchange phases; recovery windows sit strictly
+// between attempts).
+func (s *session) finishRecovery(t0 time.Time, cause error) error {
+	elapsed := time.Since(t0).Seconds()
+	if time.Now().After(s.deadline) {
+		s.cfg.Obs.RecordSpan(obs.SpanEvent{Name: "recovery:attempt", Node: -1, Seconds: elapsed, Err: cause.Error()})
+		return fmt.Errorf("distmine: session deadline passed during recovery (%.3fs recovering, not counted): %w", elapsed, cause)
+	}
+	s.recoverySeconds += elapsed
+	s.cfg.Obs.RecordSpan(obs.SpanEvent{Name: "recovery:attempt", Node: -1, Seconds: elapsed})
+	return nil
 }
 
 func randomID() (uint64, error) {
@@ -313,9 +341,13 @@ func (s *session) noteProgress(payload []byte) {
 	s.ckpt = c
 	s.ckptMu.Unlock()
 	s.cfg.Logf("distmine: session %016x checkpointed at %s", s.baseID, transport.StageName(c.Stage))
+	s.cfg.Obs.SetGauge("checkpoint_stage", int64(c.Stage))
 	if s.cfg.CheckpointDir != "" {
 		path := filepath.Join(s.cfg.CheckpointDir, fmt.Sprintf("session-%016x.ckpt", s.baseID))
-		if err := transport.WriteCheckpointFile(path, c); err != nil {
+		sp := s.cfg.Obs.StartSpan("checkpoint:write", -1)
+		err := transport.WriteCheckpointFile(path, c)
+		sp.EndErr(err)
+		if err != nil {
 			s.cfg.Logf("distmine: persisting checkpoint: %v", err)
 		}
 	}
@@ -369,11 +401,10 @@ func (s *session) runAttempt() (*Result, []int, error) {
 			if err != nil {
 				return err
 			}
-			c.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
 			hello := transport.AppendHello(nil, transport.Hello{
 				ClusterID: attemptID, From: -1, To: int32(i), Purpose: transport.PurposeControl,
 			})
-			if err := transport.WriteFrame(c, transport.MsgHello, hello, nil); err != nil {
+			if err := writeFrameDeadline(c, transport.MsgHello, hello, cfg.IOTimeout); err != nil {
 				c.Close()
 				return err
 			}
@@ -401,8 +432,7 @@ func (s *session) runAttempt() (*Result, []int, error) {
 			DB:              s.partBytes[i],
 			Resume:          resume,
 		}
-		conn.SetWriteDeadline(time.Now().Add(cfg.MineTimeout))
-		if err := transport.WriteFrame(conn, transport.MsgInit, transport.AppendInit(nil, init), nil); err != nil {
+		if err := writeFrameDeadline(conn, transport.MsgInit, transport.AppendInit(nil, init), cfg.MineTimeout); err != nil {
 			return nil, []int{s.hostOf[i]}, fmt.Errorf("distmine: node %d (%s): sending init: %w", i, addr, err)
 		}
 	}
@@ -420,8 +450,7 @@ func (s *session) runAttempt() (*Result, []int, error) {
 		abortOnce.Do(func() {
 			cancelled.Store(true)
 			for i, c := range conns {
-				c.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
-				transport.WriteFrame(c, transport.MsgShutdown, nil, nil)
+				writeFrameDeadline(c, transport.MsgShutdown, nil, cfg.IOTimeout)
 				// Node 0's control conn stays open: a progress frame may
 				// already be buffered on it, and closing now would discard the
 				// checkpoint the recovery is about to resume from. Its daemon
@@ -465,6 +494,7 @@ func (s *session) runAttempt() (*Result, []int, error) {
 					return
 				}
 				live.Beat(i)
+				s.cfg.Obs.Beat(i)
 				switch t {
 				case transport.MsgHeartbeat:
 				case transport.MsgProgress:
@@ -518,8 +548,7 @@ func (s *session) runAttempt() (*Result, []int, error) {
 	}
 	// Graceful shutdown: release the daemons' sessions.
 	for _, c := range conns {
-		c.SetWriteDeadline(time.Now().Add(cfg.IOTimeout))
-		transport.WriteFrame(c, transport.MsgShutdown, nil, nil)
+		writeFrameDeadline(c, transport.MsgShutdown, nil, cfg.IOTimeout)
 	}
 
 	// ---- Merge, exactly as the in-process miner does. ----

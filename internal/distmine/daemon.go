@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"pmihp/internal/obs"
 	"pmihp/internal/transport"
 	"pmihp/internal/txdb"
 )
@@ -27,6 +28,11 @@ type DaemonOptions struct {
 	Retry transport.RetryPolicy
 	// Logf, when non-nil, receives daemon lifecycle logs.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, receives every hosted node's pass events,
+	// collective spans, and poll batches (the -metrics-addr /-trace-json
+	// sink of pmihp-node). Sessions share the recorder; span events carry
+	// the daemon's listen address.
+	Obs *obs.Recorder
 }
 
 // sessionKey identifies one logical node of one mining session. After a
@@ -71,6 +77,7 @@ func NewDaemon(opt DaemonOptions) *Daemon {
 // Serve accepts and dispatches connections until the listener closes.
 func (d *Daemon) Serve(ln net.Listener) error {
 	d.addr = ln.Addr().String()
+	d.opt.Obs.SetDaemon(d.addr)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -143,8 +150,7 @@ func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
 	write := func(msgType uint8, payload []byte, timeout time.Duration) error {
 		writeMu.Lock()
 		defer writeMu.Unlock()
-		conn.SetWriteDeadline(time.Now().Add(timeout))
-		return transport.WriteFrame(conn, msgType, payload, nil)
+		return writeFrameDeadline(conn, msgType, payload, timeout)
 	}
 	fail := func(err error) {
 		d.opt.Logf("pmihp-node: session %x: %v", hello.ClusterID, err)
@@ -264,7 +270,7 @@ func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
 		}
 	}()
 
-	hooks := nodeHooks{resume: resume}
+	hooks := nodeHooks{resume: resume, obs: d.opt.Obs}
 	if init.NodeID == 0 {
 		hooks.progress = func(stage uint8, counts []uint32, segs [][]byte) {
 			ck := transport.Checkpoint{

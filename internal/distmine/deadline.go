@@ -1,0 +1,24 @@
+package distmine
+
+import (
+	"net"
+	"time"
+
+	"pmihp/internal/transport"
+)
+
+// writeFrameDeadline writes one frame under a fresh write deadline and
+// clears the deadline afterwards. Control connections are persistent —
+// heartbeats, progress checkpoints, and terminal reports all share them
+// across the whole session — so a deadline armed for one guarded write
+// must never linger: a stale deadline silently fails the next write
+// minutes later on a slow cluster, with an error attributed to the
+// wrong frame. Every control-plane write in the coordinator and daemon
+// goes through this helper (regression-tested with a delayed reader in
+// deadline_test.go).
+func writeFrameDeadline(conn net.Conn, msgType uint8, payload []byte, timeout time.Duration) error {
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	err := transport.WriteFrame(conn, msgType, payload, nil)
+	conn.SetWriteDeadline(time.Time{})
+	return err
+}

@@ -1,0 +1,160 @@
+package distmine
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"pmihp/internal/corpus"
+	"pmihp/internal/mining"
+	"pmihp/internal/obs"
+	"pmihp/internal/transport"
+)
+
+// TestWriteFrameDeadlineCleared is the regression test for the stale
+// write-deadline bug: control connections are persistent, and a
+// deadline armed for one guarded write used to linger on the conn and
+// fail a much later write with an i/o timeout attributed to the wrong
+// frame. The reader below drains the first frame promptly, then stalls
+// well past the guarded write's timeout before draining the second —
+// exactly the slow-cluster pattern that tripped the old code.
+func TestWriteFrameDeadlineCleared(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+
+	const timeout = 50 * time.Millisecond
+	done := make(chan error, 1)
+	go func() {
+		if _, _, err := transport.ReadFrame(srv, nil); err != nil {
+			done <- err
+			return
+		}
+		time.Sleep(4 * timeout)
+		_, _, err := transport.ReadFrame(srv, nil)
+		done <- err
+	}()
+
+	if err := writeFrameDeadline(cli, transport.MsgHeartbeat, nil, timeout); err != nil {
+		t.Fatalf("guarded write: %v", err)
+	}
+	// net.Pipe is synchronous, so this write blocks until the reader
+	// wakes — past the guarded write's deadline. If writeFrameDeadline
+	// had left that deadline armed, this write would fail with a
+	// timeout; with the deadline cleared it must succeed.
+	if err := transport.WriteFrame(cli, transport.MsgHeartbeat, nil, nil); err != nil {
+		t.Fatalf("write after guarded write hit a stale deadline: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+}
+
+// TestFinishRecovery pins the deadline-first accounting: a recovery the
+// session survives accumulates into recoverySeconds; one that overran
+// the session deadline is attributed entirely to the returned error and
+// must not leak into the metric as well.
+func TestFinishRecovery(t *testing.T) {
+	rec := obs.New(obs.Config{Keep: true})
+	s := &session{
+		cfg:      ClusterConfig{Obs: rec},
+		deadline: time.Now().Add(time.Hour),
+	}
+	cause := errors.New("node 1 died")
+
+	if err := s.finishRecovery(time.Now().Add(-100*time.Millisecond), cause); err != nil {
+		t.Fatalf("recovery within deadline: %v", err)
+	}
+	if s.recoverySeconds < 0.1 {
+		t.Fatalf("recoverySeconds = %v, want >= 0.1", s.recoverySeconds)
+	}
+	survived := s.recoverySeconds
+
+	s.deadline = time.Now().Add(-time.Second)
+	err := s.finishRecovery(time.Now().Add(-50*time.Millisecond), cause)
+	if err == nil {
+		t.Fatal("recovery past deadline: want error")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("deadline error does not wrap the cause: %v", err)
+	}
+	if s.recoverySeconds != survived {
+		t.Fatalf("timed-out recovery double-counted: recoverySeconds %v -> %v",
+			survived, s.recoverySeconds)
+	}
+
+	var spans []obs.SpanEvent
+	for _, ev := range rec.Events() {
+		if ev.Type == obs.TypeSpan && ev.Span.Name == "recovery:attempt" {
+			spans = append(spans, *ev.Span)
+		}
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d recovery:attempt spans, want 2", len(spans))
+	}
+	if spans[0].Err != "" {
+		t.Fatalf("survived recovery span carries an error: %q", spans[0].Err)
+	}
+	if spans[1].Err == "" {
+		t.Fatal("timed-out recovery span does not carry the cause")
+	}
+}
+
+// TestRecoverySecondsDisjointFromWireSeconds pins the invariant that
+// WireSeconds and RecoverySeconds never overlap: WireSeconds sums the
+// successful attempt's exchange phases, recovery windows sit strictly
+// between attempts.
+func TestRecoverySecondsDisjointFromWireSeconds(t *testing.T) {
+	db := buildDB(t, corpus.CorpusB(corpus.Small))
+	opts := mining.Options{MinSupCount: 2, MaxK: 3}
+
+	phaseSum := func(r *Result) float64 {
+		var sum float64
+		for _, ns := range r.Nodes {
+			for _, s := range ns.PhaseSeconds {
+				sum += s
+			}
+		}
+		return sum
+	}
+
+	t.Run("healthy", func(t *testing.T) {
+		addrs := startDaemons(t, 2, DaemonOptions{})
+		got, err := MineCluster(db, ClusterConfig{Addrs: addrs, Retry: fastRetry}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Metrics.RecoverySeconds != 0 {
+			t.Fatalf("zero-failover run reports RecoverySeconds = %v", got.Metrics.RecoverySeconds)
+		}
+		if got.Metrics.WireSeconds != phaseSum(got) {
+			t.Fatalf("WireSeconds %v != sum of phase seconds %v", got.Metrics.WireSeconds, phaseSum(got))
+		}
+	})
+
+	t.Run("failover", func(t *testing.T) {
+		addrs := startDaemons(t, 3, DaemonOptions{})
+		addrs[2] = deadAddr(t)
+		got, err := MineCluster(db, ClusterConfig{
+			Addrs:         addrs,
+			Retry:         transport.RetryPolicy{Attempts: 2, BaseDelay: 1 * time.Millisecond, MaxDelay: 5 * time.Millisecond},
+			FailurePolicy: FailurePolicyReassign,
+			Logf:          t.Logf,
+		}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Metrics.Failovers == 0 {
+			t.Fatal("expected at least one failover with a dead daemon")
+		}
+		if got.Metrics.RecoverySeconds <= 0 {
+			t.Fatalf("failover run reports RecoverySeconds = %v", got.Metrics.RecoverySeconds)
+		}
+		// Still only the successful attempt's phases — recovery time
+		// must not bleed into the wire accounting.
+		if got.Metrics.WireSeconds != phaseSum(got) {
+			t.Fatalf("WireSeconds %v != sum of phase seconds %v", got.Metrics.WireSeconds, phaseSum(got))
+		}
+	})
+}

@@ -95,7 +95,7 @@ func MineInProcess(db *txdb.DB, n int, opts mining.Options) (*Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			outcomes[i], errs[i] = runNode(exchanges[i], parts[i], p, nodeHooks{})
+			outcomes[i], errs[i] = runNode(exchanges[i], parts[i], p, nodeHooks{obs: opts.Obs})
 		}(i)
 	}
 	wg.Wait()

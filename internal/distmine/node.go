@@ -22,6 +22,7 @@ import (
 	"pmihp/internal/core"
 	"pmihp/internal/itemset"
 	"pmihp/internal/mining"
+	"pmihp/internal/obs"
 	"pmihp/internal/tht"
 	"pmihp/internal/transport"
 	"pmihp/internal/txdb"
@@ -50,6 +51,9 @@ type nodeHooks struct {
 	// progress, when non-nil (node 0 of a coordinator-driven session),
 	// receives the checkpointable state after each collective completes.
 	progress func(stage uint8, counts []uint32, thtSegments [][]byte)
+	// obs, when non-nil, receives the node's pass events, collective
+	// spans, and poll batches.
+	obs *obs.Recorder
 }
 
 // nodeOutcome is what one node's protocol run produces.
@@ -95,8 +99,37 @@ func runNode(x transport.Exchange, db *txdb.DB, p NodeParams, h nodeHooks) (*nod
 		PartitionSize:    p.PartitionSize,
 		THTEntries:       p.THTEntries,
 		IntraNodeWorkers: p.Workers,
+		Obs:              h.obs,
 	}.WithDefaults()
 	workers := opts.Workers()
+
+	// Observability spans reuse the exact PhaseSeconds measurements (one
+	// clock read pair per collective, same as before), so trace replays
+	// reconcile with Metrics.WireSeconds instead of drifting by an
+	// independent clock. Wire bytes attribute by stats delta around the
+	// collective.
+	rec := h.obs
+	wireMark := func() transport.WireStatsSnapshot {
+		if rec.Enabled() {
+			return x.Stats().Snapshot()
+		}
+		return transport.WireStatsSnapshot{}
+	}
+	span := func(name string, seconds float64, before transport.WireStatsSnapshot, err error) {
+		if !rec.Enabled() {
+			return
+		}
+		ev := obs.SpanEvent{
+			Name:    name,
+			Node:    self,
+			Seconds: seconds,
+			Bytes:   x.Stats().Snapshot().Delta(before).TotalBytes(),
+		}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		rec.RecordSpan(ev)
+	}
 
 	// ---- Pass 1: local THT build and item counts. A resume beyond the
 	// THT stage needs neither — every segment comes from the checkpoint.
@@ -122,9 +155,11 @@ func runNode(x transport.Exchange, db *txdb.DB, p NodeParams, h nodeHooks) (*nod
 		for it, c := range counts {
 			countBlob[it] = uint32(c)
 		}
+		before := wireMark()
 		t0 := time.Now()
 		blobs, err := x.AllGather(transport.PhaseItemCounts, transport.AppendUint32s(nil, countBlob))
 		out.PhaseSeconds[0] = time.Since(t0).Seconds()
+		span("exchange:item-counts", out.PhaseSeconds[0], before, err)
 		if err != nil {
 			return nil, fmt.Errorf("item-count exchange: %w", err)
 		}
@@ -162,6 +197,9 @@ func runNode(x transport.Exchange, db *txdb.DB, p NodeParams, h nodeHooks) (*nod
 	server := &out.Server
 	x.SetPollHandler(func(k int, sets []itemset.Itemset) []int32 {
 		server.AddCandidates(k, len(sets))
+		if rec.Enabled() {
+			rec.Poll(obs.PollEvent{Node: self, K: k, Sets: len(sets)})
+		}
 		replies := make([]int32, len(sets))
 		for i, s := range sets {
 			replies[i] = int32(pc.Count(s, server))
@@ -179,9 +217,11 @@ func runNode(x transport.Exchange, db *txdb.DB, p NodeParams, h nodeHooks) (*nod
 	if stage < transport.StageTHT {
 		local.Retain(func(it itemset.Item) bool { return freq[it] })
 		local.BuildMasks()
+		before := wireMark()
 		t1 := time.Now()
 		blobs, err := x.AllGather(transport.PhaseTHT, local.AppendWire(nil))
 		out.PhaseSeconds[1] = time.Since(t1).Seconds()
+		span("exchange:tht", out.PhaseSeconds[1], before, err)
 		if err != nil {
 			return nil, fmt.Errorf("tht exchange: %w", err)
 		}
@@ -208,13 +248,19 @@ func runNode(x transport.Exchange, db *txdb.DB, p NodeParams, h nodeHooks) (*nod
 		if err != nil {
 			return nil, fmt.Errorf("resuming tht segments: %w", err)
 		}
+		before := wireMark()
 		t1 := time.Now()
 		// The one-byte payload matters: the all-gather treats nil blobs as
 		// missing contributions.
-		if _, err := x.AllGather(transport.PhaseResume, []byte{1}); err != nil {
+		_, err = x.AllGather(transport.PhaseResume, []byte{1})
+		out.PhaseSeconds[1] = time.Since(t1).Seconds()
+		span("resume:barrier", out.PhaseSeconds[1], before, err)
+		if err != nil {
 			return nil, fmt.Errorf("resume barrier: %w", err)
 		}
-		out.PhaseSeconds[1] = time.Since(t1).Seconds()
+	}
+	if rec.Enabled() {
+		rec.SetNodeGauge("tht_cascade_bytes", self, global.MemBytes())
 	}
 
 	// ---- Local mining, queueing every locally frequent itemset. ----
@@ -239,9 +285,11 @@ func runNode(x transport.Exchange, db *txdb.DB, p NodeParams, h nodeHooks) (*nod
 	}, &out.Miner)
 
 	// ---- Global support counting by peer polling. ----
+	pollMark := wireMark()
 	t2 := time.Now()
 	found, err := resolveGlobal(x, global, queueSets, queueCounts, p.GlobalMin, opts.GlobalCandidateBatch, &out.Miner)
 	out.PhaseSeconds[2] = time.Since(t2).Seconds()
+	span("poll:resolve", out.PhaseSeconds[2], pollMark, err)
 	if err != nil {
 		return nil, err
 	}
@@ -250,9 +298,11 @@ func runNode(x transport.Exchange, db *txdb.DB, p NodeParams, h nodeHooks) (*nod
 	// ---- Final exchange: every node gathers the cluster's frequent
 	// lists. Exiting this collective additionally proves every peer has
 	// finished polling, so the poll service can be torn down safely. ----
+	finalMark := wireMark()
 	t3 := time.Now()
 	finalBlobs, err := x.AllGather(transport.PhaseFinal, transport.AppendCountedList(nil, found))
 	out.PhaseSeconds[3] = time.Since(t3).Seconds()
+	span("exchange:final", out.PhaseSeconds[3], finalMark, err)
 	if err != nil {
 		return nil, fmt.Errorf("final exchange: %w", err)
 	}
@@ -265,6 +315,9 @@ func runNode(x transport.Exchange, db *txdb.DB, p NodeParams, h nodeHooks) (*nod
 		all = append(all, list...)
 	}
 	out.Merged = core.MergeFound(f1Counted, all)
+	if rec.Enabled() {
+		rec.SetNodeGauge("peak_held_bytes", self, out.Miner.PeakHeldBytes+out.Server.PeakHeldBytes)
+	}
 	return out, nil
 }
 

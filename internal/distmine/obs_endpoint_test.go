@@ -1,0 +1,105 @@
+package distmine
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"pmihp/internal/corpus"
+	"pmihp/internal/mining"
+	"pmihp/internal/obs"
+)
+
+// TestMetricsEndpointLiveCluster runs an 8-node loopback cluster with
+// daemons and coordinator feeding one recorder behind a live HTTP
+// endpoint — the -metrics-addr wiring — and checks that the endpoint
+// (a) answers while the mine is in flight and (b) ends up reporting
+// pass progress, per-node heartbeat liveness, collective spans, and
+// held-bytes gauges for every node.
+func TestMetricsEndpointLiveCluster(t *testing.T) {
+	rec := obs.New(obs.Config{})
+	addr, stop, err := obs.Serve("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	const nodes = 8
+	addrs := startDaemons(t, nodes, DaemonOptions{Obs: rec})
+	db := buildDB(t, corpus.CorpusB(corpus.Small))
+
+	var scrapes atomic.Int64
+	done := make(chan struct{})
+	scraper := make(chan struct{})
+	go func() {
+		defer close(scraper)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			resp, gerr := http.Get("http://" + addr + "/metrics")
+			if gerr == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				scrapes.Add(1)
+			}
+		}
+	}()
+	_, merr := MineCluster(db, ClusterConfig{Addrs: addrs, Retry: fastRetry, Obs: rec},
+		mining.Options{MinSupCount: 2, MaxK: 3})
+	close(done)
+	<-scraper
+	if merr != nil {
+		t.Fatal(merr)
+	}
+	if scrapes.Load() == 0 {
+		t.Fatal("metrics endpoint never answered during the mine")
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(raw)
+	for _, want := range []string{
+		"pmihp_passes_total",
+		`pmihp_pass_current{node="0"}`,
+		`pmihp_pass_current{node="7"}`,
+		`pmihp_heartbeat_age_seconds{node="0"}`,
+		`pmihp_heartbeat_age_seconds{node="7"}`,
+		`pmihp_span_seconds_total{name="exchange:final"}`,
+		`pmihp_peak_held_bytes{node="0"}`,
+		`pmihp_tht_cascade_bytes{node="0"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("final /metrics scrape missing %q", want)
+		}
+	}
+
+	resp, err = http.Get("http://" + addr + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	jerr := json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if jerr != nil {
+		t.Fatalf("/snapshot not JSON: %v", jerr)
+	}
+	if snap.Passes == 0 {
+		t.Error("/snapshot reports no passes after a full mine")
+	}
+	if len(snap.BeatAge) != nodes {
+		t.Errorf("/snapshot tracks %d heartbeats, want %d", len(snap.BeatAge), nodes)
+	}
+	if len(snap.PassK) != nodes {
+		t.Errorf("/snapshot tracks pass progress for %d nodes, want %d", len(snap.PassK), nodes)
+	}
+}

@@ -178,8 +178,14 @@ func (m *Metrics) NoteHeldBytes(b int64) {
 	}
 }
 
-// Merge folds per-node metrics into an aggregate (sums; peak fields take the
-// max).
+// Merge folds per-node metrics into an aggregate. Almost every field sums:
+// counts, modeled work, measured wire traffic and timings, and recovery
+// accounting are all additive across nodes. Two structural peaks take the
+// max instead — PeakCandidateBytes (the candidate budget is a per-node
+// limit, so the aggregate reports the worst node) and FPTreeNodes.
+// PeakHeldBytes deliberately SUMS: node-resident structures coexist for
+// the whole run, so the aggregate is the cluster-wide resident footprint
+// (see the field comment). TestMergeFieldSemantics audits every field.
 func (m *Metrics) Merge(o *Metrics) {
 	m.Passes += o.Passes
 	for k, n := range o.CandidatesByK {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"pmihp/internal/itemset"
+	"pmihp/internal/obs"
 	"pmihp/internal/txdb"
 )
 
@@ -51,6 +52,14 @@ type Options struct {
 	// GlobalCandidateBatch is the number of accumulated global candidate
 	// itemsets that triggers a PMIHP polling round (paper: 20,000).
 	GlobalCandidateBatch int
+
+	// Obs is the observability sink for per-pass events, spans, and poll
+	// batches. nil (the default) disables observability entirely: emission
+	// sites check Obs.Enabled() before constructing events or reading
+	// clocks, so the disabled path costs no allocations on hot counting
+	// loops. Obs never influences mining results, modeled work charges, or
+	// metrics — it is a read-only tap.
+	Obs *obs.Recorder
 
 	// IntraNodeWorkers bounds the shared-memory parallelism each (simulated)
 	// node applies to its counting scans: candidate counting passes, posting

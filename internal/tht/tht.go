@@ -404,6 +404,18 @@ func NewGlobal(segments []*Local) *Global {
 // NumSegments returns the number of nodes contributing to the cascade.
 func (g *Global) NumSegments() int { return len(g.segments) }
 
+// MemBytes returns the resident size of the whole cascade — every
+// segment's matrix and indexes. An observability gauge: the per-node
+// metrics accounting charges only the node's own segment (the other
+// segments are shared views in-process and remote tables on a cluster).
+func (g *Global) MemBytes() int64 {
+	var b int64
+	for _, seg := range g.segments {
+		b += seg.MemBytes()
+	}
+	return b
+}
+
 // Segment returns node p's contribution.
 func (g *Global) Segment(p int) *Local { return g.segments[p] }
 
