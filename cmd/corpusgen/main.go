@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		corpusID = flag.String("corpus", "b", "corpus preset: a, b, or c (ignored when -docs > 0)")
+		corpusID = flag.String("corpus", "b", "corpus preset: a, b, c, or dense (ignored when -docs > 0)")
 		scale    = flag.String("scale", "small", "corpus scale: small, harness, paper")
 		dump     = flag.Bool("dump", false, "write documents to stdout (tid day word word ...)")
 		out      = flag.String("out", "", "write documents to a file in the line format (day word word ...)")
@@ -55,6 +55,8 @@ func main() {
 			cfg = corpus.CorpusB(sc)
 		case "c":
 			cfg = corpus.CorpusC(sc)
+		case "d", "dense":
+			cfg = corpus.CorpusDense(sc)
 		default:
 			fail(fmt.Errorf("unknown corpus %q", *corpusID))
 		}
@@ -70,6 +72,8 @@ func main() {
 		cfg.Name, st.Docs, st.Days, st.UniqueItems, st.TotalItems)
 	fmt.Fprintf(os.Stderr, "mean %.1f distinct words/doc, median %.0f docs/day\n",
 		st.MeanLen, st.MedianDocsDay)
+	fmt.Fprintf(os.Stderr, "density: max df %d over TID span %d (%.3f); %d words dense at the default posting threshold\n",
+		st.MaxDF, st.TIDSpan, st.MaxDensity, st.DenseItems)
 
 	if *out != "" {
 		if err := text.SaveDocuments(*out, generated); err != nil {

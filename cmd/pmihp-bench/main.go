@@ -7,6 +7,7 @@
 //	pmihp-bench -exp e1 [-scale small|harness|paper] [-v]
 //	pmihp-bench -exp all
 //	pmihp-bench -benchjson BENCH_dev.json [-rev dev] [-baseline BENCH_baseline.json]
+//	pmihp-bench -crossover
 //	pmihp-bench -exp e3 -cpuprofile cpu.prof -memprofile mem.prof
 //
 // The -benchjson mode runs the E1–E9 benchmark workloads under the standard
@@ -15,6 +16,11 @@
 // workload's wall-clock or held memory regresses by more than 20% or any
 // simulated time drifts; baselines written before the current report schema
 // are compared on wall-clock only, with a notice.
+//
+// The -crossover mode sweeps posting-list density and times one pair
+// intersection under the all-compressed and all-bitmap layouts, reporting
+// the density where the bitmap kernel starts winning on this machine — a
+// tuning report for the -dense-threshold flag, not a gated check.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the whole run
 // (any mode), for `go tool pprof`.
@@ -27,9 +33,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"pmihp/internal/benchharness"
+	"pmihp/internal/core"
 	"pmihp/internal/corpus"
 	"pmihp/internal/experiments"
 )
@@ -46,6 +54,7 @@ func realMain() int {
 		benchJSON  = flag.String("benchjson", "", "run the benchmark harness and write results to this JSON file")
 		rev        = flag.String("rev", "dev", "revision label recorded in -benchjson output")
 		baseline   = flag.String("baseline", "", "baseline JSON to compare -benchjson results against")
+		crossover  = flag.Bool("crossover", false, "sweep posting density and report the block/bitmap kernel crossover")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -79,6 +88,10 @@ func realMain() int {
 		}()
 	}
 
+	if *crossover {
+		core.KernelCrossover(os.Stdout, 0)
+		return 0
+	}
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
@@ -159,6 +172,10 @@ func runBenchHarness(path, rev, baselinePath string, sc corpus.Scale, verbose bo
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
 		return 1
+	}
+	if missing := benchharness.MissingFromBase(base, rep); len(missing) > 0 {
+		fmt.Printf("note: baseline %s predates %d workload(s) — %s — which therefore ran ungated; regenerate the baseline to gate them\n",
+			baselinePath, len(missing), strings.Join(missing, ", "))
 	}
 	if base.SchemaVersion < benchharness.SchemaVersion {
 		fmt.Printf("note: baseline %s has schema v%d (current v%d); skipping simulated-seconds drift and bytes_held checks, comparing wall-clock only — regenerate the baseline to restore them\n",

@@ -46,17 +46,34 @@ func main() {
 	}
 }
 
+// resolveDenseThreshold maps the -dense-threshold flag onto the library's
+// Options.DenseThreshold encoding: negative means "not set" (the zero
+// Options value selects mining.DefaultDenseThreshold), an explicit 0 means
+// every posting list becomes a bitmap, and any positive value — including
+// "inf", which disables bitmaps — passes through.
+func resolveDenseThreshold(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return mining.DenseThresholdAll
+	default:
+		return v
+	}
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pmihp-mine", flag.ContinueOnError)
 	var (
 		algo        = fs.String("algo", "pmihp", "apriori | dhp | fpgrowth | mihp | ihp | cd | dd | pmihp")
-		corpusID    = fs.String("corpus", "b", "corpus preset: a, b, or c")
+		corpusID    = fs.String("corpus", "b", "corpus preset: a, b, c, or dense")
 		scale       = fs.String("scale", "small", "corpus scale: small, harness, paper")
 		inFile      = fs.String("in", "", "mine a line-format documents file instead of a preset")
 		trecFile    = fs.String("trec", "", "mine a TREC-markup file instead of a preset")
 		minsup      = fs.Float64("minsup", 0.02, "minimum support fraction")
 		minsupCount = fs.Int("minsup-count", 0, "absolute minimum support count (overrides -minsup)")
 		maxK        = fs.Int("maxk", 0, "largest itemset size to mine (0 = unbounded)")
+		denseTh     = fs.Float64("dense-threshold", -1, "posting density cutoff: words in at least this fraction of the TID span get bitmap posting lists (0 = all bitmaps, >1 or inf = all compressed, -1 = library default 1/16); layout only — never changes results or simulated time")
 		nodes       = fs.Int("nodes", 4, "simulated nodes for cd/dd/pmihp")
 		cluster     = fs.String("cluster", "", "comma-separated pmihp-node addresses: mine on a real multi-process cluster")
 		spawn       = fs.Int("spawn", 0, "spawn N local pmihp-node worker processes and mine on them")
@@ -108,8 +125,10 @@ func run(args []string, out io.Writer) error {
 			cfg = corpus.CorpusB(sc)
 		case "c":
 			cfg = corpus.CorpusC(sc)
+		case "d", "dense":
+			cfg = corpus.CorpusDense(sc)
 		default:
-			return fmt.Errorf("unknown corpus %q (want a, b, or c)", *corpusID)
+			return fmt.Errorf("unknown corpus %q (want a, b, c, or dense)", *corpusID)
 		}
 		docs, err = corpus.Generate(cfg)
 		if err != nil {
@@ -126,7 +145,8 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "corpus %s: %d docs, %d unique words, mean %.0f words/doc\n",
 		label, st.Docs, st.UniqueItems, st.MeanLen)
 
-	opts := mining.Options{MinSupFrac: *minsup, MinSupCount: *minsupCount, MaxK: *maxK}
+	opts := mining.Options{MinSupFrac: *minsup, MinSupCount: *minsupCount, MaxK: *maxK,
+		DenseThreshold: resolveDenseThreshold(*denseTh)}
 
 	// Observability is opt-in and out-of-band: the recorder taps pass,
 	// span, and poll events without influencing the mining itself.

@@ -70,11 +70,13 @@ type Report struct {
 }
 
 // corpora holds the generated databases a workload can run against: the
-// three figure corpora at the harness scale, plus corpus B at paper scale
-// for the always-on smoke entry.
+// three figure corpora at the harness scale, corpus B at paper scale for
+// the always-on smoke entry, and the stop-word-heavy dense variant of B
+// that exercises the bitmap posting kernels.
 type corpora struct {
 	A, B, C *txdb.DB
 	PaperB  *txdb.DB
+	Dense   *txdb.DB
 }
 
 // workload is one benchmark entry: run executes a single mining run and
@@ -92,6 +94,7 @@ const (
 	useB
 	useC
 	usePaperB
+	useDense
 )
 
 // workloads mirrors bench_test.go's per-figure benchmarks, at the given
@@ -104,6 +107,11 @@ func workloads() []workload {
 	// support, so every harness run — whatever its -scale — exercises the
 	// paper-size data layout and records its held-bytes footprint.
 	optsSmoke := mining.Options{MinSupFrac: 0.02, MaxK: 3}
+	// The dense entry mines the no-stoplist corpus, where the frequent
+	// words appear in most documents; a high support fraction keeps the
+	// candidates to exactly those dense posting lists, which is the
+	// workload the bitmap kernels exist for.
+	optsDense := mining.Options{MinSupFrac: 0.10, MaxK: 3}
 	pick := func(dbs *corpora, which int) *txdb.DB {
 		switch which {
 		case useB:
@@ -112,6 +120,8 @@ func workloads() []workload {
 			return dbs.C
 		case usePaperB:
 			return dbs.PaperB
+		case useDense:
+			return dbs.Dense
 		}
 		return dbs.A
 	}
@@ -155,6 +165,7 @@ func workloads() []workload {
 		{"E8Fig11_AprioriC3", "fig11", seq(apriori.Mine, optsB, useB)},
 		{"E9EightWeek_PMIHP1", "sec3", pmihp(1, core.Interleaved, optsC, useC)},
 		{"E9EightWeek_PMIHP8", "sec3", pmihp(8, core.Interleaved, optsC, useC)},
+		{"E9Dense_PMIHP8", "sec3", pmihp(8, core.Interleaved, optsDense, useDense)},
 	}
 }
 
@@ -184,7 +195,12 @@ func Run(rev string, scale corpus.Scale, log io.Writer) (*Report, error) {
 		}
 		dbPaperB, _ = text.ToDB(docsPB, nil)
 	}
-	dbs := &corpora{A: dbA, B: dbB, C: dbC, PaperB: dbPaperB}
+	docsD, err := corpus.Generate(corpus.CorpusDense(scale))
+	if err != nil {
+		return nil, err
+	}
+	dbD, _ := text.ToDB(docsD, nil)
+	dbs := &corpora{A: dbA, B: dbB, C: dbC, PaperB: dbPaperB, Dense: dbD}
 
 	rep := &Report{
 		SchemaVersion: SchemaVersion,
@@ -252,6 +268,25 @@ func ReadJSON(path string) (*Report, error) {
 		return nil, fmt.Errorf("benchharness: %s: %w", path, err)
 	}
 	return &r, nil
+}
+
+// MissingFromBase returns the names of workloads present in cur but absent
+// from base: entries added since the baseline was written, which Compare
+// necessarily skips. Callers should surface them as a notice — the new
+// workloads ran ungated and the baseline wants regenerating — not as a
+// failure, so adding a benchmark never breaks the gate by itself.
+func MissingFromBase(base, cur *Report) []string {
+	known := make(map[string]bool, len(base.Workloads))
+	for _, w := range base.Workloads {
+		known[w.Name] = true
+	}
+	var missing []string
+	for _, w := range cur.Workloads {
+		if !known[w.Name] {
+			missing = append(missing, w.Name)
+		}
+	}
+	return missing
 }
 
 // simTol is the relative tolerance for comparing simulated seconds. Node

@@ -66,25 +66,40 @@ func RunLocalMiner(db *txdb.DB, opts mining.Options, cfg LocalMineConfig, m *min
 // pay nothing. Not safe for concurrent use; the transport serializes
 // poll service.
 type PollCounter struct {
-	db      *txdb.DB
-	workers int
-	inv     *postings
+	db        *txdb.DB
+	workers   int
+	threshold float64
+	inv       *postings
 }
 
-// NewPollCounter returns a counter over db using up to workers
-// goroutines for the one-time posting build.
-func NewPollCounter(db *txdb.DB, workers int) *PollCounter {
-	return &PollCounter{db: db, workers: workers}
+// NewPollCounter returns a counter over db using up to workers goroutines
+// for the one-time posting build and for batch counting. denseThreshold
+// selects the hybrid posting layout (see mining.Options.DenseThreshold).
+func NewPollCounter(db *txdb.DB, workers int, denseThreshold float64) *PollCounter {
+	return &PollCounter{db: db, workers: workers, threshold: denseThreshold}
 }
 
 // Count returns the exact local support of the itemset, charging the
 // intersection work (and the lazy build) to m.
 func (p *PollCounter) Count(set itemset.Itemset, m *mining.Metrics) int {
+	p.ensure(m)
+	return p.inv.count(set, m)
+}
+
+// CountBatch counts a whole poll batch, sharding the itemsets across the
+// counter's workers with per-shard scratch — the same kernel the in-process
+// poll servers run. Per-shard merge charges fold into m in shard order, so
+// results and simulated charges are identical to len(sets) Count calls.
+func (p *PollCounter) CountBatch(sets []itemset.Itemset, m *mining.Metrics) []int {
+	p.ensure(m)
+	return countBatchSharded(p.inv, sets, p.workers, m)
+}
+
+func (p *PollCounter) ensure(m *mining.Metrics) {
 	if p.inv == nil {
-		p.inv = buildPostings(p.db, m, p.workers)
+		p.inv = buildPostings(p.db, m, p.workers, p.threshold)
 		m.NoteHeldBytes(p.inv.MemBytes())
 	}
-	return p.inv.count(set, m)
 }
 
 // FrequentItems derives the globally frequent 1-itemsets from the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -107,7 +108,9 @@ func TestIntersectItemMatchesSeedMerge(t *testing.T) {
 	cfg := corpus.CorpusB(corpus.Small)
 	db := smallDB(t, cfg)
 	m := mining.NewMetrics("test")
-	p := buildPostings(db, &m, 1)
+	// All-compressed layout: this test targets the block×block kernel, which
+	// only runs for block-encoded items.
+	p := buildPostings(db, &m, 1, math.Inf(1))
 	rng := rand.New(rand.NewSource(97))
 
 	pick := func() itemset.Item { return itemset.Item(rng.Intn(db.NumItems())) }
@@ -122,7 +125,7 @@ func TestIntersectItemMatchesSeedMerge(t *testing.T) {
 			acc []txdb.TID
 			it  itemset.Item
 		}{{rowA, b}, {rowB, a}} {
-			got := p.intersectItem(nil, o.acc, o.it)
+			got := p.intersectItem(nil, o.acc, o.it, &p.scratch.blockBuf)
 			if len(got) != len(want) {
 				t.Fatalf("trial %d items (%d,%d): %d matches, want %d",
 					trial, a, b, len(got), len(want))
@@ -143,7 +146,7 @@ func TestIntersectItemMatchesSeedMerge(t *testing.T) {
 		for n := 0; n < 1+rng.Intn(3) && len(acc) > 0; n++ {
 			it := pick()
 			want := naiveIntersect(acc, p.row(it))
-			acc = p.intersectItem(nil, acc, it)
+			acc = p.intersectItem(nil, acc, it, &p.scratch.blockBuf)
 			if len(acc) != len(want) {
 				t.Fatalf("trial %d chain: %d matches, want %d", trial, len(acc), len(want))
 			}
@@ -192,43 +195,55 @@ func oldCountCharge(rows [][]txdb.TID) int64 {
 }
 
 // TestPostingsChargeMatchesSeedModel: the simulated work charged by count
-// must equal the seed's merge charge for every itemset — the galloping
-// rewrite may only change wall-clock time, never the simulated clock.
+// must equal the seed's merge charge for every itemset and every posting
+// layout — the galloping rewrite and the hybrid bitmap layout may only
+// change wall-clock time, never the simulated clock.
 func TestPostingsChargeMatchesSeedModel(t *testing.T) {
 	cfg := corpus.CorpusB(corpus.Small)
 	db := smallDB(t, cfg)
-	m := mining.NewMetrics("test")
-	p := buildPostings(db, &m, 1)
-	rng := rand.New(rand.NewSource(91))
-	for trial := 0; trial < 400; trial++ {
-		k := 1 + rng.Intn(4)
-		raw := make([]uint32, k)
-		for j := range raw {
-			raw[j] = uint32(rng.Intn(db.NumItems()))
-		}
-		x := itemset.New(raw...)
-		var rows [][]txdb.TID
-		empty := false
-		for _, it := range x {
-			r := p.row(it)
-			if len(r) == 0 {
-				empty = true
-				break
+	for _, tc := range []struct {
+		name      string
+		threshold float64
+	}{
+		{"compressed", math.Inf(1)},
+		{"hybrid", 0},
+		{"bitmap", mining.DenseThresholdAll},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := mining.NewMetrics("test")
+			p := buildPostings(db, &m, 1, tc.threshold)
+			rng := rand.New(rand.NewSource(91))
+			for trial := 0; trial < 400; trial++ {
+				k := 1 + rng.Intn(4)
+				raw := make([]uint32, k)
+				for j := range raw {
+					raw[j] = uint32(rng.Intn(db.NumItems()))
+				}
+				x := itemset.New(raw...)
+				var rows [][]txdb.TID
+				empty := false
+				for _, it := range x {
+					r := p.row(it)
+					if len(r) == 0 {
+						empty = true
+						break
+					}
+					rows = append(rows, r)
+				}
+				before := m.Work.Units
+				got := p.count(x, &m)
+				charged := m.Work.Units - before
+				if empty {
+					if charged != 0 || got != 0 {
+						t.Fatalf("itemset %v with empty row: count=%d charge=%d", x, got, charged)
+					}
+					continue
+				}
+				want := oldCountCharge(rows)
+				if charged != want {
+					t.Fatalf("itemset %v: charged %d work units, seed model charges %d", x, charged, want)
+				}
 			}
-			rows = append(rows, r)
-		}
-		before := m.Work.Units
-		got := p.count(x, &m)
-		charged := m.Work.Units - before
-		if empty {
-			if charged != 0 || got != 0 {
-				t.Fatalf("itemset %v with empty row: count=%d charge=%d", x, got, charged)
-			}
-			continue
-		}
-		want := oldCountCharge(rows)
-		if charged != want {
-			t.Fatalf("itemset %v: charged %d work units, seed model charges %d", x, charged, want)
-		}
+		})
 	}
 }

@@ -76,9 +76,13 @@ type localMiner struct {
 	accum2 *mining.PairTable
 
 	// workers is the resolved intra-node worker bound; shards holds one
-	// scratch state per worker, reused across passes.
-	workers int
-	shards  []*minerShard
+	// scratch state per worker, reused across passes; genShards is the
+	// pass-2 generation scratch (forked pair scans and private key lists),
+	// grown on demand because generation shards over partition items, not
+	// transactions.
+	workers   int
+	shards    []*minerShard
+	genShards []*genShard
 
 	// Reusable pass-2 state: the candidate pair table, its key list and
 	// count array, and the partition-membership array.
@@ -112,6 +116,20 @@ type minerShard struct {
 	hitsN    int64
 	trimmed  int64
 	prunedTx int64
+}
+
+// genShard is the per-worker scratch of the sharded pass-2 candidate
+// generation: a fork of the run's PairScan (shared row tables, private
+// hoist register), the shard's candidate keys in partition order, and its
+// work tallies. Shards cover contiguous partition-item ranges and merge in
+// shard order, so the merged key sequence — and with it every downstream
+// count, charge, and emitted set — is identical to the serial generation.
+type genShard struct {
+	scan            *tht.PairScan
+	keys            []uint64
+	pairsConsidered int64
+	slotsTotal      int64
+	prunedTHT       int64
 }
 
 func (sh *minerShard) reset(numItems int) {
@@ -342,51 +360,74 @@ func (lm *localMiner) pass2(part []itemset.Item, work *txdb.Work, accum map[int]
 	// Candidate generation with IHP pair pruning. All row lookups go
 	// through the run's PairScan: the self-segment check and the cascaded
 	// check evaluate by matrix row number, materializing counter rows only
-	// when the mask fast path cannot decide.
+	// when the mask fast path cannot decide. The outer-item loop shards
+	// across the worker pool — each shard walks a contiguous range of the
+	// partition with a forked scan, and the shard key lists concatenate in
+	// shard order, so the key sequence (and every tally, being a sum) is
+	// the serial one.
 	lm.pairTab.Reset()
 	cands := lm.pairTab // pair key -> candidate index
+	nGen := mining.NumShards(len(part), lm.workers)
+	for len(lm.genShards) < nGen {
+		lm.genShards = append(lm.genShards, &genShard{scan: lm.pairScan.Fork()})
+	}
+	self := lm.self
+	cascade := lm.global.NumSegments() > 1
+	mining.RunShards(len(part), lm.workers, func(s, glo, ghi int) {
+		g := lm.genShards[s]
+		ps := g.scan
+		g.keys = g.keys[:0]
+		g.pairsConsidered, g.slotsTotal, g.prunedTHT = 0, 0, 0
+		for _, a := range part[glo:ghi] {
+			aPos := int(lm.posOf[a])
+			if !ps.Present(self, aPos) {
+				continue // item absent from the local database
+			}
+			ps.Hoist(aPos)
+			ss := ps.Seg(self)
+			// Locally absent items cannot form a countable pair (the seed
+			// path skipped them pair by pair, uncharged); jump straight to
+			// the locally present positions above a.
+			lo, hi := 0, len(lm.selfPresent)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if int(lm.selfPresent[mid]) <= aPos {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			for _, p32 := range lm.selfPresent[lo:] {
+				bPos := int(p32)
+				b := lm.freqItems[bPos]
+				g.pairsConsidered++
+				ok, slots := ss.BoundReaches(bPos, lm.minLocal)
+				g.slotsTotal += int64(slots)
+				if ok && cascade {
+					var gslots int
+					ok, gslots = ps.BoundReaches(bPos, lm.minPrune)
+					g.slotsTotal += int64(gslots)
+				}
+				if !ok {
+					g.prunedTHT++
+					continue
+				}
+				g.keys = append(g.keys, pairKey(a, b))
+			}
+		}
+	})
 	keys := lm.keys[:0]
 	pairsConsidered := int64(0)
 	slotsTotal := int64(0)
-	ps, self := lm.pairScan, lm.self
-	cascade := lm.global.NumSegments() > 1
-	for _, a := range part {
-		aPos := int(lm.posOf[a])
-		if !ps.Present(self, aPos) {
-			continue // item absent from the local database
-		}
-		ps.Hoist(aPos)
-		ss := ps.Seg(self)
-		// Locally absent items cannot form a countable pair (the seed path
-		// skipped them pair by pair, uncharged); jump straight to the
-		// locally present positions above a.
-		lo, hi := 0, len(lm.selfPresent)
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if int(lm.selfPresent[mid]) <= aPos {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		for _, p32 := range lm.selfPresent[lo:] {
-			bPos := int(p32)
-			b := lm.freqItems[bPos]
-			pairsConsidered++
-			ok, slots := ss.BoundReaches(bPos, lm.minLocal)
-			slotsTotal += int64(slots)
-			if ok && cascade {
-				var gslots int
-				ok, gslots = ps.BoundReaches(bPos, lm.minPrune)
-				slotsTotal += int64(gslots)
-			}
-			if !ok {
-				lm.metrics.PrunedByTHT++
-				continue
-			}
-			cands.Put(pairKey(a, b), int32(len(keys)))
-			keys = append(keys, pairKey(a, b))
-		}
+	for s := 0; s < nGen; s++ {
+		g := lm.genShards[s]
+		keys = append(keys, g.keys...)
+		pairsConsidered += g.pairsConsidered
+		slotsTotal += g.slotsTotal
+		lm.metrics.PrunedByTHT += g.prunedTHT
+	}
+	for i, key := range keys {
+		cands.Put(key, int32(i))
 	}
 	lm.metrics.Work.Charge(pairsConsidered, 1)
 	lm.metrics.Work.Charge(slotsTotal, mining.CostTHTSlot)

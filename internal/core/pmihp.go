@@ -515,7 +515,10 @@ func (nd *pmihpNode) servePolls() {
 }
 
 // countBatch counts the batch's itemsets over the local database by
-// intersecting posting lists (see postings.go).
+// intersecting posting lists (see postings.go), sharding the batch across
+// the node's intra-node workers. Each itemset's count and merge charge are
+// independent of the others, so per-shard work units merged in shard order
+// reproduce the serial charges exactly.
 func (nd *pmihpNode) countBatch(k int, sets []itemset.Itemset) []int {
 	m := &nd.server
 	m.AddCandidates(k, len(sets))
@@ -529,17 +532,38 @@ func (nd *pmihpNode) countBatch(k int, sets []itemset.Itemset) []int {
 	if nd.inverted == nil {
 		// Single goroutine (the node's poll server) calls countBatch, so
 		// lazy construction needs no further synchronization.
-		nd.inverted = buildPostings(nd.db, m, nd.opts.Workers())
+		nd.inverted = buildPostings(nd.db, m, nd.opts.Workers(), nd.opts.DenseThreshold)
 		// The miner accounting already holds the node's database, THT
 		// segment, and working copy; the inverted file is the poll server's
 		// addition on top.
 		m.NoteHeldBytes(nd.inverted.MemBytes())
 	}
-	counts := make([]int, len(sets))
-	for i, s := range sets {
-		counts[i] = nd.inverted.count(s, m)
-	}
+	counts := countBatchSharded(nd.inverted, sets, nd.opts.Workers(), m)
 	nd.fabric.Clock(nd.id).AdvanceWork(m.Work.Units - before)
+	return counts
+}
+
+// countBatchSharded intersects a batch of itemsets against the inverted
+// file across up to workers shards, each with private scratch, merging the
+// per-shard merge charges into m in shard order.
+func countBatchSharded(inv *postings, sets []itemset.Itemset, workers int, m *mining.Metrics) []int {
+	counts := make([]int, len(sets))
+	nShards := mining.NumShards(len(sets), workers)
+	inv.ensureScratch(nShards)
+	shardOps := make([]int64, nShards)
+	mining.RunShards(len(sets), workers, func(s, lo, hi int) {
+		sc := inv.scratchFor(s)
+		var ops int64
+		for i := lo; i < hi; i++ {
+			n, o := inv.countScratch(sets[i], sc)
+			counts[i] = n
+			ops += o
+		}
+		shardOps[s] = ops
+	})
+	for _, ops := range shardOps {
+		m.Work.Charge(ops, 1)
+	}
 	return counts
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -116,27 +117,110 @@ func TestPMIHPApproxDirectCountsMembership(t *testing.T) {
 	}
 }
 
+// TestPMIHPInvariantAcrossWorkersAndLayouts: the intra-node worker count
+// and the posting-density threshold are physical execution knobs. The
+// frequent itemsets, the simulated seconds, and the charged work units
+// must be identical for every combination; peak held bytes must not
+// depend on the worker count (it may depend on the threshold, which
+// changes what is resident).
+func TestPMIHPInvariantAcrossWorkersAndLayouts(t *testing.T) {
+	cfg := corpus.CorpusB(corpus.Small)
+	db := smallDB(t, cfg)
+
+	run := func(workers int, threshold float64) *ParallelResult {
+		opts := mining.Options{
+			MinSupCount: 2, MaxK: 3,
+			IntraNodeWorkers: workers,
+			DenseThreshold:   threshold,
+		}
+		par, err := MinePMIHP(db, PMIHPConfig{Nodes: 2}, opts)
+		if err != nil {
+			t.Fatalf("PMIHP(workers=%d, threshold=%v): %v", workers, threshold, err)
+		}
+		return par
+	}
+	workUnits := func(par *ParallelResult) int64 {
+		var u int64
+		for _, n := range par.Nodes {
+			u += n.Metrics.Work.Units
+		}
+		return u
+	}
+	heldBytes := func(par *ParallelResult) int64 {
+		var b int64
+		for _, n := range par.Nodes {
+			b += n.Metrics.PeakHeldBytes
+		}
+		return b
+	}
+
+	ref := run(1, math.Inf(1))
+	refWork := workUnits(ref)
+	for _, tc := range []struct {
+		name      string
+		threshold float64
+	}{
+		{"compressed", math.Inf(1)},
+		{"default", 0},
+		{"bitmap", mining.DenseThresholdAll},
+	} {
+		var held1 int64
+		for _, workers := range []int{1, 2, 4, 8} {
+			par := run(workers, tc.threshold)
+			if ok, diff := mining.SameFrequentSets(ref.Result, par.Result); !ok {
+				t.Fatalf("%s/workers=%d changed the answer: %s", tc.name, workers, diff)
+			}
+			if par.TotalSeconds != ref.TotalSeconds {
+				t.Fatalf("%s/workers=%d: simulated %g s, reference %g s",
+					tc.name, workers, par.TotalSeconds, ref.TotalSeconds)
+			}
+			if w := workUnits(par); w != refWork {
+				t.Fatalf("%s/workers=%d: charged %d work units, reference %d",
+					tc.name, workers, w, refWork)
+			}
+			if workers == 1 {
+				held1 = heldBytes(par)
+			} else if h := heldBytes(par); h != held1 {
+				t.Fatalf("%s/workers=%d: peak held %d bytes, single-worker run held %d",
+					tc.name, workers, h, held1)
+			}
+		}
+	}
+}
+
 // TestPostingsCountMatchesScan: the poll service's posting-intersection
-// counts must equal direct support counts for arbitrary itemsets.
+// counts must equal direct support counts for arbitrary itemsets, under
+// every posting layout (all-compressed, default hybrid, all-bitmap).
 func TestPostingsCountMatchesScan(t *testing.T) {
 	cfg := corpus.CorpusB(corpus.Small)
 	db := smallDB(t, cfg)
-	m := mining.NewMetrics("test")
-	p := buildPostings(db, &m, 1)
-	rng := rand.New(rand.NewSource(77))
-	for trial := 0; trial < 300; trial++ {
-		k := 1 + rng.Intn(3)
-		raw := make([]uint32, k)
-		for j := range raw {
-			raw[j] = uint32(rng.Intn(db.NumItems()))
-		}
-		x := itemset.New(raw...)
-		want := mining.CountSupport(db, x)
-		if got := p.count(x, &m); got != want {
-			t.Fatalf("postings count(%v) = %d, want %d", x, got, want)
-		}
-	}
-	if m.Work.Units <= 0 {
-		t.Fatal("posting work not charged")
+	for _, tc := range []struct {
+		name      string
+		threshold float64
+	}{
+		{"compressed", math.Inf(1)},
+		{"hybrid", 0},
+		{"bitmap", mining.DenseThresholdAll},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := mining.NewMetrics("test")
+			p := buildPostings(db, &m, 1, tc.threshold)
+			rng := rand.New(rand.NewSource(77))
+			for trial := 0; trial < 300; trial++ {
+				k := 1 + rng.Intn(3)
+				raw := make([]uint32, k)
+				for j := range raw {
+					raw[j] = uint32(rng.Intn(db.NumItems()))
+				}
+				x := itemset.New(raw...)
+				want := mining.CountSupport(db, x)
+				if got := p.count(x, &m); got != want {
+					t.Fatalf("postings count(%v) = %d, want %d", x, got, want)
+				}
+			}
+			if m.Work.Units <= 0 {
+				t.Fatal("posting work not charged")
+			}
+		})
 	}
 }

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pmihp/internal/corpus"
+	"pmihp/internal/itemset"
+	"pmihp/internal/mining"
+	"pmihp/internal/txdb"
+)
+
+// benchPairCount measures one posting-list intersection — a support count of
+// the pair {0,1} — over a synthetic database where the two items occur at
+// the given densities, with the layout forced by the threshold. Together the
+// three wrappers below cover each hybrid kernel: block×block skip-gallop,
+// bitmap×bitmap word AND, and the mixed bitmap-probe bridge.
+func benchPairCount(b *testing.B, threshold, density0, density1 float64) {
+	db := pairDB(1<<15, density0, density1, 42)
+	m := mining.NewMetrics("bench")
+	p := buildPostings(db, &m, 1, threshold)
+	x := itemset.New(0, 1)
+	want := p.count(x, &m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := p.count(x, &m); got != want {
+			b.Fatalf("count drifted: %d then %d", want, got)
+		}
+	}
+}
+
+func BenchmarkKernelBlockBlock(b *testing.B) {
+	benchPairCount(b, math.Inf(1), 1.0/64, 1.0/64)
+}
+
+func BenchmarkKernelBitmapBitmap(b *testing.B) {
+	benchPairCount(b, mining.DenseThresholdAll, 1.0/8, 1.0/8)
+}
+
+// BenchmarkKernelBitmapBlock: item 0 sits below the default cutoff and item
+// 1 above it, so the default threshold decodes the sparse list once and
+// probes the dense item's bitmap (intersectBits).
+func BenchmarkKernelBitmapBlock(b *testing.B) {
+	benchPairCount(b, mining.DefaultDenseThreshold, 1.0/64, 1.0/4)
+}
+
+// benchDenseMine mines the no-stoplist dense corpus end to end on 8 nodes
+// under a forced posting layout, so the hybrid layout's whole-run win over
+// compressed-only is a number (run both and compare):
+//
+//	go test -run '^$' -bench BenchmarkDenseMine ./internal/core/
+func benchDenseMine(b *testing.B, threshold float64) {
+	db := smallDB(b, corpus.CorpusDense(corpus.Small))
+	opts := mining.Options{MinSupFrac: 0.10, MaxK: 3, DenseThreshold: threshold}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinePMIHP(db, PMIHPConfig{Nodes: 8}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDenseMineHybrid(b *testing.B)     { benchDenseMine(b, 0) }
+func BenchmarkDenseMineCompressed(b *testing.B) { benchDenseMine(b, math.Inf(1)) }
+
+// BenchmarkKernelReference times the uncompressed gallop intersection the
+// equivalence tests compare every kernel against, at the block×block
+// benchmark's density, so kernel overhead versus plain sorted lists is
+// visible in the same run.
+func BenchmarkKernelReference(b *testing.B) {
+	db := pairDB(1<<15, 1.0/64, 1.0/64, 42)
+	m := mining.NewMetrics("bench")
+	p := buildPostings(db, &m, 1, math.Inf(1))
+	l0 := p.decodeAll(0, nil)
+	l1 := p.decodeAll(1, nil)
+	dst := make([]txdb.TID, 0, len(l0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = intersectInto(dst[:0], l0, l1)
+	}
+	_ = dst
+}

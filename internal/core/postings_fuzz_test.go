@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"pmihp/internal/itemset"
@@ -34,16 +35,25 @@ func dbFromBytes(data []byte) *txdb.DB {
 	return txdb.New(txs, numItems)
 }
 
-// FuzzPostingsRoundTrip: for any database shape, the delta-varint block
-// encoding must decode back to exactly the TIDs of the transactions
-// containing each item, and the compressed skip-gallop intersection must
-// agree with the uncompressed reference on every adjacent item pair.
+// fuzzThresholds are the density thresholds the fuzz and equivalence tests
+// sweep: every list compressed, the default hybrid mix, a mid cut that mixes
+// representations aggressively, and every list a bitmap.
+var fuzzThresholds = []float64{math.Inf(1), 0, 0.25, mining.DenseThresholdAll}
+
+// FuzzPostingsRoundTrip: for any database shape and any density threshold,
+// the hybrid encoding (delta-varint blocks below the cutoff, bitmaps at or
+// above it) must decode back to exactly the TIDs of the transactions
+// containing each item; every intersection kernel — block×block
+// (intersectItem), bitmap×block (intersectBits), bitmap×bitmap (via count's
+// all-dense chain) — must agree with the uncompressed reference
+// intersectInto; and count must charge identically under every layout.
 func FuzzPostingsRoundTrip(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3, 0, 2, 3, 4, 0, 1, 4})
 	f.Add([]byte{7, 7, 7, 0, 0, 0, 7})
 	// A long corpus: every transaction shares item 1, so its posting list
-	// spans multiple 128-TID blocks.
+	// spans multiple 128-TID blocks (and turns dense under the default
+	// threshold).
 	long := make([]byte, 0, 4*400)
 	for i := 0; i < 400; i++ {
 		long = append(long, 1, byte(2+i%37), byte(3+i%11), 0)
@@ -62,38 +72,72 @@ func FuzzPostingsRoundTrip(f *testing.F) {
 			}
 		}
 
-		m := mining.NewMetrics("fuzz")
-		p := buildPostings(db, &m, 1)
-		for it := range want {
-			got := p.row(itemset.Item(it))
-			if len(got) != len(want[it]) {
-				t.Fatalf("item %d: %d TIDs decoded, want %d", it, len(got), len(want[it]))
+		for _, threshold := range fuzzThresholds {
+			m := mining.NewMetrics("fuzz")
+			p := buildPostings(db, &m, 1, threshold)
+			for it := range want {
+				got := p.row(itemset.Item(it))
+				if !equalTIDs(got, want[it]) {
+					t.Fatalf("threshold %v item %d: decoded %v, want %v", threshold, it, got, want[it])
+				}
 			}
-			for j := range got {
-				if got[j] != want[it][j] {
-					t.Fatalf("item %d TID %d: %d, want %d", it, j, got[j], want[it][j])
+
+			for it := 0; it+1 < db.NumItems(); it++ {
+				a, b := itemset.Item(it), itemset.Item(it+1)
+				rowA, rowB := p.row(a), p.row(b)
+				if len(rowA) == 0 || len(rowB) == 0 {
+					continue
+				}
+				short, lng := rowA, rowB
+				if len(short) > len(lng) {
+					short, lng = lng, short
+				}
+				wantAB := intersectInto(nil, short, lng)
+
+				// Kernel dispatch mirrors countScratch: a bitmap-backed item
+				// intersects via intersectBits, a block-backed one via
+				// intersectItem. Both orientations must agree with the
+				// reference.
+				for _, o := range [][2]itemset.Item{{a, b}, {b, a}} {
+					acc := p.row(o[0])
+					var got []txdb.TID
+					if s := p.denseSlot(o[1]); s >= 0 {
+						got = p.intersectBits(nil, acc, s)
+					} else {
+						got = p.intersectItem(nil, acc, o[1], &p.scratch.blockBuf)
+					}
+					if !equalTIDs(got, wantAB) {
+						t.Fatalf("threshold %v intersect(%d,%d): %v, want %v", threshold, o[0], o[1], got, wantAB)
+					}
+				}
+
+				// count exercises the all-dense (bitmap×bitmap) chain when
+				// both items are dense; its result must not depend on the
+				// layout.
+				if got := p.count(itemset.Itemset{a, b}, &m); got != len(wantAB) {
+					t.Fatalf("threshold %v count(%d,%d) = %d, want %d", threshold, a, b, got, len(wantAB))
 				}
 			}
 		}
-
-		for it := 0; it+1 < db.NumItems(); it++ {
-			a, b := itemset.Item(it), itemset.Item(it+1)
-			rowA, rowB := p.row(a), p.row(b)
-			if len(rowA) == 0 || len(rowB) == 0 {
-				continue
+		// Charge identity across layouts: every adjacent pair must cost the
+		// same simulated work under every threshold.
+		charges := make([][]int64, len(fuzzThresholds))
+		for ti, threshold := range fuzzThresholds {
+			m := mining.NewMetrics("fuzz")
+			p := buildPostings(db, &m, 1, threshold)
+			for it := 0; it+1 < db.NumItems(); it++ {
+				a, b := itemset.Item(it), itemset.Item(it+1)
+				before := m.Work.Units
+				p.count(itemset.Itemset{a, b}, &m)
+				charges[ti] = append(charges[ti], m.Work.Units-before)
 			}
-			short, lng := rowA, rowB
-			if len(short) > len(lng) {
-				short, lng = lng, short
-			}
-			// The counting path keeps the accumulator on the shorter side,
-			// but the kernel must be correct for either orientation.
-			wantAB := intersectInto(nil, short, lng)
-			if got := p.intersectItem(nil, rowA, b); !equalTIDs(got, wantAB) {
-				t.Fatalf("intersect(%d,%d): %v, want %v", a, b, got, wantAB)
-			}
-			if got := p.intersectItem(nil, rowB, a); !equalTIDs(got, wantAB) {
-				t.Fatalf("intersect(%d,%d) reversed: %v, want %v", b, a, got, wantAB)
+		}
+		for ti := 1; ti < len(charges); ti++ {
+			for i := range charges[0] {
+				if charges[ti][i] != charges[0][i] {
+					t.Fatalf("threshold %v pair %d: charged %d, layout %v charges %d",
+						fuzzThresholds[ti], i, charges[ti][i], fuzzThresholds[0], charges[0][i])
+				}
 			}
 		}
 	})

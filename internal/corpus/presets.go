@@ -104,6 +104,21 @@ func CorpusB(s Scale) Config {
 	return cfg
 }
 
+// CorpusDense models corpus B mined *without* the stop-word pass: HeadCut
+// is zero, so the Zipf head — the function words the Fox stoplist would
+// strip — stays in the documents and the highest-frequency words appear in
+// a large fraction of them. Their posting lists are dense over the TID
+// span, which is the regime the hybrid bitmap/compressed posting layout is
+// built for; the bench harness mines it as E9Dense to keep the bitmap
+// kernels' wall-clock win visible (and regressing) per revision.
+func CorpusDense(s Scale) Config {
+	cfg := CorpusB(s)
+	cfg.Name = "wsj-8day-nostop(D)"
+	cfg.HeadCut = 0
+	cfg.Seed = 19911002
+	return cfg
+}
+
 // CorpusC models the paper's 8-week WSJ sample (Jan 2 – Feb 22, 1991: 6,170
 // documents, 64,191 unique words, ~40 publication days). Used for the large
 // low-support run reported in §3's closing experiment.

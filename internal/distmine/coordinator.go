@@ -427,6 +427,7 @@ func (s *session) runAttempt() (*Result, []int, error) {
 			PartitionSize:   int32(s.p.PartitionSize),
 			MaxK:            int32(s.p.MaxK),
 			Workers:         int32(s.p.Workers),
+			DenseThreshold:  s.p.DenseThreshold,
 			HeartbeatMillis: int32(cfg.HeartbeatInterval / time.Millisecond),
 			PeerAddrs:       peerAddrs,
 			DB:              s.partBytes[i],

@@ -33,6 +33,13 @@ type DaemonOptions struct {
 	// sink of pmihp-node). Sessions share the recorder; span events carry
 	// the daemon's listen address.
 	Obs *obs.Recorder
+	// DenseThresholdOverride, when positive, replaces the session Init's
+	// posting-density threshold on this daemon — a node-local layout
+	// choice for heterogeneous hardware (mining.DenseThresholdAll forces
+	// bitmaps, math.Inf(1) forces compressed blocks). Zero or negative
+	// (the default) inherits the coordinator's value. Either way the
+	// layout never changes counts or simulated charges.
+	DenseThresholdOverride float64
 }
 
 // sessionKey identifies one logical node of one mining session. After a
@@ -291,14 +298,19 @@ func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
 		from = "resume from " + transport.StageName(resume.Stage)
 	}
 	d.opt.Logf("pmihp-node: session %x: node %d/%d, %d docs (%s)", init.ClusterID, init.NodeID, init.Nodes, db.Len(), from)
+	denseThreshold := init.DenseThreshold
+	if d.opt.DenseThresholdOverride > 0 {
+		denseThreshold = d.opt.DenseThresholdOverride
+	}
 	outcome, err := runNode(x, db, NodeParams{
-		TotalDocs:     int(init.TotalDocs),
-		NumItems:      int(init.NumItems),
-		GlobalMin:     int(init.GlobalMin),
-		THTEntries:    int(init.THTEntries),
-		PartitionSize: int(init.PartitionSize),
-		MaxK:          int(init.MaxK),
-		Workers:       int(init.Workers),
+		TotalDocs:      int(init.TotalDocs),
+		NumItems:       int(init.NumItems),
+		GlobalMin:      int(init.GlobalMin),
+		THTEntries:     int(init.THTEntries),
+		PartitionSize:  int(init.PartitionSize),
+		MaxK:           int(init.MaxK),
+		Workers:        int(init.Workers),
+		DenseThreshold: denseThreshold,
 	}, hooks)
 	if err != nil {
 		fail(fmt.Errorf("node %d: %w", init.NodeID, err))

@@ -39,13 +39,14 @@ type Result struct {
 func params(db *txdb.DB, opts mining.Options) (NodeParams, mining.Options) {
 	opts = opts.WithDefaults()
 	return NodeParams{
-		TotalDocs:     db.Len(),
-		NumItems:      db.NumItems(),
-		GlobalMin:     opts.MinCount(db.Len()),
-		THTEntries:    opts.THTEntries,
-		PartitionSize: opts.PartitionSize,
-		MaxK:          opts.MaxK,
-		Workers:       opts.IntraNodeWorkers,
+		TotalDocs:      db.Len(),
+		NumItems:       db.NumItems(),
+		GlobalMin:      opts.MinCount(db.Len()),
+		THTEntries:     opts.THTEntries,
+		PartitionSize:  opts.PartitionSize,
+		MaxK:           opts.MaxK,
+		Workers:        opts.IntraNodeWorkers,
+		DenseThreshold: opts.DenseThreshold,
 	}, opts
 }
 

@@ -39,6 +39,12 @@ type NodeParams struct {
 	PartitionSize int
 	MaxK          int
 	Workers       int // intra-node workers (0 = GOMAXPROCS)
+	// DenseThreshold selects the poll counter's hybrid posting layout
+	// (see mining.Options.DenseThreshold). Resolved at the coordinator so
+	// every node prices its inverted file by the same density rule; a
+	// node-local flag may still override it for heterogeneous hardware
+	// (the layout never changes results or simulated charges).
+	DenseThreshold float64
 }
 
 // nodeHooks wires a node run into the fault-tolerance machinery.
@@ -99,6 +105,7 @@ func runNode(x transport.Exchange, db *txdb.DB, p NodeParams, h nodeHooks) (*nod
 		PartitionSize:    p.PartitionSize,
 		THTEntries:       p.THTEntries,
 		IntraNodeWorkers: p.Workers,
+		DenseThreshold:   p.DenseThreshold,
 		Obs:              h.obs,
 	}.WithDefaults()
 	workers := opts.Workers()
@@ -193,16 +200,17 @@ func runNode(x transport.Exchange, db *txdb.DB, p NodeParams, h nodeHooks) (*nod
 	// only poll after completing that collective, which transitively
 	// guarantees this handler exists before the first request arrives.
 	// The exchange serializes handler calls. ----
-	pc := core.NewPollCounter(db, workers)
+	pc := core.NewPollCounter(db, workers, opts.DenseThreshold)
 	server := &out.Server
 	x.SetPollHandler(func(k int, sets []itemset.Itemset) []int32 {
 		server.AddCandidates(k, len(sets))
 		if rec.Enabled() {
 			rec.Poll(obs.PollEvent{Node: self, K: k, Sets: len(sets)})
 		}
+		counts := pc.CountBatch(sets, server)
 		replies := make([]int32, len(sets))
-		for i, s := range sets {
-			replies[i] = int32(pc.Count(s, server))
+		for i, c := range counts {
+			replies[i] = int32(c)
 		}
 		return replies
 	})

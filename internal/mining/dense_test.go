@@ -1,0 +1,88 @@
+package mining
+
+import (
+	"math"
+	"testing"
+
+	"pmihp/internal/itemset"
+	"pmihp/internal/txdb"
+)
+
+// TestDenseCutoffSemantics pins the threshold resolution rules: the zero
+// value selects the default, anything above 1 (and +Inf) disables bitmaps
+// (cutoff beyond every possible df), DenseThresholdAll forces them (cutoff
+// 1), and the cutoff never drops below one occurrence.
+func TestDenseCutoffSemantics(t *testing.T) {
+	const span = 1000
+	if got, want := DenseCutoff(0, span), DenseCutoff(DefaultDenseThreshold, span); got != want {
+		t.Fatalf("zero threshold resolved to cutoff %d, default gives %d", got, want)
+	}
+	if got := DenseCutoff(DefaultDenseThreshold, span); got != 63 { // ceil(1000/16)
+		t.Fatalf("default cutoff over span %d = %d, want 63", span, got)
+	}
+	for _, th := range []float64{1.5, 2, math.Inf(1)} {
+		if got := DenseCutoff(th, span); got != span+1 {
+			t.Fatalf("threshold %v: cutoff %d, want %d (no list qualifies)", th, got, span+1)
+		}
+	}
+	if got := DenseCutoff(DenseThresholdAll, span); got != 1 {
+		t.Fatalf("DenseThresholdAll: cutoff %d, want 1 (every list qualifies)", got)
+	}
+	if got := DenseCutoff(0.5, 1); got != 1 {
+		t.Fatalf("tiny span: cutoff %d, want clamp to 1", got)
+	}
+	if got := DenseCutoff(1, span); got != span {
+		t.Fatalf("threshold 1: cutoff %d, want %d", got, span)
+	}
+}
+
+// TestDenseCutoffMirrorsTxdbStats pins txdb's restated default threshold
+// (txdb sits below mining in the dependency order, so the constant cannot
+// be imported) to mining.DenseCutoff behaviorally: Stats.DenseItems must
+// equal the number of items a default-configured hybrid posting build
+// would store as bitmaps, including at the rounding boundary.
+func TestDenseCutoffMirrorsTxdbStats(t *testing.T) {
+	// 33 transactions: item 0 everywhere (density 1), item 1 in exactly
+	// ceil(33/16) = 3 (right on the default cutoff), item 2 in 2 (just
+	// below), item 3 once.
+	var txs []txdb.Transaction
+	for i := 0; i < 33; i++ {
+		raw := []uint32{0}
+		if i < 3 {
+			raw = append(raw, 1)
+		}
+		if i < 2 {
+			raw = append(raw, 2)
+		}
+		if i == 0 {
+			raw = append(raw, 3)
+		}
+		txs = append(txs, txdb.Transaction{TID: txdb.TID(i), Items: itemset.New(raw...)})
+	}
+	db := txdb.New(txs, 4)
+	stats := db.ComputeStats()
+
+	cut := DenseCutoff(0, db.TIDSpan())
+	dfs := make([]int, db.NumItems())
+	for i := 0; i < db.Len(); i++ {
+		for _, it := range db.ItemsOf(i) {
+			dfs[it]++
+		}
+	}
+	dense := 0
+	for _, df := range dfs {
+		if df >= cut {
+			dense++
+		}
+	}
+	if dense != 2 { // items 0 and 1
+		t.Fatalf("expected items 0 and 1 dense at cutoff %d, counted %d", cut, dense)
+	}
+	if stats.DenseItems != dense {
+		t.Fatalf("txdb Stats.DenseItems = %d, mining.DenseCutoff counts %d — the mirrored default thresholds diverged", stats.DenseItems, dense)
+	}
+	if stats.MaxDF != 33 || stats.TIDSpan != 33 || stats.MaxDensity != 1 {
+		t.Fatalf("density profile: MaxDF=%d TIDSpan=%d MaxDensity=%g, want 33/33/1",
+			stats.MaxDF, stats.TIDSpan, stats.MaxDensity)
+	}
+}

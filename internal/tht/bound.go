@@ -100,23 +100,34 @@ func (l *Local) boundUpTo(x itemset.Itemset, stop int) (sum, cost int) {
 
 // intersection ANDs the occupancy masks of the itemset's members into buf.
 // ok is false when an item has no mask (no row) or the intersection is
-// provably empty part-way through.
+// provably empty part-way through. A saturated member (every slot occupied
+// — a stopword-grade item) is the identity of the AND chain: the
+// accumulator only ever holds in-range slot bits, so the member's mask
+// memory is never read. The word charge is the same either way.
 func (l *Local) intersection(x itemset.Itemset, buf []uint64) (inter []uint64, words int, ok bool) {
+	w := l.maskWords()
+	sat := int32(l.entries)
 	for i, it := range x {
-		m := l.mask(it)
-		if m == nil {
+		r := l.rowIndex(it)
+		if r < 0 {
 			return nil, words, false
 		}
 		if i == 0 {
-			buf = append(buf, m...)
+			buf = append(buf, l.maskData[int(r)*w:(int(r)+1)*w]...)
 			continue
 		}
+		words += len(buf)
+		if l.occ[r] == sat {
+			// buf stays non-empty: it held at least one bit after the last
+			// checked AND (and every live row's own mask is non-empty).
+			continue
+		}
+		m := l.maskData[int(r)*w : (int(r)+1)*w]
 		any := uint64(0)
 		for j := range buf {
 			buf[j] &= m[j]
 			any |= buf[j]
 		}
-		words += len(buf)
 		if any == 0 {
 			return nil, words, false
 		}
@@ -243,19 +254,32 @@ func (l *Local) pairBoundIdx(ra, rb int32, stop int) (sum, cost int) {
 	h := l.entries
 	if l.masksBuilt {
 		w := l.mw
-		ma := l.maskData[int(ra)*w : (int(ra)+1)*w]
-		mb := l.maskData[int(rb)*w : (int(rb)+1)*w]
-		pc := 0
-		for j := range ma {
-			pc += bits.OnesCount64(ma[j] & mb[j])
-		}
 		cost += w
+		// A saturated row's mask is the AND identity, so the pair's
+		// co-occupancy popcount is just the other row's occupancy counter —
+		// no mask memory is read. The charge stays w words, exactly what
+		// the scan below would have cost.
+		pc := 0
+		switch sat := int32(h); {
+		case l.occ[ra] == sat:
+			pc = int(l.occ[rb])
+		case l.occ[rb] == sat:
+			pc = int(l.occ[ra])
+		default:
+			ma := l.maskData[int(ra)*w : (int(ra)+1)*w]
+			mb := l.maskData[int(rb)*w : (int(rb)+1)*w]
+			for j := range ma {
+				pc += bits.OnesCount64(ma[j] & mb[j])
+			}
+		}
 		if pc == 0 {
 			return 0, cost
 		}
 		if pc >= stop {
 			return stop, cost
 		}
+		ma := l.maskData[int(ra)*w : (int(ra)+1)*w]
+		mb := l.maskData[int(rb)*w : (int(rb)+1)*w]
 		rowA := l.data[int(ra)*h : (int(ra)+1)*h]
 		rowB := l.data[int(rb)*h : (int(rb)+1)*h]
 		for wi := range ma {
@@ -338,6 +362,14 @@ func (g *Global) NewPairScan(universe []itemset.Item) *PairScan {
 		ps.rows[p] = rows
 	}
 	return ps
+}
+
+// Fork returns a scan sharing this scan's resolved row tables but with a
+// private hoist register, so concurrent workers can Hoist different outer
+// items over the same universe. Forks stay valid exactly as long as the
+// parent (until the next Retain).
+func (ps *PairScan) Fork() *PairScan {
+	return &PairScan{g: ps.g, rows: ps.rows, ra: make([]int32, len(ps.ra))}
 }
 
 // Present reports whether the item at universe position pos has a row in

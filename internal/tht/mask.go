@@ -21,16 +21,20 @@ func (l *Local) BuildMasks() {
 	// One flat mask matrix, row-aligned with the counter matrix: built once
 	// per run, right after Retain, when the live row count is known.
 	l.maskData = make([]uint64, len(l.rowItem)*w)
+	l.occ = make([]int32, len(l.rowItem))
 	l.masksBuilt = true
 	l.fast1 = w == 1
 	for r := range l.rowItem {
 		row := l.data[r*h : (r+1)*h]
 		mask := l.maskData[r*w : (r+1)*w]
+		n := int32(0)
 		for j, c := range row {
 			if c > 0 {
 				mask[j/64] |= 1 << (j % 64)
+				n++
 			}
 		}
+		l.occ[r] = n
 	}
 }
 

@@ -49,6 +49,13 @@ type Local struct {
 	// with data; only meaningful after BuildMasks (masksBuilt).
 	maskData   []uint64
 	masksBuilt bool
+	// occ[r] is the number of occupied slots of row r (the popcount of its
+	// mask), maintained alongside maskData. A saturated row — every slot
+	// occupied, the THT signature of a stopword-grade item — lets pair
+	// bounds and mask intersections answer popcount queries from this
+	// counter without reading the row's mask memory (bound.go); charges
+	// are unaffected.
+	occ []int32
 	// fast1 marks the single-mask-word geometry (entries <= 64, the
 	// per-node table of a wide cluster), where pair bounds open-code the
 	// one-word mask test.
@@ -140,6 +147,7 @@ func (l *Local) addRow(it itemset.Item) int32 {
 			copy(nm, l.maskData)
 			l.maskData = nm
 		}
+		l.occ = append(l.occ, 0)
 	}
 	return r
 }
@@ -155,7 +163,12 @@ func (l *Local) AddOccurrence(it itemset.Item, tid txdb.TID) {
 	j := l.hash(tid)
 	l.data[int(r)*l.entries+j]++
 	if l.masksBuilt {
-		l.maskData[int(r)*l.maskWords()+j/64] |= 1 << (j % 64)
+		p := &l.maskData[int(r)*l.maskWords()+j/64]
+		bit := uint64(1) << (j % 64)
+		if *p&bit == 0 {
+			*p |= bit
+			l.occ[r]++
+		}
 	}
 }
 
@@ -307,6 +320,7 @@ func (l *Local) Retain(keep func(itemset.Item) bool) {
 			copy(l.data[next*h:(next+1)*h], l.data[r*h:(r+1)*h])
 			if l.masksBuilt {
 				copy(l.maskData[next*w:(next+1)*w], l.maskData[r*w:(r+1)*w])
+				l.occ[next] = l.occ[r]
 			}
 			l.rowIdx[it] = int32(next)
 			l.rowItem[next] = it
@@ -317,6 +331,7 @@ func (l *Local) Retain(keep func(itemset.Item) bool) {
 	l.data = l.data[:next*h]
 	if l.masksBuilt {
 		l.maskData = l.maskData[:next*w]
+		l.occ = l.occ[:next]
 	}
 }
 
@@ -374,7 +389,7 @@ func (l *Local) Bytes() int { return len(l.rowItem) * (4 + 4*l.entries) }
 // MemBytes returns the resident size of the matrix and its indexes.
 func (l *Local) MemBytes() int64 {
 	return int64(4*len(l.rowIdx)) + int64(4*len(l.rowItem)) +
-		int64(4*len(l.data)) + int64(8*len(l.maskData))
+		int64(4*len(l.data)) + int64(8*len(l.maskData)) + int64(4*len(l.occ))
 }
 
 // Clone returns a deep copy (exchanged tables must not alias the sender's).

@@ -24,8 +24,9 @@ import (
 // WireVersion is the protocol version carried in every frame header.
 // Decoders reject frames from other versions. Version 2 added the
 // Hello routing target (To), session heartbeats/progress reports, and
-// the resumable-session fields of Init.
-const WireVersion = 2
+// the resumable-session fields of Init. Version 3 added the Init
+// posting-density threshold.
+const WireVersion = 3
 
 // MaxFrame bounds a frame payload; oversized length prefixes are
 // rejected before any allocation (a corrupt or hostile peer cannot make

@@ -15,6 +15,7 @@ package txdb
 
 import (
 	"fmt"
+	"math"
 
 	"pmihp/internal/itemset"
 )
@@ -110,6 +111,18 @@ func (d *DB) TIDOf(i int) TID { return d.tids[i] }
 
 // DayOf returns the day of the i-th transaction.
 func (d *DB) DayOf(i int) int { return int(d.days[i]) }
+
+// TIDSpan returns the size of the database's TID range, maxTID-minTID+1 —
+// the bit width a flat posting bitmap over this database needs. TIDs ascend
+// in database order (assigned sequentially at corpus build, preserved by
+// every split view), so the span is one subtraction; an empty database spans
+// zero.
+func (d *DB) TIDSpan() int {
+	if len(d.tids) == 0 {
+		return 0
+	}
+	return int(d.tids[len(d.tids)-1]-d.tids[0]) + 1
+}
 
 // CSR exposes the raw CSR arrays: transaction i has TID tids[i] and items
 // items[offsets[i]:offsets[i+1]]. The arrays are owned by the database and
@@ -271,26 +284,57 @@ type Stats struct {
 	TotalItems    int     // sum of transaction lengths
 	MeanLen       float64 // mean transaction length
 	MedianDocsDay float64 // median documents per day
+
+	// Density profile of the item-frequency distribution, relative to the
+	// database's TID span — the quantities the hybrid posting layout keys on.
+	TIDSpan    int     // maxTID-minTID+1
+	MaxDF      int     // largest document frequency of any item
+	MaxDensity float64 // MaxDF / TIDSpan
+	// DenseItems counts items whose document frequency reaches the default
+	// density threshold (mining.DefaultDenseThreshold of the span) — the
+	// lists a default-configured poll counter stores as bitmaps.
+	DenseItems int
 }
+
+// defaultDenseThreshold mirrors mining.DefaultDenseThreshold (txdb sits
+// below mining in the dependency order, so the constant is restated here;
+// a test in internal/mining pins the two together).
+const defaultDenseThreshold = 1.0 / 16
 
 // ComputeStats scans the database once and returns its summary.
 func (d *DB) ComputeStats() Stats {
 	var s Stats
 	s.Docs = d.Len()
-	seen := make([]bool, d.numItems)
+	dfs := make([]int, d.numItems)
 	perDay := make(map[int]int)
 	for i := 0; i < d.Len(); i++ {
 		items := d.ItemsOf(i)
 		s.TotalItems += len(items)
 		perDay[int(d.days[i])]++
 		for _, it := range items {
-			seen[it] = true
+			dfs[it]++
 		}
 	}
-	for _, b := range seen {
-		if b {
+	s.TIDSpan = d.TIDSpan()
+	// The same rounding as mining.DenseCutoff, so DenseItems is exactly the
+	// list count a default-configured poll counter encodes as bitmaps.
+	cut := int(math.Ceil(defaultDenseThreshold * float64(s.TIDSpan)))
+	if cut < 1 {
+		cut = 1
+	}
+	for _, df := range dfs {
+		if df > 0 {
 			s.UniqueItems++
 		}
+		if df > s.MaxDF {
+			s.MaxDF = df
+		}
+		if df >= cut {
+			s.DenseItems++
+		}
+	}
+	if s.TIDSpan > 0 {
+		s.MaxDensity = float64(s.MaxDF) / float64(s.TIDSpan)
 	}
 	s.Days = len(perDay)
 	if s.Docs > 0 {
