@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		corpusID = flag.String("corpus", "b", "corpus preset: a, b, c, or dense (ignored when -docs > 0)")
+		corpusID = flag.String("corpus", "b", "corpus preset: a, b, c, dense, or skewed (ignored when -docs > 0)")
 		scale    = flag.String("scale", "small", "corpus scale: small, harness, paper")
 		dump     = flag.Bool("dump", false, "write documents to stdout (tid day word word ...)")
 		out      = flag.String("out", "", "write documents to a file in the line format (day word word ...)")
@@ -57,6 +57,8 @@ func main() {
 			cfg = corpus.CorpusC(sc)
 		case "d", "dense":
 			cfg = corpus.CorpusDense(sc)
+		case "s", "skewed":
+			cfg = corpus.CorpusSkewed(sc)
 		default:
 			fail(fmt.Errorf("unknown corpus %q", *corpusID))
 		}

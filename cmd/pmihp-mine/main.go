@@ -62,31 +62,59 @@ func resolveDenseThreshold(v float64) float64 {
 	}
 }
 
+// printSchedule reports how a simulated parallel run's work landed on
+// its nodes: total time, per-node busy/idle split, and the pass
+// imbalance ratio (max busy x nodes / total busy, 1.0 when perfectly
+// balanced) — the same figure the /metrics endpoint exports as
+// pmihp_pass_imbalance_ratio.
+func printSchedule(out io.Writer, nodes int, pr *core.ParallelResult) {
+	fmt.Fprintf(out, "simulated total time on %d nodes: %.1fs\n", nodes, pr.TotalSeconds)
+	var maxBusy, sumBusy float64
+	for _, n := range pr.Nodes {
+		busy := n.Metrics.Work.Seconds()
+		if maxBusy < busy {
+			maxBusy = busy
+		}
+		sumBusy += busy
+		idle := pr.TotalSeconds - busy
+		if idle < 0 {
+			idle = 0
+		}
+		fmt.Fprintf(out, "  node %2d: %d docs, busy %7.2fs, idle %7.2fs\n", n.Node, n.Docs, busy, idle)
+	}
+	if sumBusy > 0 {
+		fmt.Fprintf(out, "pass imbalance ratio: %.3f (1.0 = perfectly balanced)\n",
+			maxBusy*float64(len(pr.Nodes))/sumBusy)
+	}
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pmihp-mine", flag.ContinueOnError)
 	var (
-		algo        = fs.String("algo", "pmihp", "apriori | dhp | fpgrowth | mihp | ihp | cd | dd | pmihp")
-		corpusID    = fs.String("corpus", "b", "corpus preset: a, b, c, or dense")
-		scale       = fs.String("scale", "small", "corpus scale: small, harness, paper")
-		inFile      = fs.String("in", "", "mine a line-format documents file instead of a preset")
-		trecFile    = fs.String("trec", "", "mine a TREC-markup file instead of a preset")
-		minsup      = fs.Float64("minsup", 0.02, "minimum support fraction")
-		minsupCount = fs.Int("minsup-count", 0, "absolute minimum support count (overrides -minsup)")
-		maxK        = fs.Int("maxk", 0, "largest itemset size to mine (0 = unbounded)")
-		denseTh     = fs.Float64("dense-threshold", -1, "posting density cutoff: words in at least this fraction of the TID span get bitmap posting lists (0 = all bitmaps, >1 or inf = all compressed, -1 = library default 1/16); layout only — never changes results or simulated time")
-		nodes       = fs.Int("nodes", 4, "simulated nodes for cd/dd/pmihp")
-		cluster     = fs.String("cluster", "", "comma-separated pmihp-node addresses: mine on a real multi-process cluster")
-		spawn       = fs.Int("spawn", 0, "spawn N local pmihp-node worker processes and mine on them")
-		nodeBin     = fs.String("node-bin", "pmihp-node", "pmihp-node binary for -spawn")
-		heartbeat   = fs.Duration("heartbeat", 0, "cluster heartbeat interval (0 = 500ms); timeout is 6x the interval")
-		failPolicy  = fs.String("failure-policy", "abort", "on worker death: abort | reassign")
-		ckptDir     = fs.String("checkpoint-dir", "", "persist per-pass session checkpoints into this directory")
-		top         = fs.Int("top", 15, "frequent itemsets to print")
-		nRules      = fs.Int("rules", 10, "association rules to print (0 to skip)")
-		minConf     = fs.Float64("minconf", 0.75, "minimum rule confidence")
-		metricsAddr = fs.String("metrics-addr", "", "serve live metrics on this address (/metrics, /snapshot, /debug/pprof)")
-		traceJSON   = fs.String("trace-json", "", "write per-pass/span/poll events as JSON lines to this file")
-		linger      = fs.Duration("metrics-linger", 0, "keep the -metrics-addr endpoint up this long after mining finishes")
+		algo         = fs.String("algo", "pmihp", "apriori | dhp | fpgrowth | mihp | ihp | cd | dd | pmihp")
+		corpusID     = fs.String("corpus", "b", "corpus preset: a, b, c, dense, or skewed")
+		scale        = fs.String("scale", "small", "corpus scale: small, harness, paper")
+		inFile       = fs.String("in", "", "mine a line-format documents file instead of a preset")
+		trecFile     = fs.String("trec", "", "mine a TREC-markup file instead of a preset")
+		minsup       = fs.Float64("minsup", 0.02, "minimum support fraction")
+		minsupCount  = fs.Int("minsup-count", 0, "absolute minimum support count (overrides -minsup)")
+		maxK         = fs.Int("maxk", 0, "largest itemset size to mine (0 = unbounded)")
+		denseTh      = fs.Float64("dense-threshold", -1, "posting density cutoff: words in at least this fraction of the TID span get bitmap posting lists (0 = all bitmaps, >1 or inf = all compressed, -1 = library default 1/16); layout only — never changes results or simulated time")
+		partitioner  = fs.String("partitioner", "count", "database-to-node split: count (equal document counts, the paper's) | work (equal estimated counting work); placement only — never changes the frequent itemsets")
+		stragglerLag = fs.Int("straggler-lag", 0, "cluster runs: re-host a live node's partitions to peers when its pass progress lags the fleet by this many passes (0 = disabled)")
+		nodes        = fs.Int("nodes", 4, "simulated nodes for cd/dd/pmihp")
+		cluster      = fs.String("cluster", "", "comma-separated pmihp-node addresses: mine on a real multi-process cluster")
+		spawn        = fs.Int("spawn", 0, "spawn N local pmihp-node worker processes and mine on them")
+		nodeBin      = fs.String("node-bin", "pmihp-node", "pmihp-node binary for -spawn")
+		heartbeat    = fs.Duration("heartbeat", 0, "cluster heartbeat interval (0 = 500ms); timeout is 6x the interval")
+		failPolicy   = fs.String("failure-policy", "abort", "on worker death: abort | reassign")
+		ckptDir      = fs.String("checkpoint-dir", "", "persist per-pass session checkpoints into this directory")
+		top          = fs.Int("top", 15, "frequent itemsets to print")
+		nRules       = fs.Int("rules", 10, "association rules to print (0 to skip)")
+		minConf      = fs.Float64("minconf", 0.75, "minimum rule confidence")
+		metricsAddr  = fs.String("metrics-addr", "", "serve live metrics on this address (/metrics, /snapshot, /debug/pprof)")
+		traceJSON    = fs.String("trace-json", "", "write per-pass/span/poll events as JSON lines to this file")
+		linger       = fs.Duration("metrics-linger", 0, "keep the -metrics-addr endpoint up this long after mining finishes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,8 +155,10 @@ func run(args []string, out io.Writer) error {
 			cfg = corpus.CorpusC(sc)
 		case "d", "dense":
 			cfg = corpus.CorpusDense(sc)
+		case "s", "skewed":
+			cfg = corpus.CorpusSkewed(sc)
 		default:
-			return fmt.Errorf("unknown corpus %q (want a, b, c, or dense)", *corpusID)
+			return fmt.Errorf("unknown corpus %q (want a, b, c, dense, or skewed)", *corpusID)
 		}
 		docs, err = corpus.Generate(cfg)
 		if err != nil {
@@ -145,8 +175,12 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "corpus %s: %d docs, %d unique words, mean %.0f words/doc\n",
 		label, st.Docs, st.UniqueItems, st.MeanLen)
 
+	part, err := mining.ParsePartitioner(*partitioner)
+	if err != nil {
+		return err
+	}
 	opts := mining.Options{MinSupFrac: *minsup, MinSupCount: *minsupCount, MaxK: *maxK,
-		DenseThreshold: resolveDenseThreshold(*denseTh)}
+		DenseThreshold: resolveDenseThreshold(*denseTh), Partitioner: part}
 
 	// Observability is opt-in and out-of-band: the recorder taps pass,
 	// span, and poll events without influencing the mining itself.
@@ -181,7 +215,6 @@ func run(args []string, out io.Writer) error {
 	opts.Obs = rec
 
 	var result *mining.Result
-	var err error
 	switch {
 	case *cluster != "" || *spawn > 0:
 		policy, perr := distmine.ParseFailurePolicy(*failPolicy)
@@ -189,11 +222,12 @@ func run(args []string, out io.Writer) error {
 			return perr
 		}
 		cfg := distmine.ClusterConfig{
-			FailurePolicy:     policy,
-			HeartbeatInterval: *heartbeat,
-			CheckpointDir:     *ckptDir,
-			Logf:              log.New(os.Stderr, "", 0).Printf,
-			Obs:               rec,
+			FailurePolicy:      policy,
+			HeartbeatInterval:  *heartbeat,
+			CheckpointDir:      *ckptDir,
+			StragglerLagPasses: *stragglerLag,
+			Logf:               log.New(os.Stderr, "", 0).Printf,
+			Obs:                rec,
 		}
 		addrs := strings.Split(*cluster, ",")
 		if *spawn > 0 {
@@ -233,21 +267,21 @@ func run(args []string, out io.Writer) error {
 			pr, err = countdist.Mine(db, countdist.Config{Nodes: *nodes}, opts)
 			if pr != nil {
 				result = pr.Result
-				fmt.Fprintf(out, "simulated total time on %d nodes: %.1fs\n", *nodes, pr.TotalSeconds)
+				printSchedule(out, *nodes, pr)
 			}
 		case "dd":
 			var pr *core.ParallelResult
 			pr, err = datadist.Mine(db, datadist.Config{Nodes: *nodes}, opts)
 			if pr != nil {
 				result = pr.Result
-				fmt.Fprintf(out, "simulated total time on %d nodes: %.1fs\n", *nodes, pr.TotalSeconds)
+				printSchedule(out, *nodes, pr)
 			}
 		case "pmihp":
 			var pr *core.ParallelResult
 			pr, err = core.MinePMIHP(db, core.PMIHPConfig{Nodes: *nodes}, opts)
 			if pr != nil {
 				result = pr.Result
-				fmt.Fprintf(out, "simulated total time on %d nodes: %.1fs\n", *nodes, pr.TotalSeconds)
+				printSchedule(out, *nodes, pr)
 			}
 		default:
 			return fmt.Errorf("unknown algorithm %q", *algo)

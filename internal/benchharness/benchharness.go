@@ -77,6 +77,7 @@ type corpora struct {
 	A, B, C *txdb.DB
 	PaperB  *txdb.DB
 	Dense   *txdb.DB
+	Skewed  *txdb.DB
 }
 
 // workload is one benchmark entry: run executes a single mining run and
@@ -95,6 +96,7 @@ const (
 	useC
 	usePaperB
 	useDense
+	useSkewed
 )
 
 // workloads mirrors bench_test.go's per-figure benchmarks, at the given
@@ -112,6 +114,12 @@ func workloads() []workload {
 	// candidates to exactly those dense posting lists, which is the
 	// workload the bitmap kernels exist for.
 	optsDense := mining.Options{MinSupFrac: 0.10, MaxK: 3}
+	// The skew pair mines the day-skewed corpus twice — once under each
+	// partitioner — at the Fig-6 support, so the report shows the static
+	// equal-count cost next to the work-balanced cost on the same data.
+	// The frequent itemsets are identical; only the simulated seconds move.
+	optsSkewStatic := mining.Options{MinSupCount: 2, MaxK: 3, Partitioner: mining.PartitionByCount}
+	optsSkewWork := mining.Options{MinSupCount: 2, MaxK: 3, Partitioner: mining.PartitionByWork}
 	pick := func(dbs *corpora, which int) *txdb.DB {
 		switch which {
 		case useB:
@@ -122,6 +130,8 @@ func workloads() []workload {
 			return dbs.PaperB
 		case useDense:
 			return dbs.Dense
+		case useSkewed:
+			return dbs.Skewed
 		}
 		return dbs.A
 	}
@@ -166,6 +176,8 @@ func workloads() []workload {
 		{"E9EightWeek_PMIHP1", "sec3", pmihp(1, core.Interleaved, optsC, useC)},
 		{"E9EightWeek_PMIHP8", "sec3", pmihp(8, core.Interleaved, optsC, useC)},
 		{"E9Dense_PMIHP8", "sec3", pmihp(8, core.Interleaved, optsDense, useDense)},
+		{"E10SkewStatic_PMIHP8", "skew", pmihp(8, core.Interleaved, optsSkewStatic, useSkewed)},
+		{"E10Skew_PMIHP8", "skew", pmihp(8, core.Interleaved, optsSkewWork, useSkewed)},
 	}
 }
 
@@ -200,7 +212,12 @@ func Run(rev string, scale corpus.Scale, log io.Writer) (*Report, error) {
 		return nil, err
 	}
 	dbD, _ := text.ToDB(docsD, nil)
-	dbs := &corpora{A: dbA, B: dbB, C: dbC, PaperB: dbPaperB, Dense: dbD}
+	docsS, err := corpus.Generate(corpus.CorpusSkewed(scale))
+	if err != nil {
+		return nil, err
+	}
+	dbS, _ := text.ToDB(docsS, nil)
+	dbs := &corpora{A: dbA, B: dbB, C: dbC, PaperB: dbPaperB, Dense: dbD, Skewed: dbS}
 
 	rep := &Report{
 		SchemaVersion: SchemaVersion,

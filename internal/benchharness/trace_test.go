@@ -42,6 +42,9 @@ func TestVerifyTrace(t *testing.T) {
 		if bad := VerifyTrace(rec.Events(), &r.Result.Metrics); len(bad) != 0 {
 			t.Fatalf("trace does not replay to the run's metrics:\n%v", bad)
 		}
+		if bad := VerifyScheduleGauges(rec.Snap(), r); len(bad) != 0 {
+			t.Fatalf("load gauges do not reconcile with the run's report:\n%v", bad)
+		}
 	})
 
 	t.Run("countdist", func(t *testing.T) {
@@ -87,6 +90,13 @@ func TestVerifyTrace(t *testing.T) {
 		bad := VerifyTrace(rec.Events(), &m)
 		if len(bad) != 2 {
 			t.Fatalf("tampered metrics produced %d discrepancies, want 2: %v", len(bad), bad)
+		}
+
+		// Shifting one node's charged work must break the busy/idle gauges
+		// (and usually the imbalance ratio) the run published.
+		r.Nodes[0].Metrics.Work.Charge(1, mining.UnitsPerSecond)
+		if bad := VerifyScheduleGauges(rec.Snap(), r); len(bad) == 0 {
+			t.Fatal("tampered node work reconciled cleanly against the load gauges")
 		}
 	})
 }

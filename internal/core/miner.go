@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 	"time"
 
 	"pmihp/internal/hashtree"
@@ -83,6 +84,7 @@ type localMiner struct {
 	workers   int
 	shards    []*minerShard
 	genShards []*genShard
+	genSegs   []genSeg
 
 	// Reusable pass-2 state: the candidate pair table, its key list and
 	// count array, and the partition-membership array.
@@ -120,16 +122,34 @@ type minerShard struct {
 
 // genShard is the per-worker scratch of the sharded pass-2 candidate
 // generation: a fork of the run's PairScan (shared row tables, private
-// hoist register), the shard's candidate keys in partition order, and its
-// work tallies. Shards cover contiguous partition-item ranges and merge in
-// shard order, so the merged key sequence — and with it every downstream
-// count, charge, and emitted set — is identical to the serial generation.
+// hoist register), the candidate keys of every chunk this worker claimed,
+// and its work tallies. Key order within one worker follows claim order,
+// which is racy — so each chunk's keys are recorded as a segment tagged
+// with the chunk's partition-range start, and the merge re-orders segments
+// by range start. Chunks tile the partition range, so the ordered
+// concatenation — and with it every downstream count, charge, and emitted
+// set — is identical to the serial generation.
 type genShard struct {
 	scan            *tht.PairScan
 	keys            []uint64
+	segs            []keySeg
 	pairsConsidered int64
 	slotsTotal      int64
 	prunedTHT       int64
+}
+
+// keySeg is one chunk's slice of a genShard's key list: keys[start:end]
+// were generated for the partition-item range starting at lo.
+type keySeg struct {
+	lo         int
+	start, end int
+}
+
+// genSeg is a merge-time reference to one chunk's keys, sortable by the
+// chunk's range start.
+type genSeg struct {
+	lo   int
+	keys []uint64
 }
 
 func (sh *minerShard) reset(numItems int) {
@@ -360,24 +380,29 @@ func (lm *localMiner) pass2(part []itemset.Item, work *txdb.Work, accum map[int]
 	// Candidate generation with IHP pair pruning. All row lookups go
 	// through the run's PairScan: the self-segment check and the cascaded
 	// check evaluate by matrix row number, materializing counter rows only
-	// when the mask fast path cannot decide. The outer-item loop shards
-	// across the worker pool — each shard walks a contiguous range of the
-	// partition with a forked scan, and the shard key lists concatenate in
-	// shard order, so the key sequence (and every tally, being a sum) is
-	// the serial one.
+	// when the mask fast path cannot decide. The outer-item loop runs on
+	// the chunk-queue scheduler — each worker walks the chunks it claims
+	// with a forked scan and records each chunk's keys as a segment, and
+	// the merge re-orders segments by partition-range start, so the key
+	// sequence (and every tally, being a sum) is the serial one.
 	lm.pairTab.Reset()
 	cands := lm.pairTab // pair key -> candidate index
 	nGen := mining.NumShards(len(part), lm.workers)
 	for len(lm.genShards) < nGen {
 		lm.genShards = append(lm.genShards, &genShard{scan: lm.pairScan.Fork()})
 	}
+	for s := 0; s < nGen; s++ {
+		g := lm.genShards[s]
+		g.keys = g.keys[:0]
+		g.segs = g.segs[:0]
+		g.pairsConsidered, g.slotsTotal, g.prunedTHT = 0, 0, 0
+	}
 	self := lm.self
 	cascade := lm.global.NumSegments() > 1
 	mining.RunShards(len(part), lm.workers, func(s, glo, ghi int) {
 		g := lm.genShards[s]
 		ps := g.scan
-		g.keys = g.keys[:0]
-		g.pairsConsidered, g.slotsTotal, g.prunedTHT = 0, 0, 0
+		segStart := len(g.keys)
 		for _, a := range part[glo:ghi] {
 			aPos := int(lm.posOf[a])
 			if !ps.Present(self, aPos) {
@@ -415,16 +440,27 @@ func (lm *localMiner) pass2(part []itemset.Item, work *txdb.Work, accum map[int]
 				g.keys = append(g.keys, pairKey(a, b))
 			}
 		}
+		g.segs = append(g.segs, keySeg{lo: glo, start: segStart, end: len(g.keys)})
 	})
-	keys := lm.keys[:0]
+	segs := lm.genSegs[:0]
 	pairsConsidered := int64(0)
 	slotsTotal := int64(0)
 	for s := 0; s < nGen; s++ {
 		g := lm.genShards[s]
-		keys = append(keys, g.keys...)
+		for _, ks := range g.segs {
+			segs = append(segs, genSeg{lo: ks.lo, keys: g.keys[ks.start:ks.end]})
+		}
 		pairsConsidered += g.pairsConsidered
 		slotsTotal += g.slotsTotal
 		lm.metrics.PrunedByTHT += g.prunedTHT
+	}
+	// Chunk range starts are unique and tile [0, len(part)), so the sorted
+	// concatenation is the serial key order.
+	sort.Slice(segs, func(i, j int) bool { return segs[i].lo < segs[j].lo })
+	lm.genSegs = segs
+	keys := lm.keys[:0]
+	for _, sg := range segs {
+		keys = append(keys, sg.keys...)
 	}
 	for i, key := range keys {
 		cands.Put(key, int32(i))
@@ -473,9 +509,10 @@ func (lm *localMiner) pass2(part []itemset.Item, work *txdb.Work, accum map[int]
 
 // countPass2 scans the working database once, counting candidate pairs and
 // applying the weakened transaction trimming/pruning rule of section 2.3.
-// The scan shards across the miner's worker pool; per-shard count arrays
-// and work tallies merge in shard order, so totals are identical to the
-// serial scan.
+// The scan runs on the chunk-queue scheduler across the miner's worker
+// pool; each worker accumulates into its private count array across every
+// chunk it claims, and per-worker arrays and tallies merge by integer sums,
+// so totals are identical to the serial scan at any worker count.
 func (lm *localMiner) countPass2(cands *mining.PairTable, counts []int32, inPart []bool, work *txdb.Work) {
 	lm.metrics.Passes++
 	trim := !lm.opts.DisableTrimming
@@ -483,12 +520,20 @@ func (lm *localMiner) countPass2(cands *mining.PairTable, counts []int32, inPart
 	n := work.Len()
 	nShards := mining.NumShards(n, lm.workers)
 	view := work.View()
-	mining.RunShards(n, lm.workers, func(s, lo, hi int) {
+	// Per-worker scratch resets up front: under the chunk scheduler fn runs
+	// once per claimed chunk, so it must only accumulate.
+	for s := 0; s < nShards; s++ {
 		sh := lm.shards[s]
 		sh.reset(numItems)
+		if nShards > 1 {
+			sh.countsFor(len(counts))
+		}
+	}
+	mining.RunShards(n, lm.workers, func(s, lo, hi int) {
+		sh := lm.shards[s]
 		cnt := counts
 		if nShards > 1 {
-			cnt = sh.countsFor(len(counts))
+			cnt = sh.counts
 		}
 		for ti := lo; ti < hi; ti++ {
 			if !view.Active[ti] {
@@ -540,15 +585,21 @@ func (lm *localMiner) countPassTree(tree *hashtree.Tree, work *txdb.Work, k int)
 	n := work.Len()
 	nShards := mining.NumShards(n, lm.workers)
 	view := work.View()
-	mining.RunShards(n, lm.workers, func(s, lo, hi int) {
+	for s := 0; s < nShards; s++ {
 		sh := lm.shards[s]
 		sh.reset(numItems)
 		sh.visit.Bind(tree)
+		if nShards > 1 {
+			sh.countsFor(tree.Len())
+		}
+	}
+	treeCounts := tree.Counts()
+	mining.RunShards(n, lm.workers, func(s, lo, hi int) {
+		sh := lm.shards[s]
 		var cnt []int32
 		if nShards > 1 {
-			cnt = sh.countsFor(tree.Len())
+			cnt = sh.counts
 		}
-		treeCounts := tree.Counts()
 		for ti := lo; ti < hi; ti++ {
 			if !view.Active[ti] {
 				continue

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"pmihp/internal/corpus"
+	"pmihp/internal/mining"
+)
+
+// TestPartitionerEquivalenceAndSkewSpeedup pins the two contractual
+// properties of the work-balanced partitioner:
+//
+//  1. Equivalence — the partitioner is a physical placement knob. PMIHP's
+//     polling phase computes exact global counts regardless of where
+//     transactions live, so the frequent itemsets (sets AND counts) must be
+//     identical between the equal-document-count split and the work split
+//     at every node count.
+//  2. Speedup — on the skewed corpus (Zipfian day volumes, day-correlated
+//     document lengths) the equal-count split makes node 0 the fleet-wide
+//     straggler; simulated time is the max node clock, so equalizing
+//     per-node tokens must cut simulated seconds by at least 1.25x at 8
+//     nodes. Simulated seconds and per-node work legitimately DIFFER across
+//     partitioners — that difference is the entire point.
+func TestPartitionerEquivalenceAndSkewSpeedup(t *testing.T) {
+	cfg := corpus.CorpusSkewed(corpus.Small)
+	db := smallDB(t, cfg)
+
+	run := func(p mining.Partitioner, nodes int) *ParallelResult {
+		opts := mining.Options{MinSupCount: 2, MaxK: 3, Partitioner: p}
+		par, err := MinePMIHP(db, PMIHPConfig{Nodes: nodes}, opts)
+		if err != nil {
+			t.Fatalf("PMIHP(%v, %d nodes): %v", p, nodes, err)
+		}
+		return par
+	}
+
+	for _, nodes := range []int{1, 2, 4, 8} {
+		byCount := run(mining.PartitionByCount, nodes)
+		byWork := run(mining.PartitionByWork, nodes)
+		if ok, diff := mining.SameFrequentSets(byCount.Result, byWork.Result); !ok {
+			t.Fatalf("partitioner changed the answer at %d nodes: %s", nodes, diff)
+		}
+	}
+
+	byCount := run(mining.PartitionByCount, 8)
+	byWork := run(mining.PartitionByWork, 8)
+	speedup := byCount.TotalSeconds / byWork.TotalSeconds
+	t.Logf("skewed corpus, 8 nodes: count split %.3fs, work split %.3fs, speedup %.2fx",
+		byCount.TotalSeconds, byWork.TotalSeconds, speedup)
+	if speedup < 1.25 {
+		t.Fatalf("work split speedup %.2fx below the 1.25x floor (count %.3fs, work %.3fs)",
+			speedup, byCount.TotalSeconds, byWork.TotalSeconds)
+	}
+}

@@ -188,7 +188,9 @@ type pmihpNode struct {
 }
 
 // MinePMIHP runs the parallel MIHP algorithm over the database split
-// chronologically across cfg.Nodes simulated processing nodes.
+// across cfg.Nodes simulated processing nodes — chronologically by equal
+// document counts by default, or by estimated counting work when
+// opts.Partitioner selects it (cfg.Split, when set, overrides both).
 func MinePMIHP(db *txdb.DB, cfg PMIHPConfig, opts mining.Options) (*ParallelResult, error) {
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("core: PMIHP needs at least one node, got %d", cfg.Nodes)
@@ -202,6 +204,9 @@ func MinePMIHP(db *txdb.DB, cfg PMIHPConfig, opts mining.Options) (*ParallelResu
 	split := cfg.Split
 	if split == nil {
 		split = (*txdb.DB).SplitChronological
+		if opts.Partitioner == mining.PartitionByWork {
+			split = (*txdb.DB).SplitByWork
+		}
 	}
 	parts := split(db, n)
 	if len(parts) != n {
@@ -387,6 +392,31 @@ func MinePMIHP(db *txdb.DB, cfg PMIHPConfig, opts mining.Options) (*ParallelResu
 	res.Metrics.Algorithm = "pmihp"
 	out.Result = res
 	out.TotalSeconds = fabric.MaxClock()
+
+	// Load-balance gauges: busy is the simulated seconds of work a node
+	// actually charged (mining plus poll service); idle is the rest of the
+	// run it spent waiting on collectives and stragglers. The imbalance
+	// ratio (max busy over mean busy, 1.0 = perfectly balanced) is the
+	// quantity the work partitioner exists to minimize.
+	if r := opts.Obs; r.Enabled() {
+		var maxBusy, sumBusy float64
+		for i := range out.Nodes {
+			busy := out.Nodes[i].Metrics.Work.Seconds()
+			r.SetNodeFloatGauge("busy_seconds", i, busy)
+			idle := out.TotalSeconds - busy
+			if idle < 0 {
+				idle = 0
+			}
+			r.SetNodeFloatGauge("idle_seconds", i, idle)
+			if busy > maxBusy {
+				maxBusy = busy
+			}
+			sumBusy += busy
+		}
+		if sumBusy > 0 {
+			r.SetFloatGauge("pass_imbalance_ratio", maxBusy*float64(n)/sumBusy)
+		}
+	}
 	return out, nil
 }
 
@@ -544,8 +574,11 @@ func (nd *pmihpNode) countBatch(k int, sets []itemset.Itemset) []int {
 }
 
 // countBatchSharded intersects a batch of itemsets against the inverted
-// file across up to workers shards, each with private scratch, merging the
-// per-shard merge charges into m in shard order.
+// file on the chunk-queue scheduler, each worker with private scratch.
+// Each itemset's count and merge charge are independent of the others and
+// land in its own slot, and per-worker charge tallies accumulate across
+// claimed chunks and merge as sums, so the serial charges are reproduced
+// exactly at any worker count.
 func countBatchSharded(inv *postings, sets []itemset.Itemset, workers int, m *mining.Metrics) []int {
 	counts := make([]int, len(sets))
 	nShards := mining.NumShards(len(sets), workers)
@@ -559,7 +592,7 @@ func countBatchSharded(inv *postings, sets []itemset.Itemset, workers int, m *mi
 			counts[i] = n
 			ops += o
 		}
-		shardOps[s] = ops
+		shardOps[s] += ops
 	})
 	for _, ops := range shardOps {
 		m.Work.Charge(ops, 1)

@@ -88,7 +88,7 @@ type postingScratch struct {
 	refs     []plistRef // per-count row refs
 	bufA     []txdb.TID // ping-pong accumulators, cap = max sparse df
 	bufB     []txdb.TID
-	accBits  []uint64                   // bitmap accumulator for all-dense chains
+	accBits  []uint64                  // bitmap accumulator for all-dense chains
 	blockBuf [postingBlockLen]txdb.TID // single-block decode scratch
 }
 
@@ -119,11 +119,14 @@ func buildPostings(db *txdb.DB, m *mining.Metrics, workers int, denseThreshold f
 	numItems := db.NumItems()
 	n := db.Len()
 	items, offsets, tids := db.CSR()
-	nShards := mining.NumShards(n, workers)
+	// The positioned writes of pass 2 require each shard to own one
+	// contiguous range with regions concatenating in shard order, so the
+	// build stays on the static partition rather than the chunk queue.
+	nShards := mining.NumStatic(n, workers)
 
 	// Pass 1: per-shard, per-item occurrence counts.
 	shardCounts := make([][]int32, nShards)
-	mining.RunShards(n, workers, func(s, lo, hi int) {
+	mining.RunStatic(n, workers, func(s, lo, hi int) {
 		c := make([]int32, numItems)
 		for _, it := range items[offsets[lo]:offsets[hi]] {
 			c[it]++
@@ -179,7 +182,7 @@ func buildPostings(db *txdb.DB, m *mining.Metrics, workers int, denseThreshold f
 
 	// Pass 2: positioned writes into the flat TID store.
 	tidStore := make([]txdb.TID, total)
-	mining.RunShards(n, workers, func(s, lo, hi int) {
+	mining.RunStatic(n, workers, func(s, lo, hi int) {
 		cur := shardCounts[s]
 		for i := lo; i < hi; i++ {
 			tid := tids[i]

@@ -31,6 +31,20 @@ type Config struct {
 	Days      int // number of publication days (documents spread evenly)
 	VocabSize int // number of distinct words in the language model
 
+	// DayVolumeZipfS, when > 1, makes per-day publication volumes Zipfian
+	// with this exponent (earliest days busiest) instead of spreading
+	// documents evenly across days. 0 keeps the even spread.
+	DayVolumeZipfS float64
+
+	// DayLenSlope in [0,1) correlates document length with the timeline:
+	// each document's length target is scaled by a multiplier that decays
+	// linearly from 1+DayLenSlope on the first day to 1-DayLenSlope on
+	// the last. Early days carry long documents, late days short ones —
+	// the workload shape under which an equal-document-count
+	// chronological split hands the early nodes far more counting work
+	// than the late ones. 0 disables the correlation.
+	DayLenSlope float64
+
 	// DocLenMean and DocLenSigma parameterize the lognormal distribution of
 	// the number of *distinct* content words per document.
 	DocLenMean  float64
@@ -105,6 +119,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("corpus: GlobalSkew>0 needs GlobalTopics and GlobalTopicWords")
 	case c.Skew+c.GlobalSkew > 1:
 		return fmt.Errorf("corpus: Skew+GlobalSkew=%g exceeds 1", c.Skew+c.GlobalSkew)
+	case c.DayVolumeZipfS != 0 && c.DayVolumeZipfS <= 1:
+		return fmt.Errorf("corpus: DayVolumeZipfS=%g (need >1, or 0 for an even spread)", c.DayVolumeZipfS)
+	case c.DayLenSlope < 0 || c.DayLenSlope >= 1:
+		return fmt.Errorf("corpus: DayLenSlope=%g (need [0,1) so every multiplier stays positive)", c.DayLenSlope)
 	}
 	return nil
 }
@@ -217,10 +235,15 @@ func Generate(cfg Config) ([]text.Document, error) {
 	}
 
 	mu := math.Log(cfg.DocLenMean)
+	dayOf := dayAssignment(cfg)
 	docs := make([]text.Document, cfg.Docs)
 	for i := range docs {
-		day := i * cfg.Days / cfg.Docs
+		day := dayOf[i]
 		target := int(math.Exp(rng.NormFloat64()*cfg.DocLenSigma + mu))
+		if cfg.DayLenSlope != 0 && cfg.Days > 1 {
+			m := 1 + cfg.DayLenSlope*(1-2*float64(day)/float64(cfg.Days-1))
+			target = int(float64(target) * m)
+		}
 		if target < 5 {
 			target = 5
 		}
@@ -259,6 +282,40 @@ func Generate(cfg Config) ([]text.Document, error) {
 		docs[i] = text.Document{Day: day, Words: ws}
 	}
 	return docs, nil
+}
+
+// dayAssignment maps each document index (chronological) to its
+// publication day. The default spreads documents evenly; with
+// DayVolumeZipfS set, day volumes follow a Zipf law — day d receives a
+// share proportional to (d+1)^-s of the documents, so the earliest days
+// are the busiest. Either way the mapping is nondecreasing in the
+// document index, preserving chronological order.
+func dayAssignment(cfg Config) []int {
+	day := make([]int, cfg.Docs)
+	if cfg.DayVolumeZipfS == 0 {
+		for i := range day {
+			day[i] = i * cfg.Days / cfg.Docs
+		}
+		return day
+	}
+	weights := make([]float64, cfg.Days)
+	total := 0.0
+	for d := range weights {
+		weights[d] = math.Pow(float64(d+1), -cfg.DayVolumeZipfS)
+		total += weights[d]
+	}
+	cum, i := 0.0, 0
+	for d := 0; d < cfg.Days; d++ {
+		cum += weights[d]
+		hi := int(cum/total*float64(cfg.Docs) + 0.5)
+		if d == cfg.Days-1 {
+			hi = cfg.Docs
+		}
+		for ; i < hi; i++ {
+			day[i] = d
+		}
+	}
+	return day
 }
 
 // MustGenerate is Generate for configurations known valid at compile time

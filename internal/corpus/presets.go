@@ -119,6 +119,33 @@ func CorpusDense(s Scale) Config {
 	return cfg
 }
 
+// CorpusSkewed models corpus B with a heavily skewed timeline: Zipfian
+// per-day publication volumes (the first days carry most of the news)
+// and day-correlated document lengths (early coverage is long-form,
+// late coverage short). Under the paper's equal-document-count
+// chronological assignment the early nodes receive roughly twice the
+// counting work of the late ones, so the fleet idles waiting for node
+// 0 — the straggler regime the work-balanced partitioner
+// (mining.PartitionByWork) and the coordinator's straggler re-split
+// exist for. The bench harness mines it as E10Skew under both
+// partitioners to keep the work split's simulated-seconds win visible
+// (and regressing) per revision.
+func CorpusSkewed(s Scale) Config {
+	cfg := CorpusB(s)
+	cfg.Name = "wsj-8day-skewed(S)"
+	cfg.Seed = 19911003
+	cfg.DayVolumeZipfS = 1.3
+	cfg.DayLenSlope = 0.6
+	// Tighter per-document length noise than B: the skew this preset
+	// exists for is the day-correlated regime (long early days, short
+	// late ones), which a cost-model splitter can balance. B's wide
+	// lognormal occasionally produces a single monster document whose
+	// quadratic candidate-pair work dwarfs everything else — that skew
+	// is atomic and no document-granular partitioner can divide it.
+	cfg.DocLenSigma = 0.30
+	return cfg
+}
+
 // CorpusC models the paper's 8-week WSJ sample (Jan 2 – Feb 22, 1991: 6,170
 // documents, 64,191 unique words, ~40 publication days). Used for the large
 // low-support run reported in §3's closing experiment.

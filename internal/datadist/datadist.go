@@ -48,14 +48,12 @@ func Mine(db *txdb.DB, cfg Config, opts mining.Options) (*core.ParallelResult, e
 	fabric := cluster.New(n, cfg.Net)
 
 	// Per-node database sizes in bytes, for the data broadcast each pass.
+	// TotalItems is an O(1) CSR offset read — no transaction scan needed.
 	partBytes := make([]int64, n)
 	for i, p := range parts {
-		items := 0
-		p.Each(func(t *txdb.Transaction) { items += len(t.Items) })
-		partBytes[i] = int64(4*items + 8*p.Len())
+		partBytes[i] = int64(4*p.TotalItems() + 8*p.Len())
 	}
-	totalItems := 0
-	db.Each(func(t *txdb.Transaction) { totalItems += len(t.Items) })
+	totalItems := db.TotalItems()
 
 	metrics := make([]mining.Metrics, n)
 	for i := range metrics {

@@ -70,6 +70,22 @@ type ClusterConfig struct {
 	// interval).
 	HeartbeatInterval time.Duration
 	HeartbeatTimeout  time.Duration
+	// StragglerLagPasses, when positive, arms the coordinator's straggler
+	// detector: heartbeats carry each node's local counting pass
+	// position, and when a node falls this many passes behind the fleet's
+	// most advanced node, the coordinator aborts the attempt and re-hosts
+	// the lagging daemon's logical nodes on other alive daemons, resuming
+	// from the last checkpoint — the same machinery a death takes, except
+	// the slow daemon stays alive (it is merely excluded as a target) and
+	// the event counts in Metrics.RebalancedPartitions, not Failovers.
+	// Each host is rebalanced away from at most once per session, which
+	// bounds the loop; a node still at pass 0 (receiving its partition)
+	// never counts as lagging, and the lag must persist for
+	// stragglerSustainTicks heartbeat intervals before the detector
+	// fires. The logical partitioning never changes, so the frequent
+	// list stays byte-identical whether or not a re-split occurs. 0 (the
+	// default) disables detection.
+	StragglerLagPasses int
 	// CheckpointDir, when non-empty, receives the session's checkpoint
 	// file (session-<id>.ckpt, atomically replaced as passes complete) so
 	// a future coordinator process could inspect or reuse it. Resume
@@ -92,7 +108,8 @@ type ClusterConfig struct {
 }
 
 // MineCluster mines db across the node daemons listed in cfg: it splits
-// the database chronologically, ships each logical node its partition
+// the database under opts.Partitioner (equal document counts or equal
+// estimated work, both chronological), ships each logical node its partition
 // with the resolved session parameters, lets the nodes run the PMIHP
 // protocol among themselves over their peer exchanges, and merges their
 // reports. The frequent list is byte-identical to core.MinePMIHP's in
@@ -127,11 +144,11 @@ func MineCluster(db *txdb.DB, cfg ClusterConfig, opts mining.Options) (*Result, 
 	}
 	cfg.Retry = cfg.Retry.WithDefaults()
 	p, opts := params(db, opts)
-	parts := db.SplitChronological(n)
+	parts := splitParts(db, n, p.Partitioner)
 
 	// Encode every partition once; recovery attempts re-ship the same
 	// bytes, which is what keeps reassignment byte-identical: the
-	// chronological partitioning is fixed for the session's lifetime.
+	// partitioning is fixed for the session's lifetime.
 	partBytes := make([][]byte, n)
 	for i := 0; i < n; i++ {
 		var buf bytes.Buffer
@@ -156,6 +173,8 @@ func MineCluster(db *txdb.DB, cfg ClusterConfig, opts mining.Options) (*Result, 
 		alive:     make([]bool, n),
 		hostOf:    make([]int, n),
 		deadline:  time.Now().Add(cfg.MineTimeout),
+
+		rebalancedHost: make(map[int]bool),
 	}
 	for i := range s.alive {
 		s.alive[i] = true
@@ -165,14 +184,37 @@ func MineCluster(db *txdb.DB, cfg ClusterConfig, opts mining.Options) (*Result, 
 	}
 	s.ckpt = transport.Checkpoint{ClusterID: baseID, Nodes: int32(n), Stage: transport.StageNone}
 	cfg.Obs.SetDaemon("coordinator")
+	// The session's checkpoint file may still be mid-write when the last
+	// attempt ends; external tooling reads it, so settle it before
+	// returning.
+	defer s.ckptWrites.Wait()
 
 	for {
 		res, deaths, err := s.runAttempt()
 		if err == nil {
 			res.Metrics.Failovers = s.failovers
 			res.Metrics.ReassignedPartitions = s.reassigned
+			res.Metrics.RebalancedPartitions = s.rebalances
 			res.Metrics.RecoverySeconds = s.recoverySeconds
 			return res, nil
+		}
+		var strag *stragglerError
+		if errors.As(err, &strag) {
+			// A straggler re-split: the lagging daemon is alive, just slow.
+			// Re-host its logical nodes elsewhere and resume from the
+			// checkpoint — not a failover, so it neither counts against
+			// MaxFailovers nor requires FailurePolicyReassign (the detector
+			// is armed by its own knob).
+			t0 := time.Now()
+			cfg.Logf("distmine: %v", err)
+			if rerr := s.rebalanceStraggler(strag); rerr != nil {
+				return nil, rerr
+			}
+			cfg.Obs.SetGauge("rebalances_total", int64(s.rebalances))
+			if derr := s.finishRecovery(t0, err); derr != nil {
+				return nil, derr
+			}
+			continue
 		}
 		if len(deaths) == 0 || cfg.FailurePolicy != FailurePolicyReassign {
 			return nil, err
@@ -243,9 +285,66 @@ type session struct {
 	ckptMu sync.Mutex
 	ckpt   transport.Checkpoint
 
+	// rebalancedHost marks roster entries already rebalanced away from as
+	// stragglers — each at most once per session, which bounds the
+	// detect/re-split loop even if the replacement hosts are slow too.
+	rebalancedHost map[int]bool
+
+	// Checkpoint persistence runs off the control-plane reader: a slow
+	// fsync must not stall node 0's heartbeat processing, or the
+	// straggler detector would mistake the coordinator's own disk for a
+	// lagging node. ckptFileMu serializes the writers and ckptFileStage
+	// keeps the on-disk file stage-monotonic; ckptWrites lets MineCluster
+	// drain pending writes before returning.
+	ckptWrites    sync.WaitGroup
+	ckptFileMu    sync.Mutex
+	ckptFileStage uint8
+
 	failovers       int
 	reassigned      int
+	rebalances      int
 	recoverySeconds float64
+}
+
+// stragglerSustainTicks is how many consecutive watchdog ticks (one per
+// heartbeat interval) a node must stay beyond the lag threshold before
+// the detector fires. A single stale beacon — a node observed mid-burst
+// that catches up by the next tick — never triggers a re-split.
+const stragglerSustainTicks = 4
+
+// stragglerError is runAttempt's report that the attempt was aborted by
+// the straggler detector rather than by a death: node (on roster entry
+// host) lagged the fleet's most advanced pass position by lag passes.
+type stragglerError struct {
+	node, host int
+	addr       string
+	lag        int
+}
+
+func (e *stragglerError) Error() string {
+	return fmt.Sprintf("straggler: node %d (%s) lags the fleet by %d passes", e.node, e.addr, e.lag)
+}
+
+// rebalanceStraggler re-hosts every logical node of the straggling
+// roster entry onto other alive daemons. The slow daemon stays alive and
+// keeps its daemon process — only its partitions move — and it is never
+// chosen as a target again this session.
+func (s *session) rebalanceStraggler(e *stragglerError) error {
+	s.rebalancedHost[e.host] = true
+	for node, host := range s.hostOf {
+		if host != e.host {
+			continue
+		}
+		target := s.leastLoadedAlive(e.host)
+		if target < 0 {
+			return fmt.Errorf("distmine: no other daemon to rebalance straggler node %d to: %w", node, e)
+		}
+		s.hostOf[node] = target
+		s.rebalances++
+		s.cfg.Logf("distmine: rebalanced node %d (%s lagging %d passes) to %s, resuming from %s",
+			node, s.roster[e.host], e.lag, s.roster[target], transport.StageName(s.checkpoint().Stage))
+	}
+	return nil
 }
 
 // reassign moves the dead roster entries' logical nodes to replacements
@@ -279,7 +378,7 @@ func (s *session) reassign(deaths []int, cause error) error {
 		for _, node := range orphans {
 			host := target
 			if host < 0 {
-				host = s.leastLoadedAlive()
+				host = s.leastLoadedAlive(-1)
 				if host < 0 {
 					return fmt.Errorf("distmine: no surviving daemons to reassign node %d to: %w", node, cause)
 				}
@@ -294,15 +393,17 @@ func (s *session) reassign(deaths []int, cause error) error {
 }
 
 // leastLoadedAlive returns the alive roster entry hosting the fewest
-// logical nodes (lowest index breaks ties), or -1 if none survive.
-func (s *session) leastLoadedAlive() int {
+// logical nodes (lowest index breaks ties), or -1 if none qualify.
+// except, when >= 0, excludes that entry — the straggler rebalance must
+// not hand partitions back to the host it is draining.
+func (s *session) leastLoadedAlive(except int) int {
 	load := make(map[int]int)
 	for _, host := range s.hostOf {
 		load[host]++
 	}
 	best, bestLoad := -1, 0
 	for r := range s.roster {
-		if !s.alive[r] {
+		if !s.alive[r] || r == except {
 			continue
 		}
 		if best < 0 || load[r] < bestLoad {
@@ -344,12 +445,23 @@ func (s *session) noteProgress(payload []byte) {
 	s.cfg.Obs.SetGauge("checkpoint_stage", int64(c.Stage))
 	if s.cfg.CheckpointDir != "" {
 		path := filepath.Join(s.cfg.CheckpointDir, fmt.Sprintf("session-%016x.ckpt", s.baseID))
-		sp := s.cfg.Obs.StartSpan("checkpoint:write", -1)
-		err := transport.WriteCheckpointFile(path, c)
-		sp.EndErr(err)
-		if err != nil {
-			s.cfg.Logf("distmine: persisting checkpoint: %v", err)
-		}
+		s.ckptWrites.Add(1)
+		go func() {
+			defer s.ckptWrites.Done()
+			s.ckptFileMu.Lock()
+			defer s.ckptFileMu.Unlock()
+			if c.Stage <= s.ckptFileStage {
+				return // a newer checkpoint already reached disk
+			}
+			sp := s.cfg.Obs.StartSpan("checkpoint:write", -1)
+			err := transport.WriteCheckpointFile(path, c)
+			sp.EndErr(err)
+			if err != nil {
+				s.cfg.Logf("distmine: persisting checkpoint: %v", err)
+				return
+			}
+			s.ckptFileStage = c.Stage
+		}()
 	}
 }
 
@@ -428,6 +540,7 @@ func (s *session) runAttempt() (*Result, []int, error) {
 			MaxK:            int32(s.p.MaxK),
 			Workers:         int32(s.p.Workers),
 			DenseThreshold:  s.p.DenseThreshold,
+			Partitioner:     int32(s.p.Partitioner),
 			HeartbeatMillis: int32(cfg.HeartbeatInterval / time.Millisecond),
 			PeerAddrs:       peerAddrs,
 			DB:              s.partBytes[i],
@@ -498,6 +611,13 @@ func (s *session) runAttempt() (*Result, []int, error) {
 				s.cfg.Obs.Beat(i)
 				switch t {
 				case transport.MsgHeartbeat:
+					// The payload carries the node's pass progress; a beacon
+					// that fails to decode still counted as a sign of life
+					// above, so it is ignored rather than fatal.
+					if hb, herr := transport.DecodeHeartbeat(payload); herr == nil {
+						live.SetPass(i, int(hb.Passes))
+						s.cfg.Obs.SetNodeGauge("mining_passes", i, int64(hb.Passes))
+					}
 				case transport.MsgProgress:
 					if i == 0 {
 						s.noteProgress(payload)
@@ -524,7 +644,67 @@ func (s *session) runAttempt() (*Result, []int, error) {
 			}
 		}(i)
 	}
+
+	// Straggler watchdog: compares the fleet's heartbeat pass positions
+	// and aborts the attempt when an armed lag threshold is crossed and
+	// another alive daemon could take the lagging host's partitions. The
+	// rebalance itself happens between attempts, on the same
+	// checkpoint/resume machinery a death uses.
+	//
+	// Two guards keep the detector honest on fast sessions. A node still
+	// at pass 0 is setting up (receiving its partition, building its
+	// working copies), not mining — that window is bounded by the
+	// heartbeat timeout, so pass 0 never counts as lagging. And the lag
+	// must hold for stragglerSustainTicks consecutive ticks: a healthy
+	// node whose beacon lands mid-burst looks far behind for one tick
+	// and caught up on the next, while a genuinely slow partition stays
+	// behind every tick.
+	var stragMu sync.Mutex
+	var strag *stragglerError
+	watchStop := make(chan struct{})
+	if cfg.StragglerLagPasses > 0 && n > 1 {
+		go func() {
+			tick := time.NewTicker(cfg.HeartbeatInterval)
+			defer tick.Stop()
+			lagTicks := make([]int, n)
+			for {
+				select {
+				case <-watchStop:
+					return
+				case <-tick.C:
+				}
+				passes := live.Passes()
+				lead := 0
+				for _, p := range passes {
+					if p > lead {
+						lead = p
+					}
+				}
+				for i, p := range passes {
+					lag := lead - p
+					if p == 0 || lag < cfg.StragglerLagPasses {
+						lagTicks[i] = 0
+						continue
+					}
+					lagTicks[i]++
+					if lagTicks[i] < stragglerSustainTicks {
+						continue
+					}
+					host := s.hostOf[i]
+					if s.rebalancedHost[host] || s.leastLoadedAlive(host) < 0 {
+						continue
+					}
+					stragMu.Lock()
+					strag = &stragglerError{node: i, host: host, addr: peerAddrs[i], lag: lag}
+					stragMu.Unlock()
+					cancelAttempt()
+					return
+				}
+			}
+		}()
+	}
 	wg.Wait()
+	close(watchStop)
 
 	if dead := live.DeadNodes(); len(dead) > 0 {
 		hosts := make(map[int]bool)
@@ -536,6 +716,12 @@ func (s *session) runAttempt() (*Result, []int, error) {
 			}
 		}
 		return nil, deadHosts, fmt.Errorf("distmine: %w", live.Dead(dead[0]))
+	}
+	stragMu.Lock()
+	st := strag
+	stragMu.Unlock()
+	if st != nil {
+		return nil, nil, fmt.Errorf("distmine: %w", st)
 	}
 	for _, err := range nodeErrs {
 		if err != nil {

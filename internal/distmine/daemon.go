@@ -6,8 +6,10 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"pmihp/internal/mining"
 	"pmihp/internal/obs"
 	"pmihp/internal/transport"
 	"pmihp/internal/txdb"
@@ -40,6 +42,12 @@ type DaemonOptions struct {
 	// (the default) inherits the coordinator's value. Either way the
 	// layout never changes counts or simulated charges.
 	DenseThresholdOverride float64
+	// RequirePartitioner, when non-nil, rejects sessions whose Init was
+	// partitioned by a different policy. Unlike DenseThresholdOverride
+	// this is a guard, not an override: the partition arrives pre-cut
+	// from the coordinator, so a daemon cannot re-split it — it can only
+	// refuse to serve a placement its operator does not want.
+	RequirePartitioner *mining.Partitioner
 }
 
 // sessionKey identifies one logical node of one mining session. After a
@@ -183,6 +191,11 @@ func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
 		fail(fmt.Errorf("init cluster %x on control conn for %x", init.ClusterID, hello.ClusterID))
 		return
 	}
+	if rp := d.opt.RequirePartitioner; rp != nil && mining.Partitioner(init.Partitioner) != *rp {
+		fail(fmt.Errorf("node %d: session uses %s partitioning, this daemon requires %s",
+			init.NodeID, mining.Partitioner(init.Partitioner), *rp))
+		return
+	}
 	db, err := txdb.ReadDB(bytes.NewReader(init.DB))
 	if err != nil {
 		fail(fmt.Errorf("decoding partition: %w", err))
@@ -256,7 +269,11 @@ func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
 
 	// Heartbeat writer: the coordinator declares this node dead after a
 	// configurable quiet interval, so beat for the whole session — mining
-	// itself produces no control-plane traffic.
+	// itself produces no control-plane traffic. Each beacon carries the
+	// node's pass position (counted by the onPass hook below), which is
+	// what the coordinator's straggler detector compares across the
+	// fleet.
+	var passes atomic.Int32
 	interval := time.Duration(init.HeartbeatMillis) * time.Millisecond
 	if interval <= 0 {
 		interval = d.opt.HeartbeatInterval
@@ -269,7 +286,8 @@ func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
 			case <-stop:
 				return
 			case <-tick.C:
-				if write(transport.MsgHeartbeat, nil, d.opt.IOTimeout) != nil {
+				hb := transport.AppendHeartbeat(nil, transport.Heartbeat{Passes: passes.Load()})
+				if write(transport.MsgHeartbeat, hb, d.opt.IOTimeout) != nil {
 					signalStop()
 					return
 				}
@@ -277,7 +295,11 @@ func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
 		}
 	}()
 
-	hooks := nodeHooks{resume: resume, obs: d.opt.Obs}
+	hooks := nodeHooks{
+		resume: resume,
+		obs:    d.opt.Obs,
+		onPass: func() { passes.Add(1) },
+	}
 	if init.NodeID == 0 {
 		hooks.progress = func(stage uint8, counts []uint32, segs [][]byte) {
 			ck := transport.Checkpoint{
@@ -297,7 +319,8 @@ func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
 	if resume != nil {
 		from = "resume from " + transport.StageName(resume.Stage)
 	}
-	d.opt.Logf("pmihp-node: session %x: node %d/%d, %d docs (%s)", init.ClusterID, init.NodeID, init.Nodes, db.Len(), from)
+	d.opt.Logf("pmihp-node: session %x: node %d/%d, %d docs, %s partitions (%s)",
+		init.ClusterID, init.NodeID, init.Nodes, db.Len(), mining.Partitioner(init.Partitioner), from)
 	denseThreshold := init.DenseThreshold
 	if d.opt.DenseThresholdOverride > 0 {
 		denseThreshold = d.opt.DenseThresholdOverride
@@ -311,6 +334,7 @@ func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
 		MaxK:           int(init.MaxK),
 		Workers:        int(init.Workers),
 		DenseThreshold: denseThreshold,
+		Partitioner:    mining.Partitioner(init.Partitioner),
 	}, hooks)
 	if err != nil {
 		fail(fmt.Errorf("node %d: %w", init.NodeID, err))

@@ -47,7 +47,21 @@ func params(db *txdb.DB, opts mining.Options) (NodeParams, mining.Options) {
 		MaxK:           opts.MaxK,
 		Workers:        opts.IntraNodeWorkers,
 		DenseThreshold: opts.DenseThreshold,
+		Partitioner:    opts.Partitioner,
 	}, opts
+}
+
+// splitParts cuts the database into n logical partitions under the
+// selected partitioner — the coordinator-side twin of core.MinePMIHP's
+// split hook. Both cut along chronological order; they differ only in
+// where the cuts fall (equal document counts vs equal estimated work),
+// so either way every partition is a contiguous chronological range and
+// their union is db.
+func splitParts(db *txdb.DB, n int, p mining.Partitioner) []*txdb.DB {
+	if p == mining.PartitionByWork {
+		return db.SplitByWork(n)
+	}
+	return db.SplitChronological(n)
 }
 
 // assemble folds per-node outcomes into the cluster result. merged is
@@ -86,7 +100,7 @@ func MineInProcess(db *txdb.DB, n int, opts mining.Options) (*Result, error) {
 		return nil, fmt.Errorf("distmine: need at least one node, got %d", n)
 	}
 	p, opts := params(db, opts)
-	parts := db.SplitChronological(n)
+	parts := splitParts(db, n, p.Partitioner)
 	exchanges := transport.NewChanGroup(n)
 
 	outcomes := make([]*nodeOutcome, n)

@@ -6,18 +6,38 @@ import (
 )
 
 // Liveness is the coordinator's heartbeat bookkeeping for one session
-// attempt: last-beat times and death attributions per logical node.
-// All methods are safe for concurrent use — one reader goroutine per
-// node feeds it while failure handling inspects it.
+// attempt: last-beat times, pass progress, and death attributions per
+// logical node. All methods are safe for concurrent use — one reader
+// goroutine per node feeds it while failure handling and the straggler
+// watchdog inspect it.
 type Liveness struct {
 	mu   sync.Mutex
 	last []time.Time
+	pass []int
 	dead []error
 }
 
 // NewLiveness returns a tracker for n logical nodes.
 func NewLiveness(n int) *Liveness {
-	return &Liveness{last: make([]time.Time, n), dead: make([]error, n)}
+	return &Liveness{last: make([]time.Time, n), pass: make([]int, n), dead: make([]error, n)}
+}
+
+// SetPass records the node's reported local counting pass position.
+// Monotonic: a late frame carrying an older position never regresses it.
+func (l *Liveness) SetPass(node, passes int) {
+	l.mu.Lock()
+	if passes > l.pass[node] {
+		l.pass[node] = passes
+	}
+	l.mu.Unlock()
+}
+
+// Passes returns a copy of every node's last reported pass position.
+func (l *Liveness) Passes() []int {
+	l.mu.Lock()
+	out := append([]int(nil), l.pass...)
+	l.mu.Unlock()
+	return out
 }
 
 // Beat records a sign of life (any control-plane frame) from the node.

@@ -45,6 +45,11 @@ type NodeParams struct {
 	// node-local flag may still override it for heterogeneous hardware
 	// (the layout never changes results or simulated charges).
 	DenseThreshold float64
+	// Partitioner records how the coordinator cut the session's
+	// partitions. The partition a node receives is already cut, so the
+	// field only labels logs and traces — it never re-splits anything
+	// node-side.
+	Partitioner mining.Partitioner
 }
 
 // nodeHooks wires a node run into the fault-tolerance machinery.
@@ -60,6 +65,9 @@ type nodeHooks struct {
 	// obs, when non-nil, receives the node's pass events, collective
 	// spans, and poll batches.
 	obs *obs.Recorder
+	// onPass, when non-nil, runs after every local counting pass — the
+	// daemon's pass counter behind the heartbeat progress payload.
+	onPass func()
 }
 
 // nodeOutcome is what one node's protocol run produces.
@@ -106,6 +114,7 @@ func runNode(x transport.Exchange, db *txdb.DB, p NodeParams, h nodeHooks) (*nod
 		THTEntries:       p.THTEntries,
 		IntraNodeWorkers: p.Workers,
 		DenseThreshold:   p.DenseThreshold,
+		Partitioner:      p.Partitioner,
 		Obs:              h.obs,
 	}.WithDefaults()
 	workers := opts.Workers()
@@ -290,6 +299,7 @@ func runNode(x transport.Exchange, db *txdb.DB, p NodeParams, h nodeHooks) (*nod
 			queueSets = append(queueSets, set)
 			queueCounts = append(queueCounts, count)
 		},
+		OnPass: h.onPass,
 	}, &out.Miner)
 
 	// ---- Global support counting by peer polling. ----

@@ -53,6 +53,10 @@ type faultCase struct {
 	nodes  int
 	plan   FaultPlan
 	policy distmine.FailurePolicy
+	// corpus overrides the suite's default database (corpus B, small
+	// scale). The straggler case mines the day-skewed preset, whose
+	// equal-count partitions are organically imbalanced.
+	corpus corpus.Config
 	// respawn spawns replacements instead of doubling up on survivors.
 	respawn bool
 	// wantErr: the session must fail, with an error containing each
@@ -60,9 +64,23 @@ type faultCase struct {
 	wantErr []string
 	// wantLogs must each appear in the coordinator's recovery log.
 	wantLog []string
-	// failovers/reassigned are exact expectations on the metrics.
-	failovers  int
-	reassigned int
+	// stragglerLag arms the coordinator's straggler detector (0 leaves
+	// it off, the default).
+	stragglerLag int
+	// heartbeat overrides the session heartbeat interval (0 = the
+	// suite's 50ms default). Straggler cases shorten it so the healthy
+	// nodes' reported pass positions keep up with their real progress.
+	heartbeat time.Duration
+	// failovers/reassigned/rebalanced are exact expectations on the
+	// metrics. rebalancedMin, when positive, replaces the exact
+	// rebalanced check with a floor: how many partitions move depends on
+	// which hosts the re-split cascade drains, which is load- and
+	// timing-dependent, while "at least one re-split, zero failovers" is
+	// the invariant.
+	failovers     int
+	reassigned    int
+	rebalanced    int
+	rebalancedMin int
 }
 
 // faultRecord feeds the harness's JSON summary (PMIHP_FAULT_JSON).
@@ -74,6 +92,7 @@ type faultRecord struct {
 	Identical       bool    `json:"identical"`
 	Failovers       int     `json:"failovers"`
 	Reassigned      int     `json:"reassigned_partitions"`
+	Rebalanced      int     `json:"rebalanced_partitions"`
 	RecoverySeconds float64 `json:"recovery_seconds"`
 	WireRetries     int64   `json:"wire_retries"`
 	Error           string  `json:"error,omitempty"`
@@ -201,6 +220,28 @@ func TestFaultInjection(t *testing.T) {
 			failovers:  0,
 			reassigned: 0,
 		},
+		{
+			// An organic straggler, no scripted fault at all: equal-count
+			// chronological partitioning on the day-skewed corpus hands the
+			// low-numbered nodes the long day-0 documents, so their counting
+			// passes crawl while the light nodes sprint ahead. The armed
+			// detector must notice the sustained pass lag in the heartbeats
+			// and re-host the lagging partition — counted as rebalances,
+			// never as failovers — and the recovered session must still be
+			// byte-identical. Which heavy node trips the detector first
+			// depends on scheduling, so the log assertions name the event,
+			// not the node.
+			name:          "straggler-rebalance-4node",
+			nodes:         4,
+			corpus:        stragglerCorpus(),
+			policy:        distmine.FailurePolicyReassign,
+			stragglerLag:  3,
+			heartbeat:     5 * time.Millisecond,
+			wantLog:       []string{"straggler: node ", "rebalanced node "},
+			failovers:     0,
+			reassigned:    0,
+			rebalancedMin: 1,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -208,6 +249,17 @@ func TestFaultInjection(t *testing.T) {
 		})
 	}
 	writeFaultSummary(t)
+}
+
+// stragglerCorpus is the day-skewed database the straggler case mines:
+// the skewed preset, scaled up until the heavy day-0 partition keeps its
+// node counting for hundreds of milliseconds while the light nodes
+// finish in tens — enough real lag for the sustained-lag detector to
+// fire well inside the session.
+func stragglerCorpus() corpus.Config {
+	cfg := corpus.CorpusSkewed(corpus.Small)
+	cfg.Docs = 336
+	return cfg
 }
 
 func runFaultCase(t *testing.T, tc faultCase) {
@@ -226,7 +278,11 @@ func runFaultCase(t *testing.T, tc faultCase) {
 	}
 	defer fc.Stop()
 
-	db := buildDB(t, corpus.CorpusB(corpus.Small))
+	ccfg := tc.corpus
+	if ccfg.Docs == 0 {
+		ccfg = corpus.CorpusB(corpus.Small)
+	}
+	db := buildDB(t, ccfg)
 	opts := mining.Options{MinSupCount: 2, MaxK: 3}
 	ref, err := core.MinePMIHP(db, core.PMIHPConfig{Nodes: tc.nodes}, opts)
 	if err != nil {
@@ -234,14 +290,18 @@ func runFaultCase(t *testing.T, tc faultCase) {
 	}
 
 	cfg := distmine.ClusterConfig{
-		Addrs:             fc.Addrs(),
-		Retry:             faultRetry,
-		FailurePolicy:     tc.policy,
-		HeartbeatInterval: 50 * time.Millisecond,
-		HeartbeatTimeout:  500 * time.Millisecond,
-		MineTimeout:       2 * time.Minute,
-		CheckpointDir:     t.TempDir(),
-		Logf:              logf,
+		Addrs:              fc.Addrs(),
+		Retry:              faultRetry,
+		FailurePolicy:      tc.policy,
+		HeartbeatInterval:  50 * time.Millisecond,
+		HeartbeatTimeout:   500 * time.Millisecond,
+		MineTimeout:        2 * time.Minute,
+		CheckpointDir:      t.TempDir(),
+		StragglerLagPasses: tc.stragglerLag,
+		Logf:               logf,
+	}
+	if tc.heartbeat > 0 {
+		cfg.HeartbeatInterval = tc.heartbeat
 	}
 	if tc.respawn {
 		cfg.Respawn = fc.SpawnReplacement
@@ -270,6 +330,7 @@ func runFaultCase(t *testing.T, tc faultCase) {
 	}
 	rec.Failovers = got.Metrics.Failovers
 	rec.Reassigned = got.Metrics.ReassignedPartitions
+	rec.Rebalanced = got.Metrics.RebalancedPartitions
 	rec.RecoverySeconds = got.Metrics.RecoverySeconds
 	rec.WireRetries = got.Metrics.WireRetries
 
@@ -292,6 +353,13 @@ func runFaultCase(t *testing.T, tc faultCase) {
 	}
 	if got.Metrics.ReassignedPartitions != tc.reassigned {
 		t.Fatalf("reassigned partitions = %d, want %d", got.Metrics.ReassignedPartitions, tc.reassigned)
+	}
+	if tc.rebalancedMin > 0 {
+		if got.Metrics.RebalancedPartitions < tc.rebalancedMin {
+			t.Fatalf("rebalanced partitions = %d, want >= %d", got.Metrics.RebalancedPartitions, tc.rebalancedMin)
+		}
+	} else if got.Metrics.RebalancedPartitions != tc.rebalanced {
+		t.Fatalf("rebalanced partitions = %d, want %d", got.Metrics.RebalancedPartitions, tc.rebalanced)
 	}
 	if tc.failovers > 0 && got.Metrics.RecoverySeconds <= 0 {
 		t.Fatalf("recovery time not accounted: %+v", got.Metrics)

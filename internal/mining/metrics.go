@@ -133,10 +133,14 @@ type Metrics struct {
 	// survives worker failures. Failovers counts detected node deaths
 	// that were recovered from; ReassignedPartitions counts the logical
 	// partitions (transaction shards) moved to surviving or respawned
-	// workers; RecoverySeconds is wall-clock spent detecting failures and
-	// restarting from checkpoints, excluded from WireSeconds.
+	// workers; RebalancedPartitions counts partitions moved off live but
+	// lagging workers by the straggler detector (never counted as
+	// failovers — the slow worker stays alive); RecoverySeconds is
+	// wall-clock spent detecting failures and restarting from
+	// checkpoints, excluded from WireSeconds.
 	Failovers            int
 	ReassignedPartitions int
+	RebalancedPartitions int
 	RecoverySeconds      float64
 
 	Work Work
@@ -215,6 +219,7 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.WireSeconds += o.WireSeconds
 	m.Failovers += o.Failovers
 	m.ReassignedPartitions += o.ReassignedPartitions
+	m.RebalancedPartitions += o.RebalancedPartitions
 	m.RecoverySeconds += o.RecoverySeconds
 	m.Work.Add(o.Work)
 }

@@ -42,6 +42,7 @@ func TestMergeFieldSemantics(t *testing.T) {
 		"WireSeconds":          sum,
 		"Failovers":            sum,
 		"ReassignedPartitions": sum,
+		"RebalancedPartitions": sum,
 		"RecoverySeconds":      sum,
 		"Work":                 nested, // Work.Add sums Units
 	}

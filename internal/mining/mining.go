@@ -85,6 +85,15 @@ type Options struct {
 	// identical for every value — only wall-clock time and PeakHeldBytes
 	// change.
 	DenseThreshold float64
+
+	// Partitioner selects how parallel miners split the database across
+	// nodes: PartitionByCount (the zero value) reproduces the paper's
+	// equal-document-count chronological split, PartitionByWork balances
+	// the per-transaction estimated counting work instead. Frequent
+	// itemsets are identical either way (PMIHP resolves global candidates
+	// by exact polling); per-node work units and simulated seconds differ
+	// by design — balancing them is what the work partitioner is for.
+	Partitioner Partitioner
 }
 
 // DefaultDenseThreshold is the density (document frequency over TID span) at

@@ -3,16 +3,27 @@ package mining
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Intra-node shared-memory parallelism. Each simulated cluster node may
 // shard its counting scans over a bounded pool of OS-level workers (the
-// many-core direction of Zymbler's FIM work): shard s processes the
-// contiguous index range [lo, hi) with its own scratch state, and the
-// caller merges per-shard results in shard order. Because every merge is an
-// integer sum over disjoint transaction ranges, results and simulated-clock
-// charges are identical for every worker count — the knob changes wall-clock
-// time only.
+// many-core direction of Zymbler's FIM work). Two disciplines coexist:
+//
+//   - RunShards is a chunk-queue work-stealing scheduler: the index range
+//     [0, n) is cut into fixed-size chunks and worker goroutines pull the
+//     next chunk off an atomic cursor until the queue drains, so a worker
+//     that finishes early keeps pulling instead of idling behind a
+//     skew-heavy range. Chunk boundaries depend only on (n, workers) and
+//     every per-worker merge is either an order-independent integer sum or
+//     a segment list re-ordered by range start, so results and
+//     simulated-clock charges are identical for every worker count — the
+//     knob changes wall-clock time only.
+//
+//   - RunStatic keeps the original static contiguous partition (one range
+//     per shard, in shard order) for builders whose correctness depends on
+//     shard ranges concatenating contiguously — positioned posting writes
+//     and per-shard structure construction.
 
 // ResolveWorkers normalizes an IntraNodeWorkers setting: values <= 0 select
 // GOMAXPROCS.
@@ -23,9 +34,86 @@ func ResolveWorkers(w int) int {
 	return w
 }
 
-// shardRanges splits [0, n) into at most workers near-equal contiguous
+// chunksPerWorker sets the queue depth of the dynamic scheduler: enough
+// chunks per worker that a straggling range redistributes, few enough that
+// the per-chunk atomic fetch is noise against a counting scan.
+const chunksPerWorker = 8
+
+// chunkPlan computes the dynamic schedule for [0, n) under a worker bound:
+// the fixed chunk size, the chunk count, and the number of worker slots
+// (goroutines, hence per-slot scratch states) that will run. All three are
+// pure functions of (n, workers).
+func chunkPlan(n, workers int) (size, chunks, slots int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if n <= 0 {
+		return 1, 0, 1
+	}
+	size = n / (workers * chunksPerWorker)
+	if size < 1 {
+		size = 1
+	}
+	chunks = (n + size - 1) / size
+	slots = workers
+	if slots > chunks {
+		slots = chunks
+	}
+	return size, chunks, slots
+}
+
+// NumShards returns the number of worker slots RunShards will use for n
+// items and the given worker bound, so callers can pre-allocate per-slot
+// scratch. It equals min(workers, n) for n > 0.
+func NumShards(n, workers int) int {
+	_, _, slots := chunkPlan(n, workers)
+	return slots
+}
+
+// RunShards executes fn over [0, n) on a pool of worker goroutines pulling
+// fixed-size chunks from an atomic cursor: fn(worker, lo, hi) may run many
+// times per worker, once per chunk claimed, always with 0 <= worker <
+// NumShards(n, workers). A single slot runs fn(0, 0, n) inline on the
+// calling goroutine, reproducing the serial kernels exactly.
+//
+// Callers accumulate into per-worker scratch (reset before the call, merged
+// after) — chunk-to-worker assignment is racy, so per-worker results must
+// be order-independent sums, or per-chunk segments tagged with their range
+// start and re-ordered during the merge (see the pass-2 generation).
+// It returns the number of worker slots used.
+func RunShards(n, workers int, fn func(worker, lo, hi int)) int {
+	size, chunks, slots := chunkPlan(n, workers)
+	if slots <= 1 || chunks <= 1 {
+		fn(0, 0, n)
+		return 1
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(slots)
+	for w := 0; w < slots; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				k := int(cursor.Add(1)) - 1
+				if k >= chunks {
+					return
+				}
+				lo := k * size
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				fn(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return slots
+}
+
+// staticBounds splits [0, n) into at most workers near-equal contiguous
 // ranges, returning the shard boundaries (len = shards+1).
-func shardRanges(n, workers int) []int {
+func staticBounds(n, workers int) []int {
 	if workers > n {
 		workers = n
 	}
@@ -39,19 +127,21 @@ func shardRanges(n, workers int) []int {
 	return bounds
 }
 
-// NumShards returns the shard count RunShards will use for n items and the
-// given worker bound, so callers can pre-allocate per-shard scratch.
-func NumShards(n, workers int) int {
-	return len(shardRanges(n, workers)) - 1
+// NumStatic returns the shard count RunStatic will use for n items and the
+// given worker bound, so callers can pre-allocate per-shard state.
+func NumStatic(n, workers int) int {
+	return len(staticBounds(n, workers)) - 1
 }
 
-// RunShards executes fn over the contiguous shard ranges of [0, n). With a
-// single shard fn runs inline on the calling goroutine, reproducing the
-// serial kernels exactly; otherwise each shard runs on its own goroutine and
-// RunShards returns after all complete. It returns the number of shards used
-// so callers can merge per-shard state in shard order.
-func RunShards(n, workers int, fn func(shard, lo, hi int)) int {
-	bounds := shardRanges(n, workers)
+// RunStatic executes fn over the static contiguous shard ranges of [0, n):
+// shard s covers exactly [bounds[s], bounds[s+1]) and fn runs once per
+// shard. With a single shard fn runs inline on the calling goroutine;
+// otherwise each shard runs on its own goroutine and RunStatic returns
+// after all complete. Use it when the merge depends on shard ranges
+// concatenating contiguously in shard order (positioned writes, per-shard
+// structure builds); counting scans should prefer RunShards.
+func RunStatic(n, workers int, fn func(shard, lo, hi int)) int {
+	bounds := staticBounds(n, workers)
 	shards := len(bounds) - 1
 	if shards <= 1 {
 		fn(0, 0, n)

@@ -145,4 +145,14 @@ func writeProm(w http.ResponseWriter, s Snapshot) {
 			fmt.Fprintf(w, "pmihp_%s{node=\"%d\"} %d\n", name, n, s.NodeGauges[name][n])
 		}
 	}
+	for _, name := range sortedKeys(s.FloatGauges) {
+		gauge("pmihp_"+name, "Cluster-level gauge.")
+		fmt.Fprintf(w, "pmihp_%s %g\n", name, s.FloatGauges[name])
+	}
+	for _, name := range sortedKeys(s.NodeFloats) {
+		gauge("pmihp_"+name, "Per-node gauge.")
+		for _, n := range sortedKeys(s.NodeFloats[name]) {
+			fmt.Fprintf(w, "pmihp_%s{node=\"%d\"} %g\n", name, n, s.NodeFloats[name][n])
+		}
+	}
 }

@@ -140,6 +140,8 @@ type Recorder struct {
 	beats        map[int]time.Time
 	gauges       map[string]int64
 	nodeGauges   map[string]map[int]int64
+	floatGauges  map[string]float64
+	nodeFloats   map[string]map[int]float64
 }
 
 // New returns a live Recorder.
@@ -155,6 +157,8 @@ func New(cfg Config) *Recorder {
 		beats:       make(map[int]time.Time),
 		gauges:      make(map[string]int64),
 		nodeGauges:  make(map[string]map[int]int64),
+		floatGauges: make(map[string]float64),
+		nodeFloats:  make(map[string]map[int]float64),
 	}
 }
 
@@ -315,6 +319,33 @@ func (r *Recorder) SetNodeGauge(name string, node int, v int64) {
 	r.mu.Unlock()
 }
 
+// SetFloatGauge sets a named cluster-level float gauge (e.g.
+// "pass_imbalance_ratio").
+func (r *Recorder) SetFloatGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.floatGauges[name] = v
+	r.mu.Unlock()
+}
+
+// SetNodeFloatGauge sets a named per-node float gauge (e.g.
+// "busy_seconds", "idle_seconds").
+func (r *Recorder) SetNodeFloatGauge(name string, node int, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	m := r.nodeFloats[name]
+	if m == nil {
+		m = make(map[int]float64)
+		r.nodeFloats[name] = m
+	}
+	m[node] = v
+	r.mu.Unlock()
+}
+
 // Events returns a copy of the retained event stream (Config.Keep).
 func (r *Recorder) Events() []Event {
 	if r == nil {
@@ -356,23 +387,25 @@ func (r *Recorder) appendLocked(e Event) {
 // Snapshot is a point-in-time copy of the recorder's aggregates, the
 // basis of both the Prometheus text and the expvar JSON endpoints.
 type Snapshot struct {
-	Passes        int64                    `json:"passes"`
-	CandidatesByK map[int]int64            `json:"candidates_by_k"`
-	PolledByK     map[int]int64            `json:"polled_by_k"`
-	PrunedTHT     int64                    `json:"pruned_tht"`
-	PrunedSubset  int64                    `json:"pruned_subset"`
-	TrimmedItems  int64                    `json:"trimmed_items"`
-	PrunedTx      int64                    `json:"pruned_tx"`
-	ScanSeconds   float64                  `json:"scan_seconds"`
-	ExchSeconds   float64                  `json:"exchange_seconds"`
-	WireBytes     int64                    `json:"wire_bytes"`
-	SpanSeconds   map[string]float64       `json:"span_seconds"`
-	SpanCount     map[string]int64         `json:"span_count"`
-	SpanBytes     map[string]int64         `json:"span_bytes"`
-	PassK         map[int]int              `json:"pass_progress"`
-	BeatAge       map[int]float64          `json:"heartbeat_age_seconds"`
-	Gauges        map[string]int64         `json:"gauges"`
-	NodeGauges    map[string]map[int]int64 `json:"node_gauges"`
+	Passes        int64                      `json:"passes"`
+	CandidatesByK map[int]int64              `json:"candidates_by_k"`
+	PolledByK     map[int]int64              `json:"polled_by_k"`
+	PrunedTHT     int64                      `json:"pruned_tht"`
+	PrunedSubset  int64                      `json:"pruned_subset"`
+	TrimmedItems  int64                      `json:"trimmed_items"`
+	PrunedTx      int64                      `json:"pruned_tx"`
+	ScanSeconds   float64                    `json:"scan_seconds"`
+	ExchSeconds   float64                    `json:"exchange_seconds"`
+	WireBytes     int64                      `json:"wire_bytes"`
+	SpanSeconds   map[string]float64         `json:"span_seconds"`
+	SpanCount     map[string]int64           `json:"span_count"`
+	SpanBytes     map[string]int64           `json:"span_bytes"`
+	PassK         map[int]int                `json:"pass_progress"`
+	BeatAge       map[int]float64            `json:"heartbeat_age_seconds"`
+	Gauges        map[string]int64           `json:"gauges"`
+	NodeGauges    map[string]map[int]int64   `json:"node_gauges"`
+	FloatGauges   map[string]float64         `json:"float_gauges"`
+	NodeFloats    map[string]map[int]float64 `json:"node_float_gauges"`
 }
 
 // Snap returns the current aggregates.
@@ -400,6 +433,8 @@ func (r *Recorder) Snap() Snapshot {
 		BeatAge:       make(map[int]float64, len(r.beats)),
 		Gauges:        make(map[string]int64, len(r.gauges)),
 		NodeGauges:    make(map[string]map[int]int64, len(r.nodeGauges)),
+		FloatGauges:   make(map[string]float64, len(r.floatGauges)),
+		NodeFloats:    make(map[string]map[int]float64, len(r.nodeFloats)),
 	}
 	for k, v := range r.candByK {
 		s.CandidatesByK[k] = v
@@ -432,6 +467,16 @@ func (r *Recorder) Snap() Snapshot {
 			cp[n] = v
 		}
 		s.NodeGauges[name] = cp
+	}
+	for n, v := range r.floatGauges {
+		s.FloatGauges[n] = v
+	}
+	for name, m := range r.nodeFloats {
+		cp := make(map[int]float64, len(m))
+		for n, v := range m {
+			cp[n] = v
+		}
+		s.NodeFloats[name] = cp
 	}
 	return s
 }

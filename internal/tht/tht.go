@@ -226,13 +226,16 @@ func BuildLocalShards(db *txdb.DB, entries, workers int) (*Local, []int) {
 		}
 		return l, counts
 	}
-	shards := mining.NumShards(n, workers)
+	// Each shard allocates and fills a whole Local for its range, so the
+	// build uses the static one-range-per-shard partition: the chunk-queue
+	// scheduler would construct (and merge) one table per chunk.
+	shards := mining.NumStatic(n, workers)
 	if shards <= 1 {
 		return build(0, n)
 	}
 	locals := make([]*Local, shards)
 	countsByShard := make([][]int, shards)
-	mining.RunShards(n, workers, func(s, lo, hi int) {
+	mining.RunStatic(n, workers, func(s, lo, hi int) {
 		locals[s], countsByShard[s] = build(lo, hi)
 	})
 	counts := countsByShard[0]

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"pmihp/internal/itemset"
+	"pmihp/internal/mining"
 )
 
 // The wire codec. Every message body is a flat little-endian encoding
@@ -49,6 +50,14 @@ type Init struct {
 	// mining.Options.DenseThreshold). A physical-layout knob only: it
 	// never changes counts or simulated charges.
 	DenseThreshold float64
+
+	// Partitioner records how the coordinator cut the session's
+	// partitions (mining.PartitionByCount or mining.PartitionByWork).
+	// The partition a node receives is already cut; the field makes the
+	// choice visible in daemon logs and traces, and pins it across
+	// failover resumptions (the resolved choice, like GlobalMin, never
+	// changes for a session's lifetime).
+	Partitioner int32
 
 	// HeartbeatMillis is the interval at which the daemon beats on the
 	// control connection (0 selects the daemon's default).
@@ -117,6 +126,16 @@ type NodeDone struct {
 	PhaseSeconds [4]float64
 }
 
+// Heartbeat is a daemon's periodic liveness beacon on the control
+// connection, carrying the node's mining progress so the coordinator
+// can compare pass positions across the fleet (the straggler
+// detector's input).
+type Heartbeat struct {
+	// Passes is the number of local counting passes the node has
+	// completed so far (0 until local mining starts).
+	Passes int32
+}
+
 // ErrorMsg aborts a session with an attributed cause.
 type ErrorMsg struct {
 	Text string
@@ -160,7 +179,7 @@ func AppendInit(b []byte, m Init) []byte {
 	for _, v := range []int32{
 		m.NodeID, m.Nodes, m.TotalDocs, m.NumItems, m.GlobalMin,
 		m.THTEntries, m.PartitionSize, m.MaxK, m.Workers,
-		m.HeartbeatMillis,
+		m.HeartbeatMillis, m.Partitioner,
 	} {
 		b = appendU32(b, uint32(v))
 	}
@@ -235,6 +254,11 @@ func AppendNodeDone(b []byte, m NodeDone) []byte {
 		b = appendF64(b, s)
 	}
 	return b
+}
+
+// AppendHeartbeat encodes a Heartbeat.
+func AppendHeartbeat(b []byte, m Heartbeat) []byte {
+	return appendU32(b, uint32(m.Passes))
 }
 
 // AppendError encodes an ErrorMsg.
@@ -387,7 +411,7 @@ func DecodeInit(b []byte) (Init, error) {
 	for _, p := range []*int32{
 		&m.NodeID, &m.Nodes, &m.TotalDocs, &m.NumItems, &m.GlobalMin,
 		&m.THTEntries, &m.PartitionSize, &m.MaxK, &m.Workers,
-		&m.HeartbeatMillis,
+		&m.HeartbeatMillis, &m.Partitioner,
 	} {
 		*p = r.i32()
 	}
@@ -405,6 +429,8 @@ func DecodeInit(b []byte) (Init, error) {
 			r.fail("init lists %d peer addresses for %d nodes", len(m.PeerAddrs), m.Nodes)
 		} else if m.DenseThreshold < 0 || math.IsNaN(m.DenseThreshold) {
 			r.fail("invalid dense threshold %v", m.DenseThreshold)
+		} else if !mining.Partitioner(m.Partitioner).Valid() {
+			r.fail("invalid partitioner %d", m.Partitioner)
 		}
 	}
 	return m, r.done()
@@ -487,6 +513,21 @@ func DecodeNodeDone(b []byte) (NodeDone, error) {
 	}
 	for i := range m.PhaseSeconds {
 		m.PhaseSeconds[i] = r.f64()
+	}
+	return m, r.done()
+}
+
+// DecodeHeartbeat decodes a Heartbeat payload. An empty payload is a
+// bare liveness beacon (no progress to report yet) and decodes to the
+// zero Heartbeat.
+func DecodeHeartbeat(b []byte) (Heartbeat, error) {
+	if len(b) == 0 {
+		return Heartbeat{}, nil
+	}
+	r := wireReader{b: b}
+	m := Heartbeat{Passes: r.i32()}
+	if r.err == nil && m.Passes < 0 {
+		r.fail("negative heartbeat pass count %d", m.Passes)
 	}
 	return m, r.done()
 }

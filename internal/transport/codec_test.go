@@ -68,6 +68,7 @@ func TestInitRoundTrip(t *testing.T) {
 		TotalDocs: 1000, NumItems: 5000, GlobalMin: 10,
 		THTEntries: 400, PartitionSize: 100, MaxK: 8, Workers: 2,
 		DenseThreshold:  0.0625,
+		Partitioner:     1,
 		HeartbeatMillis: 250,
 		PeerAddrs:       []string{"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"},
 		DB:              []byte("PMDB-partition-bytes"),
@@ -101,6 +102,32 @@ func TestInitRoundTrip(t *testing.T) {
 	bad.DenseThreshold = math.NaN()
 	if _, err := DecodeInit(AppendInit(nil, bad)); err == nil {
 		t.Fatal("want error for NaN dense threshold")
+	}
+	bad = in
+	bad.Partitioner = 7
+	if _, err := DecodeInit(AppendInit(nil, bad)); err == nil {
+		t.Fatal("want error for unknown partitioner")
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	in := Heartbeat{Passes: 12}
+	out, err := DecodeHeartbeat(AppendHeartbeat(nil, in))
+	if err != nil || out != in {
+		t.Fatalf("got %+v, %v; want %+v", out, err, in)
+	}
+	// An empty payload is a bare beacon, not corruption.
+	if out, err := DecodeHeartbeat(nil); err != nil || out != (Heartbeat{}) {
+		t.Fatalf("empty payload: got %+v, %v", out, err)
+	}
+	if _, err := DecodeHeartbeat(AppendHeartbeat(nil, Heartbeat{Passes: -1})); err == nil {
+		t.Fatal("want error for negative pass count")
+	}
+	if _, err := DecodeHeartbeat([]byte{1, 2}); err == nil {
+		t.Fatal("want error for truncated heartbeat")
+	}
+	if _, err := DecodeHeartbeat(append(AppendHeartbeat(nil, in), 0xAB)); err == nil {
+		t.Fatal("want error for trailing bytes")
 	}
 }
 

@@ -25,8 +25,9 @@ import (
 // Decoders reject frames from other versions. Version 2 added the
 // Hello routing target (To), session heartbeats/progress reports, and
 // the resumable-session fields of Init. Version 3 added the Init
-// posting-density threshold.
-const WireVersion = 3
+// posting-density threshold. Version 4 added the Init partitioner and
+// the heartbeat pass-progress payload.
+const WireVersion = 4
 
 // MaxFrame bounds a frame payload; oversized length prefixes are
 // rejected before any allocation (a corrupt or hostile peer cannot make
@@ -48,8 +49,10 @@ const (
 	MsgError
 	MsgShutdown
 	// MsgHeartbeat is a daemon's periodic liveness beacon on the control
-	// connection (empty payload); the coordinator declares a node dead
-	// after a configurable quiet interval.
+	// connection; the coordinator declares a node dead after a
+	// configurable quiet interval. The payload is an encoded Heartbeat
+	// carrying the node's pass progress, which the coordinator's
+	// straggler detector compares across the fleet.
 	MsgHeartbeat
 	// MsgProgress carries an encoded Checkpoint from node 0 to the
 	// coordinator after a collective completes, so a failed session can
