@@ -9,6 +9,7 @@
 //	pmihp-bench -benchjson BENCH_dev.json [-rev dev] [-baseline BENCH_baseline.json]
 //	pmihp-bench -crossover
 //	pmihp-bench -exp e3 -cpuprofile cpu.prof -memprofile mem.prof
+//	pmihp-bench -serve-load http://127.0.0.1:8397 -serve-report load.json
 //
 // The -benchjson mode runs the E1–E9 benchmark workloads under the standard
 // Go benchmark driver and writes ns/op, allocs/op, bytes held, and simulated
@@ -16,6 +17,12 @@
 // workload's wall-clock or held memory regresses by more than 20% or any
 // simulated time drifts; baselines written before the current report schema
 // are compared on wall-clock only, with a notice.
+//
+// The -serve-load mode drives a running pmihp-serve daemon with concurrent
+// clients issuing Zipf-distributed /expand queries, a cold-cache phase and
+// then a warm-cache replay of the same sequence, and prints QPS, latency
+// quantiles, and error counts per phase; -serve-report writes the full JSON
+// report. It exits nonzero when any request errors out.
 //
 // The -crossover mode sweeps posting-list density and times one pair
 // intersection under the all-compressed and all-bitmap layouts, reporting
@@ -57,6 +64,14 @@ func realMain() int {
 		crossover  = flag.Bool("crossover", false, "sweep posting density and report the block/bitmap kernel crossover")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+
+		serveLoad   = flag.String("serve-load", "", "load-test the pmihp-serve daemon at this base URL")
+		serveClient = flag.Int("serve-clients", 8, "concurrent clients for -serve-load")
+		serveReqs   = flag.Int("serve-requests", 2000, "requests per phase for -serve-load")
+		serveZipfS  = flag.Float64("serve-zipf-s", 1.2, "Zipf s parameter for -serve-load head selection (> 1)")
+		serveLimit  = flag.Int("serve-limit", 5, "per-word term limit sent with -serve-load queries")
+		serveSeed   = flag.Int64("serve-seed", 1, "deterministic request-sequence seed for -serve-load")
+		serveReport = flag.String("serve-report", "", "write the -serve-load JSON report to this file")
 	)
 	flag.Parse()
 
@@ -88,6 +103,16 @@ func realMain() int {
 		}()
 	}
 
+	if *serveLoad != "" {
+		return runServeLoad(benchharness.LoadConfig{
+			BaseURL:  strings.TrimRight(*serveLoad, "/"),
+			Clients:  *serveClient,
+			Requests: *serveReqs,
+			Limit:    *serveLimit,
+			ZipfS:    *serveZipfS,
+			Seed:     *serveSeed,
+		}, *serveReport)
+	}
 	if *crossover {
 		core.KernelCrossover(os.Stdout, 0)
 		return 0
@@ -142,6 +167,37 @@ func realMain() int {
 		return 2
 	}
 	if !run(e) {
+		return 1
+	}
+	return 0
+}
+
+// runServeLoad drives the daemon through the cold/warm load phases,
+// optionally writes the JSON report, and fails on any request error.
+func runServeLoad(cfg benchharness.LoadConfig, reportPath string) int {
+	rep, err := benchharness.RunLoad(cfg, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
+		return 1
+	}
+	if reportPath != "" {
+		f, err := os.Create(reportPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
+			return 1
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "pmihp-bench:", werr)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", reportPath)
+	}
+	if rep.Cold.Errors+rep.Warm.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "pmihp-bench: serve-load saw %d errors\n", rep.Cold.Errors+rep.Warm.Errors)
 		return 1
 	}
 	return 0

@@ -7,6 +7,7 @@
 //
 //	pmihp-mine -algo pmihp -corpus b -scale small -minsup 0.02 -nodes 8 -rules 20
 //	pmihp-mine -algo mihp -corpus a -minsup-count 5 -top 25
+//	pmihp-mine -corpus b -minsup-count 3 -rules-out rules.json   # export for pmihp-serve
 //	pmihp-mine -in docs.txt -algo pmihp -minsup-count 2       # line-format file
 //	pmihp-mine -trec wsj_0401 -algo mihp -minsup 0.02         # TREC markup
 //	pmihp-mine -spawn 4 -node-bin ./pmihp-node -minsup-count 2   # real 4-process cluster
@@ -112,6 +113,7 @@ func run(args []string, out io.Writer) error {
 		top          = fs.Int("top", 15, "frequent itemsets to print")
 		nRules       = fs.Int("rules", 10, "association rules to print (0 to skip)")
 		minConf      = fs.Float64("minconf", 0.75, "minimum rule confidence")
+		rulesOut     = fs.String("rules-out", "", "export the full rule set (at -minconf) as JSON to this file, for pmihp-serve")
 		metricsAddr  = fs.String("metrics-addr", "", "serve live metrics on this address (/metrics, /snapshot, /debug/pprof)")
 		traceJSON    = fs.String("trace-json", "", "write per-pass/span/poll events as JSON lines to this file")
 		linger       = fs.Duration("metrics-linger", 0, "keep the -metrics-addr endpoint up this long after mining finishes")
@@ -328,14 +330,30 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	if *nRules > 0 {
+	if *nRules > 0 || *rulesOut != "" {
 		rs := rules.Generate(result.Frequent, db.Len(), *minConf)
-		fmt.Fprintf(out, "\n%d rules at minconf %.2f; top %d:\n", len(rs), *minConf, *nRules)
-		for i, r := range rs {
-			if i >= *nRules {
-				break
+		if *nRules > 0 {
+			fmt.Fprintf(out, "\n%d rules at minconf %.2f; top %d:\n", len(rs), *minConf, *nRules)
+			for i, r := range rs {
+				if i >= *nRules {
+					break
+				}
+				fmt.Fprintf(out, "  %s\n", r.Render(vocab.Word))
 			}
-			fmt.Fprintf(out, "  %s\n", r.Render(vocab.Word))
+		}
+		if *rulesOut != "" {
+			f, ferr := os.Create(*rulesOut)
+			if ferr != nil {
+				return fmt.Errorf("creating rules export: %w", ferr)
+			}
+			werr := rules.WriteJSON(f, rs, vocab.Word)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("writing rules export: %w", werr)
+			}
+			fmt.Fprintf(out, "wrote %d rules (minconf %.2f) to %s\n", len(rs), *minConf, *rulesOut)
 		}
 	}
 	return nil

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"pmihp/internal/distmine"
+	"pmihp/internal/rules"
 )
 
 func TestRunMissingCorpusFile(t *testing.T) {
@@ -43,6 +44,46 @@ func TestRunPresetCorpus(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "frequent itemsets found") {
 		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+// TestRunRulesOut exports the mined rule set and checks the file parses
+// back into the exact canonical set pmihp-serve would build from — even
+// with -rules 0, since the export alone forces rule generation.
+func TestRunRulesOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rules.json")
+	var out strings.Builder
+	err := run([]string{"-corpus", "b", "-scale", "small", "-minsup-count", "3", "-maxk", "3",
+		"-rules", "0", "-minconf", "0.5", "-rules-out", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote") || !strings.Contains(out.String(), path) {
+		t.Fatalf("missing export line:\n%s", out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ws, err := rules.ParseJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) == 0 {
+		t.Fatal("export contains no rules")
+	}
+	for i := 1; i < len(ws); i++ {
+		if rules.CanonWord(ws[i-1], ws[i]) > 0 {
+			t.Fatalf("export not in canonical order at %d", i)
+		}
+	}
+
+	// An unwritable path must fail loudly, not export silently.
+	err = run([]string{"-corpus", "b", "-scale", "small", "-minsup-count", "3", "-maxk", "3",
+		"-rules", "0", "-rules-out", filepath.Join(t.TempDir(), "no", "such", "dir.json")}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "rules export") {
+		t.Fatalf("expected export error, got %v", err)
 	}
 }
 

@@ -1,0 +1,124 @@
+package benchharness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"net/http/httptest"
+
+	"pmihp/internal/core"
+	"pmihp/internal/corpus"
+	"pmihp/internal/mining"
+	"pmihp/internal/obs"
+	"pmihp/internal/rules"
+	"pmihp/internal/serve"
+	"pmihp/internal/text"
+)
+
+// TestRunLoadAgainstLiveServer is the in-process version of the CI smoke
+// gate: mine a small rule set, serve it, drive a short Zipf burst through
+// both phases, and require zero errors with the warm phase riding the
+// cache.
+func TestRunLoadAgainstLiveServer(t *testing.T) {
+	docs := corpus.MustGenerate(corpus.CorpusB(corpus.Small))
+	db, vocab := text.ToDB(docs, nil)
+	result, err := core.MinePMIHP(db, core.PMIHPConfig{Nodes: 4}, mining.Options{MinSupCount: 3, MaxK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := rules.ToWordRules(rules.Generate(result.Result.Frequent, db.Len(), 0.5), vocab.Word)
+
+	srv := serve.NewServer(serve.Config{Replicas: 2, CacheSize: 256})
+	if _, err := srv.Swap(ws, "load test"); err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New(obs.Config{})
+	ts := httptest.NewServer(srv.Handler(rec))
+	defer ts.Close()
+
+	var log strings.Builder
+	rep, err := RunLoad(LoadConfig{
+		BaseURL:  ts.URL,
+		Clients:  4,
+		Requests: 400,
+		Seed:     11,
+		Timeout:  10 * time.Second,
+	}, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cold == nil || rep.Warm == nil {
+		t.Fatalf("missing phase: %+v", rep)
+	}
+	for _, p := range []*LoadPhase{rep.Cold, rep.Warm} {
+		if p.Errors != 0 || p.DeadlineExceeded != 0 {
+			t.Fatalf("%s phase: %d errors, %d deadline-exceeded", p.Name, p.Errors, p.DeadlineExceeded)
+		}
+		if p.Requests != 400 || p.QPS <= 0 || p.Seconds <= 0 {
+			t.Fatalf("%s phase accounting: %+v", p.Name, p)
+		}
+		if p.P50Ms > p.P95Ms || p.P95Ms > p.P99Ms {
+			t.Fatalf("%s quantiles not monotone: %+v", p.Name, p)
+		}
+	}
+	if rep.Heads == 0 || rep.Generation != 1 {
+		t.Fatalf("discovery: %+v", rep)
+	}
+	// The cold phase populates the cache; the warm phase replays the same
+	// sequence and must hit it.
+	if rep.Cold.CacheMisses == 0 {
+		t.Fatalf("cold phase never missed the cache: %+v", rep.Cold)
+	}
+	if rep.Warm.CacheHits == 0 {
+		t.Fatalf("warm phase never hit the cache: %+v", rep.Warm)
+	}
+	if rep.Warm.CacheMisses >= rep.Cold.CacheMisses {
+		t.Fatalf("warm misses (%d) not below cold misses (%d)", rep.Warm.CacheMisses, rep.Cold.CacheMisses)
+	}
+	if !strings.Contains(log.String(), "cold") || !strings.Contains(log.String(), "warm") {
+		t.Fatalf("log missing phase lines:\n%s", log.String())
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back LoadReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cold.Requests != rep.Cold.Requests || back.Warm.QPS != rep.Warm.QPS {
+		t.Fatal("report did not round-trip")
+	}
+}
+
+func TestRunLoadErrors(t *testing.T) {
+	if _, err := RunLoad(LoadConfig{BaseURL: "http://127.0.0.1:1", Timeout: time.Second}, nil); err == nil {
+		t.Fatal("unreachable daemon accepted")
+	}
+	srv := serve.NewServer(serve.Config{})
+	ts := httptest.NewServer(srv.Handler(nil))
+	defer ts.Close()
+	// No generation loaded: /admin/heads answers 503, discovery must fail.
+	if _, err := RunLoad(LoadConfig{BaseURL: ts.URL}, nil); err == nil {
+		t.Fatal("unloaded daemon accepted")
+	}
+}
+
+func TestLoadConfigDefaults(t *testing.T) {
+	cfg := LoadConfig{}
+	cfg.fill()
+	if cfg.Clients != 8 || cfg.Requests != 2000 || cfg.Limit != 5 || cfg.ZipfS != 1.2 || cfg.ZipfV != 1.0 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	one := []time.Duration{time.Millisecond}
+	if q := quantile(one, 0.99); q != 1 {
+		t.Fatalf("single-sample quantile = %v", q)
+	}
+}

@@ -1,0 +1,175 @@
+package rules
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pmihp/internal/itemset"
+)
+
+// TestGenerateOrderIsCanonicalAndTotal: Canon is a total order over
+// distinct rules (no two generated rules ever compare equal), so the
+// output order cannot depend on anything but the rule set itself.
+func TestGenerateOrderIsCanonicalAndTotal(t *testing.T) {
+	rs := Generate(fixture(), 4, 0.5)
+	if len(rs) < 2 {
+		t.Fatalf("fixture generated %d rules", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if Canon(rs[i-1], rs[i]) >= 0 {
+			t.Fatalf("rules %d,%d out of canonical order: %v then %v", i-1, i, rs[i-1], rs[i])
+		}
+	}
+	// Permuting the frequent-itemset input must not move a single rule.
+	in := fixture()
+	for trial := 0; trial < 20; trial++ {
+		rand.New(rand.NewSource(int64(trial))).Shuffle(len(in), func(i, j int) {
+			in[i], in[j] = in[j], in[i]
+		})
+		got := Generate(in, 4, 0.5)
+		if len(got) != len(rs) {
+			t.Fatalf("trial %d: %d rules, want %d", trial, len(got), len(rs))
+		}
+		for i := range got {
+			if Canon(got[i], rs[i]) != 0 {
+				t.Fatalf("trial %d: rule %d differs: %v vs %v", trial, i, got[i], rs[i])
+			}
+		}
+	}
+	// Ties in (confidence, support) break on antecedent then consequent,
+	// ascending — pinned explicitly, not just via the comparator.
+	a := Rule{Antecedent: itemset.New(1), Consequent: itemset.New(3), Support: 2, Confidence: 0.5}
+	b := Rule{Antecedent: itemset.New(2), Consequent: itemset.New(3), Support: 2, Confidence: 0.5}
+	c := Rule{Antecedent: itemset.New(1), Consequent: itemset.New(4), Support: 2, Confidence: 0.5}
+	if Canon(a, b) >= 0 || Canon(b, a) <= 0 || Canon(a, c) >= 0 {
+		t.Fatal("tie-break order wrong")
+	}
+	if Canon(a, a) != 0 {
+		t.Fatal("rule not equal to itself")
+	}
+	shuffled := []Rule{b, c, a}
+	SortCanonical(shuffled)
+	if Canon(shuffled[0], a) != 0 || Canon(shuffled[1], c) != 0 || Canon(shuffled[2], b) != 0 {
+		t.Fatalf("SortCanonical order: %v", shuffled)
+	}
+}
+
+func TestGenerateEmptyAndDegenerate(t *testing.T) {
+	if rs := Generate(nil, 4, 0.5); len(rs) != 0 {
+		t.Fatalf("rules from an empty frequent set: %v", rs)
+	}
+	// Single-item sets alone admit no rules: both sides must be non-empty.
+	singles := []itemset.Counted{
+		{Set: itemset.New(1), Count: 4},
+		{Set: itemset.New(2), Count: 3},
+	}
+	if rs := Generate(singles, 4, 0.1); len(rs) != 0 {
+		t.Fatalf("rules from 1-itemsets only: %v", rs)
+	}
+}
+
+// TestConfidenceOneBoundary: minconf 1.0 keeps exactly the certain
+// rules, and their confidence is exactly 1.0 (count division, not an
+// approximation).
+func TestConfidenceOneBoundary(t *testing.T) {
+	rs := Generate(fixture(), 4, 1.0)
+	if len(rs) == 0 {
+		t.Fatal("no rules at minconf 1.0; fixture has certain rules (2=>1)")
+	}
+	for _, r := range rs {
+		if r.Confidence != 1.0 {
+			t.Fatalf("minconf 1.0 kept %v", r)
+		}
+	}
+	// Just above is impossible to satisfy.
+	if over := Generate(fixture(), 4, math.Nextafter(1.0, 2.0)); len(over) != 0 {
+		t.Fatalf("rules above confidence 1.0: %v", over)
+	}
+}
+
+// TestJSONRoundTrip: WriteJSON → ParseJSON must reproduce every field
+// bit-exactly, including a zero supportFraction surviving its omitempty
+// tag, so a served index built from the export equals one built in
+// process.
+func TestJSONRoundTrip(t *testing.T) {
+	rs := Generate(fixture(), 4, 0.5)
+	// Item ids are assigned in lexical word order (text.ToDB), so the
+	// test vocabulary must respect that: ParseJSON normalizes each side
+	// to word order, which only equals id order under the invariant.
+	names := map[itemset.Item]string{1: "apple", 2: "berry", 3: "citrus"}
+	name := func(it itemset.Item) string { return names[it] }
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rs, name); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := ParseJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := ToWordRules(rs, name)
+	if len(ws) != len(direct) {
+		t.Fatalf("parsed %d rules, want %d", len(ws), len(direct))
+	}
+	for i := range ws {
+		got := mustMarshal(t, ws[i])
+		want := mustMarshal(t, direct[i])
+		if !bytes.Equal(got, want) {
+			t.Fatalf("rule %d: %s vs %s", i, got, want)
+		}
+	}
+
+	// Frac == 0 is dropped by omitempty on the wire; it must come back as
+	// exactly 0, and rules without lift likewise.
+	bare := []Rule{{Antecedent: itemset.New(1), Consequent: itemset.New(2), Support: 7, Confidence: 0.9}}
+	buf.Reset()
+	if err := WriteJSON(&buf, bare, name); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "supportFraction") || strings.Contains(buf.String(), "lift") {
+		t.Fatalf("zero optional fields serialized:\n%s", buf.String())
+	}
+	back, err := ParseJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Frac != 0 || back[0].Lift != 0 || back[0].Support != 7 {
+		t.Fatalf("round-tripped %+v", back)
+	}
+}
+
+func TestParseJSONRejectsInvalid(t *testing.T) {
+	for name, in := range map[string]string{
+		"not json":          "{nope",
+		"empty antecedent":  `[{"antecedent":[],"consequent":["b"],"support":1,"confidence":0.5}]`,
+		"empty consequent":  `[{"antecedent":["a"],"consequent":[],"support":1,"confidence":0.5}]`,
+		"overlapping sides": `[{"antecedent":["a"],"consequent":["a"],"support":1,"confidence":0.5}]`,
+		"zero confidence":   `[{"antecedent":["a"],"consequent":["b"],"support":1,"confidence":0}]`,
+		"confidence over 1": `[{"antecedent":["a"],"consequent":["b"],"support":1,"confidence":1.5}]`,
+	} {
+		if _, err := ParseJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// A duplicate word inside one side dedupes rather than errors.
+	ws, err := ParseJSON(strings.NewReader(`[{"antecedent":["b","a","a"],"consequent":["c"],"support":1,"confidence":0.5}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1 || len(ws[0].Antecedent) != 2 || ws[0].Antecedent[0] != "a" {
+		t.Fatalf("dedup/sort: %+v", ws)
+	}
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+package rules
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+
+	"pmihp/internal/itemset"
+)
+
+// WordRule is an association rule in word form — the shape WriteJSON
+// exports and the serving layer consumes. Sides are sorted lexically and
+// deduplicated, mirroring the itemset invariant (item ids are assigned in
+// lexical word order, so the orders coincide).
+type WordRule struct {
+	Antecedent []string `json:"antecedent"`
+	Consequent []string `json:"consequent"`
+	Support    int      `json:"support"`
+	Frac       float64  `json:"supportFraction,omitempty"`
+	Confidence float64  `json:"confidence"`
+	Lift       float64  `json:"lift,omitempty"`
+}
+
+// ToWordRules renders rules into word form through name, preserving order.
+func ToWordRules(rs []Rule, name func(itemset.Item) string) []WordRule {
+	out := make([]WordRule, len(rs))
+	for i, r := range rs {
+		out[i] = WordRule{
+			Antecedent: words(r.Antecedent, name),
+			Consequent: words(r.Consequent, name),
+			Support:    r.Support,
+			Frac:       r.Frac,
+			Confidence: r.Confidence,
+			Lift:       r.Lift,
+		}
+	}
+	return out
+}
+
+// CanonWord is Canon on word-form rules: confidence desc, support desc,
+// then lexicographic antecedent and consequent word lists. Because item
+// ids are assigned in lexical word order, CanonWord on rendered rules
+// agrees exactly with Canon on the originals.
+func CanonWord(a, b WordRule) int {
+	switch {
+	case a.Confidence > b.Confidence:
+		return -1
+	case a.Confidence < b.Confidence:
+		return 1
+	}
+	switch {
+	case a.Support > b.Support:
+		return -1
+	case a.Support < b.Support:
+		return 1
+	}
+	if c := slices.Compare(a.Antecedent, b.Antecedent); c != 0 {
+		return c
+	}
+	return slices.Compare(a.Consequent, b.Consequent)
+}
+
+// SortWordRules sorts word rules into the CanonWord order in place.
+func SortWordRules(ws []WordRule) {
+	sort.Slice(ws, func(i, j int) bool { return CanonWord(ws[i], ws[j]) < 0 })
+}
+
+// ParseJSON reads a rule set written by WriteJSON (a JSON array of word
+// rules). Sides are normalized — sorted lexically, deduplicated — and
+// validated: every rule must have a non-empty antecedent and consequent
+// with no overlap, and a confidence in (0, 1].
+func ParseJSON(r io.Reader) ([]WordRule, error) {
+	var ws []WordRule
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&ws); err != nil {
+		return nil, fmt.Errorf("rules: parsing JSON rule set: %w", err)
+	}
+	for i := range ws {
+		ws[i].Antecedent = normalizeSide(ws[i].Antecedent)
+		ws[i].Consequent = normalizeSide(ws[i].Consequent)
+		if len(ws[i].Antecedent) == 0 || len(ws[i].Consequent) == 0 {
+			return nil, fmt.Errorf("rules: rule %d has an empty side", i)
+		}
+		for _, w := range ws[i].Consequent {
+			if slices.Contains(ws[i].Antecedent, w) {
+				return nil, fmt.Errorf("rules: rule %d repeats %q on both sides", i, w)
+			}
+		}
+		if c := ws[i].Confidence; c <= 0 || c > 1 {
+			return nil, fmt.Errorf("rules: rule %d has confidence %v outside (0, 1]", i, c)
+		}
+	}
+	return ws, nil
+}
+
+// normalizeSide sorts and deduplicates one side's word list in place.
+func normalizeSide(s []string) []string {
+	slices.Sort(s)
+	return slices.Compact(s)
+}

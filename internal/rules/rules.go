@@ -56,11 +56,42 @@ func (r Rule) Render(name func(itemset.Item) string) string {
 	return b.String()
 }
 
+// Canon is the canonical total order on rules: confidence descending,
+// then support descending, then lexicographic antecedent, then
+// lexicographic consequent. No two distinct rules compare equal (equal
+// sides imply the same rule), so any rule set sorted by Canon has exactly
+// one order regardless of how it was produced — the property the serving
+// layer's byte-identity gate against the offline Expander rests on.
+func Canon(a, b Rule) int {
+	switch {
+	case a.Confidence > b.Confidence:
+		return -1
+	case a.Confidence < b.Confidence:
+		return 1
+	}
+	switch {
+	case a.Support > b.Support:
+		return -1
+	case a.Support < b.Support:
+		return 1
+	}
+	if c := itemset.Compare(a.Antecedent, b.Antecedent); c != 0 {
+		return c
+	}
+	return itemset.Compare(a.Consequent, b.Consequent)
+}
+
+// SortCanonical sorts rules into the Canon order in place.
+func SortCanonical(rs []Rule) {
+	sort.Slice(rs, func(i, j int) bool { return Canon(rs[i], rs[j]) < 0 })
+}
+
 // Generate forms all rules meeting minConf from the frequent itemsets.
 // frequent must contain every frequent itemset with its exact support
 // (including the 1-itemsets, which seed the support lookups); dbLen is the
-// number of transactions. Rules are returned ranked by confidence, then
-// support, then antecedent order, so output is deterministic.
+// number of transactions. Rules are returned in the Canon order —
+// confidence desc, ties by support desc, then lexicographic antecedent and
+// consequent — so output never depends on the order of frequent.
 func Generate(frequent []itemset.Counted, dbLen int, minConf float64) []Rule {
 	support := make(map[string]int, len(frequent))
 	for _, c := range frequent {
@@ -99,18 +130,7 @@ func Generate(frequent []itemset.Counted, dbLen int, minConf float64) []Rule {
 			out = append(out, r)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Confidence != out[j].Confidence {
-			return out[i].Confidence > out[j].Confidence
-		}
-		if out[i].Support != out[j].Support {
-			return out[i].Support > out[j].Support
-		}
-		if c := itemset.Compare(out[i].Antecedent, out[j].Antecedent); c != 0 {
-			return c < 0
-		}
-		return itemset.Compare(out[i].Consequent, out[j].Consequent) < 0
-	})
+	SortCanonical(out)
 	return out
 }
 

@@ -137,13 +137,20 @@ type Expander struct {
 	rules []rules.Rule
 }
 
-// NewExpander returns an Expander over the rule set.
+// NewExpander returns an Expander over the rule set. The rules are
+// copied and sorted into the canonical rules.Canon order, so expansions
+// never depend on the order the caller assembled the rule set in — a
+// rule set parsed back from a JSON export expands identically to the
+// freshly generated one.
 func NewExpander(rs []rules.Rule, vocab *text.Vocabulary) *Expander {
-	return &Expander{vocab: vocab, rules: rs}
+	sorted := append([]rules.Rule(nil), rs...)
+	rules.SortCanonical(sorted)
+	return &Expander{vocab: vocab, rules: sorted}
 }
 
 // Expand returns, for each query word C, the words B of rules B ⇒ C with
-// single-item antecedents, strongest rules first, up to limit terms per
+// single-item antecedents, strongest rules first (ties broken by support,
+// then lexicographic sides — see rules.Canon), up to limit terms per
 // word — the statistical-thesaurus expansion of the paper's introduction.
 func (e *Expander) Expand(limit int, words ...string) []Expansion {
 	var out []Expansion

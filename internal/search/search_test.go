@@ -6,6 +6,7 @@ import (
 
 	"pmihp/internal/corpus"
 	"pmihp/internal/itemset"
+	"pmihp/internal/mining"
 	"pmihp/internal/rules"
 	"pmihp/internal/text"
 	"pmihp/internal/txdb"
@@ -118,6 +119,58 @@ func TestExpandLimit(t *testing.T) {
 	got := exp.Expand(2, "market")
 	if len(got[0].Terms) != 2 {
 		t.Fatalf("limit ignored: %d terms", len(got[0].Terms))
+	}
+}
+
+// TestExpandInputOrderIndependence: the Expander canonicalizes its rule
+// set at construction, so shuffling the caller's slice — including ties
+// in confidence and support — must not change a single expansion term.
+func TestExpandInputOrderIndependence(t *testing.T) {
+	docs := corpus.MustGenerate(corpus.CorpusB(corpus.Small))
+	db, vocab := text.ToDB(docs, nil)
+	res := mining.BruteForce(db, mining.Options{MinSupCount: 3, MaxK: 3})
+	rs := rules.Generate(res.Frequent, db.Len(), 0.5)
+	if len(rs) < 4 {
+		t.Fatalf("fixture mined only %d rules", len(rs))
+	}
+	base := NewExpander(rs, vocab)
+	queries := make([]string, vocab.Size())
+	for i := range queries {
+		queries[i] = vocab.Word(uint32(i))
+	}
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]rules.Rule(nil), rs...)
+		rand.New(rand.NewSource(int64(trial))).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		exp := NewExpander(shuffled, vocab)
+		for _, q := range queries {
+			want := base.Expand(3, q)
+			got := exp.Expand(3, q)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d query %q: %d expansions, want %d", trial, q, len(got), len(want))
+			}
+			for i := range want {
+				if len(got[i].Terms) != len(want[i].Terms) {
+					t.Fatalf("trial %d query %q: %d terms, want %d", trial, q, len(got[i].Terms), len(want[i].Terms))
+				}
+				for j := range want[i].Terms {
+					gt, wt := got[i].Terms[j], want[i].Terms[j]
+					if gt.Word != wt.Word || rules.Canon(gt.Rule, wt.Rule) != 0 {
+						t.Fatalf("trial %d query %q term %d: %+v, want %+v", trial, q, j, gt, wt)
+					}
+				}
+			}
+		}
+	}
+	// The caller's slice itself must be left untouched (Expander sorts a
+	// copy).
+	before := append([]rules.Rule(nil), rs...)
+	NewExpander(rs, vocab)
+	for i := range rs {
+		if rules.Canon(rs[i], before[i]) != 0 {
+			t.Fatal("NewExpander reordered the caller's slice")
+		}
 	}
 }
 

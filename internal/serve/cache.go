@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// lruCache is a fixed-capacity LRU over marshaled response payloads,
+// keyed by (generation, endpoint, query, limit) strings. Entries from a
+// retired generation are never served again (their keys embed the
+// generation id) and age out through normal eviction. One cache lives in
+// each replica, so hot-head lookups contend only within their shard.
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recent
+	items    map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element, capacity)}
+}
+
+// get returns the cached payload and records a hit or miss. A nil cache
+// (caching disabled) always misses without recording.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts the payload, evicting the least-recently-used entry when
+// over capacity.
+func (c *lruCache) put(key string, val []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the live entry count.
+func (c *lruCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flightGroup coalesces concurrent computations of the same key: the
+// first caller (the leader) runs fn; followers arriving while it runs
+// wait for its result instead of recomputing — the classic singleflight
+// shape, written against context so a follower still honors its own
+// query deadline while waiting. Coalesced counts the follower waits.
+type flightGroup struct {
+	mu        sync.Mutex
+	calls     map[string]*flightCall
+	coalesced atomic.Int64
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn for key, or waits for an in-flight run of the same key.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() ([]byte, error)) ([]byte, error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		g.coalesced.Add(1)
+		select {
+		case <-c.done:
+			return c.val, c.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err
+}

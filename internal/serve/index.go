@@ -1,0 +1,471 @@
+// Package serve is the online rule-serving layer: the paper mines text
+// associations *for query expansion* (§1), and this package answers those
+// expansion/association queries at high QPS over a mined rule set — the
+// "millions of users" leg of the roadmap's north star.
+//
+// The rule set is compiled into an immutable Index (this file): a compact
+// head→rules structure with sorted hash buckets and delta-varint entry
+// encoding, following the layout discipline of the mining side's
+// compressed inverted file (internal/core/postings.go) — one byte blob,
+// flat offset arrays, MemBytes accounting. Queries never mutate an Index;
+// updates arrive as whole new Generations (generation.go) swapped behind
+// atomic pointers by the Server (server.go).
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"unsafe"
+
+	"pmihp/internal/rules"
+)
+
+// Index is the immutable serving form of a rule set: every rule with a
+// single-word consequent (the "head"), grouped by head, in the canonical
+// rules.CanonWord order within each group.
+//
+// Layout. Words are interned once into wordBlob/wordOff, lexically sorted
+// so a word id doubles as a lexical rank. Each head owns one bucket,
+// located by binary search over the sorted headHash array (FNV-1a of the
+// head word; equal hashes are a sorted run resolved by comparing the
+// stored head word). A bucket's entries live in one shared byte blob:
+// per rule, the antecedent length and its strictly-increasing word ids
+// delta-encoded as varints, then the support count and the IEEE bit
+// patterns of confidence, lift, and support fraction as varints — bit
+// patterns, not decimal renderings, so a served score is the exact
+// float64 the miner computed and the byte-identity gate against the
+// offline Expander holds.
+type Index struct {
+	wordBlob []byte   // all distinct words, concatenated in lexical order
+	wordOff  []uint32 // word i is wordBlob[wordOff[i]:wordOff[i+1]]; len W+1
+
+	headHash  []uint64 // per bucket: FNV-1a hash of the head word, sorted
+	headID    []uint32 // per bucket: the head's word id (collision arbiter)
+	headCount []uint32 // per bucket: number of rules
+	headOff   []uint32 // per bucket: byte offset of its entries; +1 sentinel
+	entries   []byte   // delta-varint rule entries, all buckets concatenated
+
+	ruleCount int // rules indexed (single-word consequents)
+	skipped   int // rules dropped for multi-word consequents
+}
+
+// fnv64a is FNV-1a over the word bytes, allocation-free.
+func fnv64a(s string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// BuildIndex compiles a rule set into its immutable serving form. The
+// input is canonicalized first (rules.SortWordRules), so any ordering of
+// the same rules — freshly generated, parsed back from JSON, shuffled —
+// builds a byte-identical index. Rules whose consequent is more than one
+// word are not addressable by a head query and are skipped (counted in
+// Stats). An empty rule set is an error: a serving generation with
+// nothing to serve is almost always a mis-export.
+func BuildIndex(ws []rules.WordRule) (*Index, error) {
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("serve: empty rule set")
+	}
+	sorted := append([]rules.WordRule(nil), ws...)
+	rules.SortWordRules(sorted)
+
+	// Intern every distinct word, lexically.
+	seen := make(map[string]struct{})
+	for _, r := range sorted {
+		for _, w := range r.Antecedent {
+			seen[w] = struct{}{}
+		}
+		for _, w := range r.Consequent {
+			seen[w] = struct{}{}
+		}
+	}
+	dict := make([]string, 0, len(seen))
+	for w := range seen {
+		dict = append(dict, w)
+	}
+	sort.Strings(dict)
+	id := make(map[string]uint32, len(dict))
+	ix := &Index{wordOff: make([]uint32, 1, len(dict)+1)}
+	for i, w := range dict {
+		id[w] = uint32(i)
+		ix.wordBlob = append(ix.wordBlob, w...)
+		ix.wordOff = append(ix.wordOff, uint32(len(ix.wordBlob)))
+	}
+
+	// Group rules by head, keeping the canonical order within each group.
+	byHead := make(map[uint32][]int)
+	for i, r := range sorted {
+		if len(r.Consequent) != 1 {
+			ix.skipped++
+			continue
+		}
+		h := id[r.Consequent[0]]
+		byHead[h] = append(byHead[h], i)
+		ix.ruleCount++
+	}
+	if ix.ruleCount == 0 {
+		return nil, fmt.Errorf("serve: no single-word-consequent rules to index (%d multi-word skipped)", ix.skipped)
+	}
+
+	// Buckets sorted by (hash, word id) so lookup is one binary search
+	// plus a short equal-hash run.
+	heads := make([]uint32, 0, len(byHead))
+	for h := range byHead {
+		heads = append(heads, h)
+	}
+	sort.Slice(heads, func(i, j int) bool {
+		hi, hj := fnv64a(dict[heads[i]]), fnv64a(dict[heads[j]])
+		if hi != hj {
+			return hi < hj
+		}
+		return heads[i] < heads[j]
+	})
+
+	ix.headHash = make([]uint64, len(heads))
+	ix.headID = make([]uint32, len(heads))
+	ix.headCount = make([]uint32, len(heads))
+	ix.headOff = make([]uint32, len(heads)+1)
+	for b, h := range heads {
+		ix.headHash[b] = fnv64a(dict[h])
+		ix.headID[b] = h
+		ix.headCount[b] = uint32(len(byHead[h]))
+		ix.headOff[b] = uint32(len(ix.entries))
+		for _, ri := range byHead[h] {
+			r := sorted[ri]
+			ix.entries = binary.AppendUvarint(ix.entries, uint64(len(r.Antecedent)))
+			prev := uint64(0)
+			for k, w := range r.Antecedent {
+				wid := uint64(id[w])
+				if k == 0 {
+					ix.entries = binary.AppendUvarint(ix.entries, wid)
+				} else {
+					if wid <= prev {
+						return nil, fmt.Errorf("serve: rule %d: antecedent not strictly increasing", ri)
+					}
+					ix.entries = binary.AppendUvarint(ix.entries, wid-prev)
+				}
+				prev = wid
+			}
+			ix.entries = binary.AppendUvarint(ix.entries, uint64(r.Support))
+			ix.entries = binary.AppendUvarint(ix.entries, math.Float64bits(r.Confidence))
+			ix.entries = binary.AppendUvarint(ix.entries, math.Float64bits(r.Lift))
+			ix.entries = binary.AppendUvarint(ix.entries, math.Float64bits(r.Frac))
+		}
+	}
+	ix.headOff[len(heads)] = uint32(len(ix.entries))
+	// Re-fit the append-grown blobs so MemBytes is the memory actually held.
+	ix.entries = append(make([]byte, 0, len(ix.entries)), ix.entries...)
+	ix.wordBlob = append(make([]byte, 0, len(ix.wordBlob)), ix.wordBlob...)
+	return ix, nil
+}
+
+// word returns word id w as a string view into the blob (no copy).
+func (ix *Index) word(w uint32) string {
+	b := ix.wordBlob[ix.wordOff[w]:ix.wordOff[w+1]]
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// bucket locates the head's bucket index, or -1 when the word heads no
+// rules: binary search on the hash, then walk the (rare) equal-hash run
+// comparing actual words.
+func (ix *Index) bucket(head string) int {
+	h := fnv64a(head)
+	lo := sort.Search(len(ix.headHash), func(i int) bool { return ix.headHash[i] >= h })
+	for ; lo < len(ix.headHash) && ix.headHash[lo] == h; lo++ {
+		if ix.word(ix.headID[lo]) == head {
+			return lo
+		}
+	}
+	return -1
+}
+
+// indexedRule is one decoded entry. The Antecedent slice aliases decode
+// scratch owned by the caller of eachRule.
+type indexedRule struct {
+	Antecedent []uint32
+	Support    int
+	Confidence float64
+	Lift       float64
+	Frac       float64
+}
+
+// eachRule decodes bucket b's entries in stored (canonical) order,
+// stopping early when fn returns false. The entry passed to fn reuses
+// scratch between calls; copy what must be retained.
+func (ix *Index) eachRule(b int, fn func(e indexedRule) bool) error {
+	at := int(ix.headOff[b])
+	end := int(ix.headOff[b+1])
+	var scratch [16]uint32
+	for i := uint32(0); i < ix.headCount[b]; i++ {
+		if at >= end {
+			return fmt.Errorf("serve: bucket %d truncated at entry %d", b, i)
+		}
+		read := func() (uint64, error) {
+			v, n := binary.Uvarint(ix.entries[at:end])
+			if n <= 0 {
+				return 0, fmt.Errorf("serve: bucket %d: bad varint at %d", b, at)
+			}
+			at += n
+			return v, nil
+		}
+		n, err := read()
+		if err != nil {
+			return err
+		}
+		ante := scratch[:0]
+		prev := uint64(0)
+		for k := uint64(0); k < n; k++ {
+			d, err := read()
+			if err != nil {
+				return err
+			}
+			if k == 0 {
+				prev = d
+			} else {
+				prev += d
+			}
+			if prev >= uint64(len(ix.wordOff)-1) {
+				return fmt.Errorf("serve: bucket %d: antecedent word id %d out of range", b, prev)
+			}
+			ante = append(ante, uint32(prev))
+		}
+		sup, err := read()
+		if err != nil {
+			return err
+		}
+		conf, err := read()
+		if err != nil {
+			return err
+		}
+		lift, err := read()
+		if err != nil {
+			return err
+		}
+		frac, err := read()
+		if err != nil {
+			return err
+		}
+		e := indexedRule{
+			Antecedent: ante,
+			Support:    int(sup),
+			Confidence: math.Float64frombits(conf),
+			Lift:       math.Float64frombits(lift),
+			Frac:       math.Float64frombits(frac),
+		}
+		if !fn(e) {
+			return nil
+		}
+	}
+	if at != end {
+		return fmt.Errorf("serve: bucket %d: %d trailing bytes", b, end-at)
+	}
+	return nil
+}
+
+// TermJSON is one served expansion term: the word B of a rule B ⇒ head,
+// with the rule's statistics. Field set and tags mirror the WriteJSON
+// rule export so scores round-trip bit-exactly.
+type TermJSON struct {
+	Term            string  `json:"term"`
+	Support         int     `json:"support"`
+	SupportFraction float64 `json:"supportFraction,omitempty"`
+	Confidence      float64 `json:"confidence"`
+	Lift            float64 `json:"lift,omitempty"`
+}
+
+// ExpansionJSON is the served expansion of one query word.
+type ExpansionJSON struct {
+	Word  string     `json:"word"`
+	Terms []TermJSON `json:"terms,omitempty"`
+}
+
+// Expand answers the statistical-thesaurus query for each word: the
+// single-word antecedents of rules B ⇒ word, strongest first, up to
+// limit terms per word (limit <= 0 means all). The output is the exact
+// word-rendered form of search.Expander.Expand over the same rule set —
+// asserted byte-identical by the gate tests; the serving index is a
+// layout change, not a semantics change.
+func (ix *Index) Expand(limit int, words ...string) []ExpansionJSON {
+	out := make([]ExpansionJSON, 0, len(words))
+	for _, w := range words {
+		exp := ExpansionJSON{Word: w}
+		if b := ix.bucket(w); b >= 0 {
+			ix.eachRule(b, func(e indexedRule) bool {
+				if len(e.Antecedent) != 1 {
+					return true
+				}
+				exp.Terms = append(exp.Terms, TermJSON{
+					Term:            ix.word(e.Antecedent[0]),
+					Support:         e.Support,
+					SupportFraction: e.Frac,
+					Confidence:      e.Confidence,
+					Lift:            e.Lift,
+				})
+				return limit <= 0 || len(exp.Terms) < limit
+			})
+		}
+		out = append(out, exp)
+	}
+	return out
+}
+
+// Rules returns every indexed rule with the given head as its consequent
+// (any antecedent size), in canonical order, up to limit (<= 0 means all).
+// The result is never nil — an unknown head yields an empty rule list,
+// exactly like rendering WithConsequent output on the offline side.
+func (ix *Index) Rules(head string, limit int) []rules.WordRule {
+	out := []rules.WordRule{}
+	b := ix.bucket(head)
+	if b < 0 {
+		return out
+	}
+	ix.eachRule(b, func(e indexedRule) bool {
+		ante := make([]string, len(e.Antecedent))
+		for i, w := range e.Antecedent {
+			ante[i] = ix.word(w)
+		}
+		out = append(out, rules.WordRule{
+			Antecedent: ante,
+			Consequent: []string{head},
+			Support:    e.Support,
+			Frac:       e.Frac,
+			Confidence: e.Confidence,
+			Lift:       e.Lift,
+		})
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}
+
+// HeadInfo describes one head for the admin/load-test surface.
+type HeadInfo struct {
+	Word  string `json:"word"`
+	Rules int    `json:"rules"`
+}
+
+// Heads returns the indexed heads sorted by rule count descending, then
+// word ascending — a deterministic popularity order the load harness
+// uses to aim its Zipf distribution at realistic hot keys. limit <= 0
+// returns all heads.
+func (ix *Index) Heads(limit int) []HeadInfo {
+	out := make([]HeadInfo, len(ix.headID))
+	for b := range ix.headID {
+		out[b] = HeadInfo{Word: string(ix.wordBlob[ix.wordOff[ix.headID[b]]:ix.wordOff[ix.headID[b]+1]]), Rules: int(ix.headCount[b])}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rules != out[j].Rules {
+			return out[i].Rules > out[j].Rules
+		}
+		return out[i].Word < out[j].Word
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Stats summarizes the index for /healthz and swap validation output.
+type Stats struct {
+	Rules     int   `json:"rules"`
+	Heads     int   `json:"heads"`
+	Words     int   `json:"words"`
+	Skipped   int   `json:"skipped_multi_consequent,omitempty"`
+	BytesHeld int64 `json:"bytes_held"`
+}
+
+// Stats returns the index summary.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Rules:     ix.ruleCount,
+		Heads:     len(ix.headID),
+		Words:     len(ix.wordOff) - 1,
+		Skipped:   ix.skipped,
+		BytesHeld: ix.MemBytes(),
+	}
+}
+
+// MemBytes returns the resident size of the index, by the same accounting
+// discipline as the mining-side core structures: element widths from
+// unsafe.Sizeof, lengths of what is actually held.
+func (ix *Index) MemBytes() int64 {
+	const (
+		u32Size = int64(unsafe.Sizeof(uint32(0)))
+		u64Size = int64(unsafe.Sizeof(uint64(0)))
+	)
+	return int64(len(ix.wordBlob)) + int64(len(ix.entries)) +
+		u32Size*int64(len(ix.wordOff)+len(ix.headID)+len(ix.headCount)+len(ix.headOff)) +
+		u64Size*int64(len(ix.headHash))
+}
+
+// Validate checks the structural invariants a freshly built (or, later,
+// deserialized) index must satisfy before it is swapped into service:
+// monotone offsets, sorted hash buckets, decodable entries with in-range
+// word ids, and a rule count that reconciles with the buckets. A swap
+// never installs a generation that fails validation.
+func (ix *Index) Validate() error {
+	if len(ix.wordOff) < 2 || ix.wordOff[0] != 0 || int(ix.wordOff[len(ix.wordOff)-1]) != len(ix.wordBlob) {
+		return fmt.Errorf("serve: word offsets do not span the word blob")
+	}
+	for i := 1; i < len(ix.wordOff); i++ {
+		if ix.wordOff[i] < ix.wordOff[i-1] {
+			return fmt.Errorf("serve: word offset %d decreases", i)
+		}
+	}
+	for i := 2; i < len(ix.wordOff); i++ {
+		if ix.word(uint32(i-2)) >= ix.word(uint32(i-1)) {
+			return fmt.Errorf("serve: word table not strictly sorted at %d", i-1)
+		}
+	}
+	if len(ix.headID) != len(ix.headHash) || len(ix.headCount) != len(ix.headHash) || len(ix.headOff) != len(ix.headHash)+1 {
+		return fmt.Errorf("serve: bucket arrays disagree on bucket count")
+	}
+	if len(ix.headHash) == 0 {
+		return fmt.Errorf("serve: index has no heads")
+	}
+	if ix.headOff[0] != 0 || int(ix.headOff[len(ix.headOff)-1]) != len(ix.entries) {
+		return fmt.Errorf("serve: bucket offsets do not span the entry blob")
+	}
+	total := 0
+	for b := range ix.headHash {
+		if b > 0 {
+			prev, cur := ix.headHash[b-1], ix.headHash[b]
+			if prev > cur || (prev == cur && ix.headID[b-1] >= ix.headID[b]) {
+				return fmt.Errorf("serve: buckets not sorted by (hash, word) at %d", b)
+			}
+		}
+		if ix.headHash[b] != fnv64a(ix.word(ix.headID[b])) {
+			return fmt.Errorf("serve: bucket %d hash does not match its head word", b)
+		}
+		if ix.headOff[b+1] < ix.headOff[b] {
+			return fmt.Errorf("serve: bucket %d offset decreases", b)
+		}
+		if ix.headCount[b] == 0 {
+			return fmt.Errorf("serve: bucket %d is empty", b)
+		}
+		n := 0
+		if err := ix.eachRule(b, func(e indexedRule) bool {
+			n++
+			if len(e.Antecedent) == 0 {
+				return false
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if n != int(ix.headCount[b]) {
+			return fmt.Errorf("serve: bucket %d decoded %d entries, header says %d", b, n, ix.headCount[b])
+		}
+		total += n
+	}
+	if total != ix.ruleCount {
+		return fmt.Errorf("serve: %d entries decoded, %d rules accounted", total, ix.ruleCount)
+	}
+	return nil
+}

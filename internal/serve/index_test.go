@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pmihp/internal/core"
+	"pmihp/internal/corpus"
+	"pmihp/internal/mining"
+	"pmihp/internal/rules"
+	"pmihp/internal/search"
+	"pmihp/internal/text"
+)
+
+// testFixture mines corpus B once and derives everything the suite
+// needs: the canonical rule set in both item and word form, the corpus
+// vocabulary, and the offline Expander the byte-identity gate compares
+// against.
+type testFixture struct {
+	rs    []rules.Rule
+	ws    []rules.WordRule
+	vocab *text.Vocabulary
+	exp   *search.Expander
+	words []string // every corpus word, the query sweep universe
+}
+
+var (
+	fixtureOnce sync.Once
+	fixtureVal  *testFixture
+)
+
+func fixture(t *testing.T) *testFixture {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		docs := corpus.MustGenerate(corpus.CorpusB(corpus.Small))
+		db, vocab := text.ToDB(docs, nil)
+		result, err := core.MinePMIHP(db, core.PMIHPConfig{Nodes: 4}, mining.Options{MinSupCount: 3, MaxK: 3})
+		if err != nil {
+			panic(err)
+		}
+		rs := rules.Generate(result.Result.Frequent, db.Len(), 0.5)
+		words := make([]string, vocab.Size())
+		for i := range words {
+			words[i] = vocab.Word(uint32(i))
+		}
+		fixtureVal = &testFixture{
+			rs:    rs,
+			ws:    rules.ToWordRules(rs, vocab.Word),
+			vocab: vocab,
+			exp:   search.NewExpander(rs, vocab),
+			words: words,
+		}
+	})
+	if len(fixtureVal.rs) == 0 {
+		t.Fatal("fixture mined no rules")
+	}
+	return fixtureVal
+}
+
+// fromSearch renders offline Expander output into the served DTO — the
+// reference side of the byte-identity gate.
+func fromSearch(exps []search.Expansion) []ExpansionJSON {
+	out := make([]ExpansionJSON, 0, len(exps))
+	for _, e := range exps {
+		je := ExpansionJSON{Word: e.Word}
+		for _, term := range e.Terms {
+			je.Terms = append(je.Terms, TermJSON{
+				Term:            term.Word,
+				Support:         term.Rule.Support,
+				SupportFraction: term.Rule.Frac,
+				Confidence:      term.Rule.Confidence,
+				Lift:            term.Rule.Lift,
+			})
+		}
+		out = append(out, je)
+	}
+	return out
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestExpandByteIdentity is the correctness gate of the serving index:
+// for every corpus word (heads and non-heads alike), some unknown words,
+// and random multi-word queries, at several limits, the index's
+// expansions must marshal byte-identically to the offline
+// search.Expander over the same rule set.
+func TestExpandByteIdentity(t *testing.T) {
+	fx := fixture(t)
+	ix, err := BuildIndex(fx.ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(limit int, words ...string) {
+		t.Helper()
+		got := mustJSON(t, ix.Expand(limit, words...))
+		want := mustJSON(t, fromSearch(fx.exp.Expand(limit, words...)))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("limit %d query %v:\nserved  %s\noffline %s", limit, words, got, want)
+		}
+	}
+	for _, limit := range []int{0, 1, 2, 5} {
+		for _, w := range fx.words {
+			check(limit, w)
+		}
+		check(limit, "zzz-not-a-word")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(3)
+		words := make([]string, n)
+		for i := range words {
+			words[i] = fx.words[rng.Intn(len(fx.words))]
+		}
+		check(rng.Intn(4), words...)
+	}
+}
+
+// TestRulesMatchWithConsequent gates the /rules surface: the indexed
+// rules for a head must equal the canonical rule set filtered by
+// WithConsequent, in word form.
+func TestRulesMatchWithConsequent(t *testing.T) {
+	fx := fixture(t)
+	ix, err := BuildIndex(fx.ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range fx.words {
+		id, ok := fx.vocab.ID(w)
+		if !ok {
+			t.Fatalf("fixture word %q not in vocab", w)
+		}
+		want := rules.ToWordRules(rules.WithConsequent(fx.rs, id), fx.vocab.Word)
+		got := ix.Rules(w, 0)
+		if !bytes.Equal(mustJSON(t, got), mustJSON(t, want)) {
+			t.Fatalf("head %q:\nserved  %s\noffline %s", w, mustJSON(t, got), mustJSON(t, want))
+		}
+	}
+	if got := ix.Rules("zzz-not-a-word", 0); got == nil || len(got) != 0 {
+		t.Fatalf("unknown head should serve an empty list, got %v", got)
+	}
+	// Limit truncates, preserving the prefix.
+	for _, w := range fx.words {
+		all := ix.Rules(w, 0)
+		if len(all) < 2 {
+			continue
+		}
+		one := ix.Rules(w, 1)
+		if len(one) != 1 || !bytes.Equal(mustJSON(t, one[0]), mustJSON(t, all[0])) {
+			t.Fatalf("head %q: limit 1 not a prefix", w)
+		}
+		break
+	}
+}
+
+// TestBuildOrderIndependence: shuffled input must build a byte-identical
+// index (the canonical sort makes input order irrelevant), and a JSON
+// round trip through WriteJSON/ParseJSON must too (floats survive
+// encoding/json's shortest-form rendering exactly).
+func TestBuildOrderIndependence(t *testing.T) {
+	fx := fixture(t)
+	base, err := BuildIndex(fx.ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := append([]rules.WordRule(nil), fx.ws...)
+	rand.New(rand.NewSource(3)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	fromShuffled, err := BuildIndex(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := rules.WriteJSON(&buf, fx.rs, fx.vocab.Word); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := rules.ParseJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := BuildIndex(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, other := range map[string]*Index{"shuffled": fromShuffled, "json-round-trip": fromJSON} {
+		if !bytes.Equal(base.entries, other.entries) || !bytes.Equal(base.wordBlob, other.wordBlob) {
+			t.Fatalf("%s: index blobs differ from direct build", name)
+		}
+		if base.MemBytes() != other.MemBytes() {
+			t.Fatalf("%s: MemBytes %d vs %d", name, other.MemBytes(), base.MemBytes())
+		}
+	}
+}
+
+func TestValidateAndStats(t *testing.T) {
+	fx := fixture(t)
+	ix, err := BuildIndex(fx.ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatalf("fresh index invalid: %v", err)
+	}
+	st := ix.Stats()
+	if st.Rules == 0 || st.Heads == 0 || st.Words == 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+	if st.BytesHeld != ix.MemBytes() || st.BytesHeld <= 0 {
+		t.Fatalf("bytes held %d vs MemBytes %d", st.BytesHeld, ix.MemBytes())
+	}
+	singleCons := 0
+	for _, r := range fx.ws {
+		if len(r.Consequent) == 1 {
+			singleCons++
+		}
+	}
+	if st.Rules != singleCons || st.Skipped != len(fx.ws)-singleCons {
+		t.Fatalf("rule accounting: %+v vs %d single-consequent of %d", st, singleCons, len(fx.ws))
+	}
+
+	// Corruption must be caught before a swap would install it.
+	bad, _ := BuildIndex(fx.ws)
+	bad.entries[len(bad.entries)-1] ^= 0x80
+	if err := bad.Validate(); err == nil {
+		t.Fatal("corrupted entries validated")
+	}
+	bad2, _ := BuildIndex(fx.ws)
+	bad2.headHash[0], bad2.headHash[len(bad2.headHash)-1] = bad2.headHash[len(bad2.headHash)-1], bad2.headHash[0]
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("unsorted buckets validated")
+	}
+}
+
+func TestHeadsOrdering(t *testing.T) {
+	fx := fixture(t)
+	ix, err := BuildIndex(fx.ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads := ix.Heads(0)
+	if len(heads) != ix.Stats().Heads {
+		t.Fatalf("Heads(0) = %d, want %d", len(heads), ix.Stats().Heads)
+	}
+	for i := 1; i < len(heads); i++ {
+		a, b := heads[i-1], heads[i]
+		if a.Rules < b.Rules || (a.Rules == b.Rules && a.Word >= b.Word) {
+			t.Fatalf("heads not ordered at %d: %+v then %+v", i, a, b)
+		}
+	}
+	for _, h := range heads {
+		if got := len(ix.Rules(h.Word, 0)); got != h.Rules {
+			t.Fatalf("head %q claims %d rules, bucket has %d", h.Word, h.Rules, got)
+		}
+	}
+	if top := ix.Heads(3); len(top) != 3 || top[0] != heads[0] {
+		t.Fatalf("Heads(3) = %+v", top)
+	}
+}
+
+func TestBuildRejectsDegenerate(t *testing.T) {
+	if _, err := BuildIndex(nil); err == nil {
+		t.Fatal("empty rule set accepted")
+	}
+	multiOnly := []rules.WordRule{{
+		Antecedent: []string{"a"}, Consequent: []string{"b", "c"},
+		Support: 2, Confidence: 0.9,
+	}}
+	if _, err := BuildIndex(multiOnly); err == nil {
+		t.Fatal("multi-consequent-only rule set accepted")
+	}
+}
