@@ -12,6 +12,7 @@
 //	pmihp-mine -trec wsj_0401 -algo mihp -minsup 0.02         # TREC markup
 //	pmihp-mine -spawn 4 -node-bin ./pmihp-node -minsup-count 2   # real 4-process cluster
 //	pmihp-mine -cluster host1:9001,host2:9001 -minsup-count 2    # pre-started daemons
+//	pmihp-mine -stream -stream-window 3 -minsup-count 3 -maxk 3  # windowed stream replay
 //
 // Algorithms: apriori, dhp, fpgrowth, mihp, ihp, cd, dd, pmihp.
 package main
@@ -114,6 +115,15 @@ func run(args []string, out io.Writer) error {
 		nRules       = fs.Int("rules", 10, "association rules to print (0 to skip)")
 		minConf      = fs.Float64("minconf", 0.75, "minimum rule confidence")
 		rulesOut     = fs.String("rules-out", "", "export the full rule set (at -minconf) as JSON to this file, for pmihp-serve")
+		stream       = fs.Bool("stream", false, "replay the corpus as a live day stream through the incremental windowed miner")
+		streamWindow = fs.Int("stream-window", 3, "sliding window width in days for -stream (0 = unbounded)")
+		streamBatch  = fs.Int("stream-batch-days", 1, "days ingested per -stream step")
+		streamDecay  = fs.Float64("stream-decay", 0, "exponential day-decay weight in (0, 1] for -stream (0 = off)")
+		streamVerify = fs.Int("stream-verify", 2, "per-step equivalence gate for -stream: re-mine each window from scratch on this many nodes and require byte-identical results (0 = off)")
+		streamServe  = fs.String("stream-serve", "", "POST each -stream generation's rules to this pmihp-serve base URL's /admin/swap")
+		streamCkpt   = fs.String("stream-checkpoint", "", "persist the -stream miner's state to this PMCK file after every step")
+		streamCrash  = fs.Int("stream-crash-step", 0, "simulate a crash after this -stream step and resume from -stream-checkpoint (0 = never)")
+		streamJSON   = fs.String("stream-json", "", "write the -stream replay report as JSON to this file (\"-\" = stdout)")
 		metricsAddr  = fs.String("metrics-addr", "", "serve live metrics on this address (/metrics, /snapshot, /debug/pprof)")
 		traceJSON    = fs.String("trace-json", "", "write per-pass/span/poll events as JSON lines to this file")
 		linger       = fs.Duration("metrics-linger", 0, "keep the -metrics-addr endpoint up this long after mining finishes")
@@ -170,6 +180,16 @@ func run(args []string, out io.Writer) error {
 	}
 	if len(docs) == 0 {
 		return fmt.Errorf("corpus %s contains no documents", label)
+	}
+
+	if *stream {
+		return runStream(out, docs, label, streamFlags{
+			window: *streamWindow, batchDays: *streamBatch, decay: *streamDecay,
+			verify: *streamVerify, serveURL: *streamServe, checkpoint: *streamCkpt,
+			crashStep: *streamCrash, jsonOut: *streamJSON,
+			opts:    mining.Options{MinSupFrac: *minsup, MinSupCount: *minsupCount, MaxK: *maxK},
+			minConf: *minConf,
+		})
 	}
 
 	db, vocab := text.ToDB(docs, nil)

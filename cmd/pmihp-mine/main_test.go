@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"net"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 
 	"pmihp/internal/distmine"
 	"pmihp/internal/rules"
+	"pmihp/internal/streammine"
 )
 
 func TestRunMissingCorpusFile(t *testing.T) {
@@ -116,5 +118,46 @@ func TestRunClusterMode(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "cluster of 2 nodes") {
 		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+// TestRunStream replays a preset corpus through the incremental windowed
+// miner with the per-step equivalence gate on, a checkpoint, and a
+// scripted crash-and-resume, and checks the JSON report parses back with
+// every step verified equivalent.
+func TestRunStream(t *testing.T) {
+	dir := t.TempDir()
+	reportPath := filepath.Join(dir, "stream.json")
+	var out strings.Builder
+	err := run([]string{"-corpus", "b", "-scale", "small", "-minsup-count", "3", "-maxk", "3",
+		"-stream", "-stream-window", "3", "-stream-verify", "2",
+		"-stream-checkpoint", filepath.Join(dir, "stream.ckpt"), "-stream-crash-step", "4",
+		"-stream-json", reportPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verified equivalent to from-scratch") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report streammine.Report
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	if !report.AllEquivalent || len(report.Steps) != 8 {
+		t.Fatalf("report: %+v", report)
+	}
+	resumed := false
+	for _, sr := range report.Steps {
+		if !sr.Verified || !sr.Equivalent {
+			t.Fatalf("step %d not verified equivalent", sr.Step)
+		}
+		resumed = resumed || sr.Resumed
+	}
+	if !resumed {
+		t.Fatal("no step resumed from the checkpoint")
 	}
 }

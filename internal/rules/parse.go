@@ -6,6 +6,7 @@ import (
 	"io"
 	"slices"
 	"sort"
+	"unicode/utf8"
 
 	"pmihp/internal/itemset"
 )
@@ -82,6 +83,19 @@ func ParseJSON(r io.Reader) ([]WordRule, error) {
 		ws[i].Consequent = normalizeSide(ws[i].Consequent)
 		if len(ws[i].Antecedent) == 0 || len(ws[i].Consequent) == 0 {
 			return nil, fmt.Errorf("rules: rule %d has an empty side", i)
+		}
+		// The JSON decoder passes invalid UTF-8 through, but every
+		// consumer (index buckets, re-export) assumes valid strings —
+		// and re-encoding would silently rewrite the bytes. Reject.
+		for _, w := range ws[i].Antecedent {
+			if !utf8.ValidString(w) {
+				return nil, fmt.Errorf("rules: rule %d word %q is not valid UTF-8", i, w)
+			}
+		}
+		for _, w := range ws[i].Consequent {
+			if !utf8.ValidString(w) {
+				return nil, fmt.Errorf("rules: rule %d word %q is not valid UTF-8", i, w)
+			}
 		}
 		for _, w := range ws[i].Consequent {
 			if slices.Contains(ws[i].Antecedent, w) {

@@ -1,0 +1,116 @@
+package rules
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// FuzzParseJSON holds the rule-set parser to the serving layer's bar:
+// arbitrary input never panics, anything accepted is fully normalized
+// (sorted deduplicated sides, non-empty, disjoint, confidence in (0, 1]),
+// and accepted rule sets are a fixed point — re-marshaling and re-parsing
+// reproduces them exactly, optional fields included.
+func FuzzParseJSON(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[{"antecedent":["b","a","a"],"consequent":["c"],"support":3,"supportFraction":0.1,"confidence":0.8,"lift":1.2}]`))
+	// Zero optional fields: Frac and Lift are omitempty and must survive
+	// the round trip as zeros.
+	f.Add([]byte(`[{"antecedent":["x"],"consequent":["y"],"support":2,"confidence":1}]`))
+	f.Add([]byte(`[{"antecedent":["a"],"consequent":["a"],"confidence":0.5}]`))
+	f.Add([]byte(`[{"antecedent":[],"consequent":["y"],"confidence":0.5}]`))
+	f.Add([]byte(`[{"antecedent":["x"],"consequent":["y"],"confidence":1.5}]`))
+	f.Add([]byte(`[{"antecedent":["x"],"consequent":["y"],"confidence":0}]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ws, err := ParseJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, w := range ws {
+			if len(w.Antecedent) == 0 || len(w.Consequent) == 0 {
+				t.Fatalf("rule %d accepted with an empty side", i)
+			}
+			for _, side := range [][]string{w.Antecedent, w.Consequent} {
+				if !slices.IsSorted(side) || len(slices.Compact(slices.Clone(side))) != len(side) {
+					t.Fatalf("rule %d side %q not sorted and deduplicated", i, side)
+				}
+			}
+			for _, word := range w.Consequent {
+				if slices.Contains(w.Antecedent, word) {
+					t.Fatalf("rule %d accepted with %q on both sides", i, word)
+				}
+			}
+			if w.Confidence <= 0 || w.Confidence > 1 {
+				t.Fatalf("rule %d accepted with confidence %v", i, w.Confidence)
+			}
+		}
+		// Fixed point: what ParseJSON accepts, it reproduces bit for bit
+		// through a marshal/parse cycle (normalization is idempotent).
+		enc, err := json.Marshal(ws)
+		if err != nil {
+			t.Fatalf("accepted rule set does not re-marshal: %v", err)
+		}
+		again, err := ParseJSON(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("re-parsing accepted rule set: %v", err)
+		}
+		if !reflect.DeepEqual(ws, again) {
+			t.Fatalf("round trip diverged:\n%+v\n%+v", ws, again)
+		}
+	})
+}
+
+// TestParseJSONAttributesErrors pins that corrupt and invalid inputs are
+// rejected with errors naming the offending rule, not dropped or
+// accepted.
+func TestParseJSONAttributesErrors(t *testing.T) {
+	cases := map[string]struct {
+		in   string
+		want string
+	}{
+		"truncated":         {`[{"antecedent":["x"]`, "parsing JSON"},
+		"not json":          {`@@`, "parsing JSON"},
+		"empty antecedent":  {`[{"antecedent":[],"consequent":["y"],"confidence":0.5}]`, "rule 0 has an empty side"},
+		"overlap":           {`[{"antecedent":["x"],"consequent":["y"],"confidence":0.9},{"antecedent":["a","b"],"consequent":["b"],"confidence":0.9}]`, `rule 1 repeats "b"`},
+		"zero confidence":   {`[{"antecedent":["x"],"consequent":["y"],"confidence":0}]`, "confidence 0 outside"},
+		"confidence above1": {`[{"antecedent":["x"],"consequent":["y"],"confidence":1.01}]`, "outside (0, 1]"},
+	}
+	for name, tc := range cases {
+		_, err := ParseJSON(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestParseJSONZeroOptionalFields pins the omitempty contract: a rule
+// with zero Frac and Lift round-trips through WriteJSON-shaped output
+// without the optional keys and parses back equal.
+func TestParseJSONZeroOptionalFields(t *testing.T) {
+	in := []WordRule{{Antecedent: []string{"a"}, Consequent: []string{"b"}, Support: 2, Confidence: 1}}
+	enc, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(enc), "supportFraction") || strings.Contains(string(enc), "lift") {
+		t.Fatalf("zero optional fields serialized: %s", enc)
+	}
+	out, err := ParseJSON(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip diverged: %+v vs %+v", in, out)
+	}
+}

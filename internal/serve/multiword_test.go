@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"pmihp/internal/core"
+	"pmihp/internal/corpus"
+	"pmihp/internal/mining"
+	"pmihp/internal/rules"
+	"pmihp/internal/search"
+	"pmihp/internal/text"
+)
+
+// The shared corpus-B fixture mines no multi-word-antecedent rules at
+// its thresholds, so the tests below would pass vacuously against it.
+// Corpus A at MinSupCount 4 yields well over a thousand, making it the
+// right base for pinning the antecedent-size filter.
+var (
+	multiOnce sync.Once
+	multiVal  *testFixture
+)
+
+func multiFixture(t *testing.T) *testFixture {
+	t.Helper()
+	multiOnce.Do(func() {
+		docs := corpus.MustGenerate(corpus.CorpusA(corpus.Small))
+		db, vocab := text.ToDB(docs, nil)
+		result, err := core.MinePMIHP(db, core.PMIHPConfig{Nodes: 4}, mining.Options{MinSupCount: 4, MaxK: 3})
+		if err != nil {
+			panic(err)
+		}
+		rs := rules.Generate(result.Result.Frequent, db.Len(), 0.5)
+		multiVal = &testFixture{
+			rs:    rs,
+			ws:    rules.ToWordRules(rs, vocab.Word),
+			vocab: vocab,
+			exp:   search.NewExpander(rs, vocab),
+		}
+	})
+	return multiVal
+}
+
+// multiAnteHeads returns the heads that have at least one indexed rule
+// with a multi-word antecedent — the rules Expand must filter out but
+// Rules must serve.
+func multiAnteHeads(ws []rules.WordRule) []string {
+	var heads []string
+	seen := map[string]bool{}
+	for _, r := range ws {
+		if len(r.Antecedent) >= 2 && len(r.Consequent) == 1 && !seen[r.Consequent[0]] {
+			seen[r.Consequent[0]] = true
+			heads = append(heads, r.Consequent[0])
+		}
+	}
+	return heads
+}
+
+// TestMultiWordAntecedentFiltering pins the query-time split between the
+// two serving surfaces: /expand drops rules with multi-word antecedents
+// (exactly as search.Expander does), while /rules serves them. The
+// random query sweep in TestExpandByteIdentity would pass vacuously if
+// the fixture mined no such rules, so this test first proves they exist.
+func TestMultiWordAntecedentFiltering(t *testing.T) {
+	fx := multiFixture(t)
+	heads := multiAnteHeads(fx.ws)
+	if len(heads) == 0 {
+		t.Fatal("fixture mined no multi-word-antecedent rules; the filter path is untested")
+	}
+	ix, err := BuildIndex(fx.ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, head := range heads {
+		single, multi := 0, 0
+		for _, r := range ix.Rules(head, 0) {
+			if len(r.Antecedent) == 1 {
+				single++
+			} else {
+				multi++
+			}
+		}
+		if multi == 0 {
+			t.Fatalf("head %q: /rules dropped its multi-word-antecedent rules", head)
+		}
+		exp := ix.Expand(0, head)
+		if len(exp) != 1 {
+			t.Fatalf("head %q: Expand returned %d expansions", head, len(exp))
+		}
+		if len(exp[0].Terms) != single {
+			t.Fatalf("head %q: %d expansion terms from %d single-antecedent rules (%d multi must be filtered)",
+				head, len(exp[0].Terms), single, multi)
+		}
+	}
+}
+
+// TestExpandMultiWordQueryByteIdentity aims the byte-identity gate
+// specifically at multi-word queries over heads that own multi-word-
+// antecedent rules — the corner the random sweep only hits by luck.
+func TestExpandMultiWordQueryByteIdentity(t *testing.T) {
+	fx := multiFixture(t)
+	heads := multiAnteHeads(fx.ws)
+	if len(heads) < 2 {
+		t.Fatal("fixture has fewer than two multi-antecedent heads")
+	}
+	ix, err := BuildIndex(fx.ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]string{
+		heads[:2],
+		{heads[0], heads[0]},                   // repeated word: expanded twice, independently
+		{heads[0], "zzz-not-a-word", heads[1]}, // unknown word in the middle
+		append([]string{}, heads...),
+	}
+	for _, q := range queries {
+		for _, limit := range []int{0, 1, 3} {
+			got := mustJSON(t, ix.Expand(limit, q...))
+			want := mustJSON(t, fromSearch(fx.exp.Expand(limit, q...)))
+			if !bytes.Equal(got, want) {
+				t.Fatalf("limit %d query %v:\nserved  %s\noffline %s", limit, q, got, want)
+			}
+		}
+	}
+}
+
+// TestExpandFiltersHandcraftedMultiAntecedent nails the filter on a
+// hand-built rule set where the strongest rule for the head has a
+// two-word antecedent: Expand must skip it and serve the weaker
+// single-word rule, in canonical order.
+func TestExpandFiltersHandcraftedMultiAntecedent(t *testing.T) {
+	ws := []rules.WordRule{
+		{Antecedent: []string{"alpha", "beta"}, Consequent: []string{"head"}, Support: 9, Confidence: 0.95},
+		{Antecedent: []string{"gamma"}, Consequent: []string{"head"}, Support: 5, Confidence: 0.8},
+		{Antecedent: []string{"delta"}, Consequent: []string{"head"}, Support: 7, Confidence: 0.8},
+	}
+	ix, err := BuildIndex(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := ix.Expand(0, "head")
+	if len(exp) != 1 || len(exp[0].Terms) != 2 {
+		t.Fatalf("want the 2 single-antecedent terms, got %+v", exp)
+	}
+	// Canonical order: confidence ties broken by support descending.
+	if exp[0].Terms[0].Term != "delta" || exp[0].Terms[1].Term != "gamma" {
+		t.Fatalf("terms out of canonical order: %+v", exp[0].Terms)
+	}
+	// Limit 1 must yield the strongest *single-antecedent* rule, not an
+	// empty list because the strongest overall rule was filtered.
+	if one := ix.Expand(1, "head"); len(one[0].Terms) != 1 || one[0].Terms[0].Term != "delta" {
+		t.Fatalf("limit 1 after filtering: %+v", one)
+	}
+	if got := len(ix.Rules("head", 0)); got != 3 {
+		t.Fatalf("/rules must keep all 3 rules, got %d", got)
+	}
+}

@@ -1,0 +1,475 @@
+package streammine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"pmihp/internal/itemset"
+	"pmihp/internal/transport"
+	"pmihp/internal/txdb"
+)
+
+// The stream-state codec. A Miner's checkpoint rides inside the cluster
+// checkpoint format (transport.Checkpoint at StageStream) as an opaque
+// payload; this file owns that payload's encoding. Like the PMCK codec it
+// wraps, the encoding is canonical: a payload that decodes successfully
+// re-encodes to the exact bytes it came from (the invariant FuzzStreamState
+// holds it to), so maps are written with sorted keys and the decoder
+// rejects any deviation from sorted order rather than silently accepting a
+// second spelling of the same state.
+//
+// A checkpoint captures the window, not the log: only the window's
+// transactions are encoded (eviction compacts on save), together with the
+// first window TID so the restored store reissues the original TIDs, the
+// per-day retained counts and candidate caches, and the current frequent
+// sets. Restore rebuilds a Miner whose observable state — views, counts,
+// results — is identical to the uninterrupted run's.
+
+// streamStateMagic and streamStateVersion frame the payload inside the
+// PMCK Stream field; the version is bumped independently of the PMCK
+// version.
+const (
+	streamStateMagic   = "PMS1"
+	streamStateVersion = 1
+)
+
+// EncodeState returns the canonical encoding of the miner's window state.
+// It fails only when the state cannot be represented: negative days or
+// dimensions beyond the wire's 32-bit ranges.
+func (m *Miner) EncodeState() ([]byte, error) {
+	view := m.WindowDB()
+	if len(m.days) > 0 && m.days[0].day < 0 {
+		return nil, fmt.Errorf("streammine: cannot checkpoint negative day %d", m.days[0].day)
+	}
+	if m.cfg.Opts.MinSupCount > math.MaxUint32 || m.cfg.Opts.MaxK > math.MaxUint32 {
+		return nil, fmt.Errorf("streammine: checkpoint thresholds out of range")
+	}
+	b := []byte(streamStateMagic)
+	b = append(b, streamStateVersion)
+	b = sappendU32(b, uint32(m.cfg.WindowDays))
+	b = sappendF64(b, m.cfg.Decay)
+	b = sappendF64(b, m.cfg.Opts.MinSupFrac)
+	b = sappendU32(b, uint32(m.cfg.Opts.MinSupCount))
+	b = sappendU32(b, uint32(m.cfg.Opts.MaxK))
+	b = sappendU32(b, uint32(m.store.NumItems()))
+	firstTID := m.store.NextTID() - txdb.TID(view.Len())
+	b = sappendU32(b, firstTID)
+	b = sappendU32(b, uint32(m.steps))
+	b = sappendU32(b, uint32(view.Len()))
+	for i := 0; i < view.Len(); i++ {
+		b = sappendU32(b, uint32(view.DayOf(i)))
+		items := view.ItemsOf(i)
+		b = sappendU32(b, uint32(len(items)))
+		for _, it := range items {
+			b = sappendU32(b, uint32(it))
+		}
+	}
+	b = sappendU32(b, uint32(len(m.days)))
+	for _, ds := range m.days {
+		b = sappendU32(b, uint32(ds.day))
+		nItems := 0
+		for _, c := range ds.items {
+			if c != 0 {
+				nItems++
+			}
+		}
+		b = sappendU32(b, uint32(nItems))
+		for it, c := range ds.items {
+			if c != 0 {
+				b = sappendU32(b, uint32(it))
+				b = sappendU32(b, uint32(c))
+			}
+		}
+		pairKeys := make([]uint64, 0, len(ds.pairs))
+		for key := range ds.pairs {
+			pairKeys = append(pairKeys, key)
+		}
+		sort.Slice(pairKeys, func(i, j int) bool { return pairKeys[i] < pairKeys[j] })
+		b = sappendU32(b, uint32(len(pairKeys)))
+		for _, key := range pairKeys {
+			b = sappendU64(b, key)
+			b = sappendU32(b, uint32(ds.pairs[key]))
+		}
+		highKeys := make([]string, 0, len(ds.higher))
+		for key := range ds.higher {
+			highKeys = append(highKeys, key)
+		}
+		sort.Strings(highKeys)
+		b = sappendU32(b, uint32(len(highKeys)))
+		for _, key := range highKeys {
+			set := itemset.FromKey(key)
+			b = sappendU32(b, uint32(len(set)))
+			for _, it := range set {
+				b = sappendU32(b, uint32(it))
+			}
+			b = sappendU32(b, uint32(ds.higher[key]))
+		}
+	}
+	if m.cfg.weightedMode() {
+		b = sappendU32(b, uint32(len(m.weighted)))
+		for _, e := range m.weighted {
+			b = sappendU32(b, uint32(len(e.Set)))
+			for _, it := range e.Set {
+				b = sappendU32(b, uint32(it))
+			}
+			b = sappendU32(b, uint32(e.Count))
+			b = sappendF64(b, e.Weight)
+		}
+	} else {
+		b = sappendU32(b, uint32(len(m.frequent)))
+		for _, c := range m.frequent {
+			b = sappendU32(b, uint32(len(c.Set)))
+			for _, it := range c.Set {
+				b = sappendU32(b, uint32(it))
+			}
+			b = sappendU32(b, uint32(c.Count))
+		}
+	}
+	return b, nil
+}
+
+// DecodeState rebuilds a Miner from a payload written by EncodeState,
+// rejecting truncated, corrupt, out-of-range, or non-canonically-ordered
+// input with attributed errors.
+func DecodeState(b []byte) (*Miner, error) {
+	if len(b) < len(streamStateMagic)+1 {
+		return nil, fmt.Errorf("streammine: state header truncated: %d bytes", len(b))
+	}
+	if string(b[:len(streamStateMagic)]) != streamStateMagic {
+		return nil, fmt.Errorf("streammine: not a stream state (magic %q)", b[:len(streamStateMagic)])
+	}
+	if v := b[len(streamStateMagic)]; v != streamStateVersion {
+		return nil, fmt.Errorf("streammine: unsupported state version %d (this build speaks version %d)",
+			v, streamStateVersion)
+	}
+	r := &stateReader{b: b[len(streamStateMagic)+1:]}
+	var cfg Config
+	cfg.WindowDays = int(r.u32())
+	cfg.Decay = r.f64()
+	cfg.Opts.MinSupFrac = r.f64()
+	cfg.Opts.MinSupCount = int(r.u32())
+	cfg.Opts.MaxK = int(r.u32())
+	if r.err == nil {
+		if err := cfg.validate(); err != nil {
+			return nil, err
+		}
+	}
+	numItems := int(r.u32())
+	firstTID := txdb.TID(r.u32())
+	steps := int(r.u32())
+
+	nTx := r.count(8) // a transaction needs at least its day and length
+	txs := make([]txdb.Transaction, 0, nTx)
+	for i := 0; i < nTx && r.err == nil; i++ {
+		day := int(r.u32())
+		if day > math.MaxInt32 {
+			r.fail("tx %d day %d beyond the store's day range", i, day)
+			break
+		}
+		set := r.set(numItems, fmt.Sprintf("tx %d", i))
+		txs = append(txs, txdb.Transaction{Day: day, Items: set})
+	}
+	store := txdb.NewAppendAt(numItems, firstTID)
+	if r.err == nil {
+		if err := store.Append(txs); err != nil {
+			return nil, err
+		}
+		if store.NumItems() != numItems {
+			r.fail("item id beyond the %d-item vocabulary", numItems)
+		}
+	}
+
+	nDays := r.count(16)
+	days := make([]*daySummary, 0, nDays)
+	for i := 0; i < nDays && r.err == nil; i++ {
+		day := int(r.u32())
+		if len(days) > 0 && day <= days[len(days)-1].day {
+			r.fail("day summaries out of order at day %d", day)
+			break
+		}
+		lo, hi := store.DayBounds(day)
+		if lo == hi {
+			r.fail("summary for day %d with no transactions", day)
+			break
+		}
+		ds := newDaySummary(day, lo)
+		ds.hi = hi
+		ds.items = make([]int, numItems)
+		nItems := r.count(8)
+		prevItem := -1
+		for j := 0; j < nItems && r.err == nil; j++ {
+			it := int(r.u32())
+			c := int(r.u32())
+			if it <= prevItem || it >= numItems {
+				r.fail("day %d item counts not strictly ascending in range", day)
+				break
+			}
+			if c <= 0 || c > ds.count() {
+				r.fail("day %d item %d count %d outside (0, %d]", day, it, c, ds.count())
+				break
+			}
+			prevItem = it
+			ds.items[it] = c
+		}
+		nPairs := r.count(12)
+		prevPair := uint64(0)
+		for j := 0; j < nPairs && r.err == nil; j++ {
+			key := r.u64()
+			c := int(r.u32())
+			a, bb := splitPair(key)
+			if j > 0 && key <= prevPair {
+				r.fail("day %d pair counts not strictly ascending", day)
+				break
+			}
+			if a >= bb || int(bb) >= numItems {
+				r.fail("day %d malformed pair key %#x", day, key)
+				break
+			}
+			if c <= 0 || c > ds.count() {
+				r.fail("day %d pair count %d outside (0, %d]", day, c, ds.count())
+				break
+			}
+			prevPair = key
+			ds.pairs[key] = c
+		}
+		nHigher := r.count(8)
+		prevKey := ""
+		for j := 0; j < nHigher && r.err == nil; j++ {
+			set := r.set(numItems, fmt.Sprintf("day %d candidate %d", day, j))
+			if r.err != nil {
+				break
+			}
+			if len(set) < 3 {
+				r.fail("day %d cached candidate of size %d (cache holds k≥3 only)", day, len(set))
+				break
+			}
+			c := int(r.u32())
+			if c < 0 || c > ds.count() {
+				r.fail("day %d candidate count %d outside [0, %d]", day, c, ds.count())
+				break
+			}
+			key := set.Key()
+			if key <= prevKey && j > 0 {
+				r.fail("day %d candidate cache not strictly ascending", day)
+				break
+			}
+			prevKey = key
+			ds.higher[key] = c
+		}
+		days = append(days, ds)
+	}
+	if r.err == nil {
+		covered := 0
+		for _, ds := range days {
+			covered += ds.count()
+		}
+		if covered != store.Len() {
+			r.fail("summaries cover %d of %d transactions", covered, store.Len())
+		}
+	}
+
+	wmode := cfg.weightedMode()
+	nFreq := r.count(8)
+	var frequent []itemset.Counted
+	var weighted []Weighted
+	for i := 0; i < nFreq && r.err == nil; i++ {
+		set := r.set(numItems, fmt.Sprintf("frequent set %d", i))
+		if r.err != nil {
+			break
+		}
+		if len(set) == 0 {
+			r.fail("empty frequent set %d", i)
+			break
+		}
+		c := int(r.u32())
+		if c <= 0 || c > store.Len() {
+			r.fail("frequent set %d count %d outside (0, %d]", i, c, store.Len())
+			break
+		}
+		if wmode {
+			w := r.f64()
+			if math.IsNaN(w) || w <= 0 {
+				r.fail("frequent set %d with weight %v", i, w)
+				break
+			}
+			e := Weighted{Set: set, Count: c, Weight: w}
+			if i > 0 && CompareWeighted(weighted[i-1], e) >= 0 {
+				r.fail("weighted frequent sets not in canonical order at %d", i)
+				break
+			}
+			weighted = append(weighted, e)
+		} else {
+			e := itemset.Counted{Set: set, Count: c}
+			if i > 0 && !countedLess(frequent[i-1], e) {
+				r.fail("frequent sets not in canonical order at %d", i)
+				break
+			}
+			frequent = append(frequent, e)
+		}
+	}
+	if wmode && r.err == nil {
+		frequent = make([]itemset.Counted, len(weighted))
+		for i, e := range weighted {
+			frequent[i] = itemset.Counted{Set: e.Set, Count: e.Count}
+		}
+		itemset.SortCounted(frequent)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	m := &Miner{cfg: cfg, store: store, days: days, frequent: frequent, weighted: weighted, steps: steps}
+	stats := IngestStats{WindowTx: store.Len(), WindowDayCount: len(days)}
+	m.last = stats
+	return m, nil
+}
+
+// countedLess is the strict form of the SortCounted order (descending
+// count, ties lexicographic): it returns true when a sorts strictly
+// before b, which a canonical frequent list requires of every adjacent
+// pair (equal entries would be duplicates).
+func countedLess(a, b itemset.Counted) bool {
+	if a.Count != b.Count {
+		return a.Count > b.Count
+	}
+	return itemset.Compare(a.Set, b.Set) < 0
+}
+
+// Checkpoint wraps the miner's state in a cluster checkpoint at
+// StageStream. sessionID plays the role ClusterID plays for cluster
+// checkpoints: a stream lineage identifier the operator chooses.
+func (m *Miner) Checkpoint(sessionID uint64) (transport.Checkpoint, error) {
+	state, err := m.EncodeState()
+	if err != nil {
+		return transport.Checkpoint{}, err
+	}
+	return transport.Checkpoint{
+		ClusterID: sessionID,
+		Nodes:     1,
+		Stage:     transport.StageStream,
+		Stream:    state,
+	}, nil
+}
+
+// SaveCheckpoint atomically persists the miner's state to path in PMCK
+// form (transport.WriteCheckpointFile's temp-and-rename discipline).
+func (m *Miner) SaveCheckpoint(path string, sessionID uint64) error {
+	c, err := m.Checkpoint(sessionID)
+	if err != nil {
+		return err
+	}
+	return transport.WriteCheckpointFile(path, c)
+}
+
+// LoadCheckpoint restores a miner from a PMCK stream checkpoint file.
+func LoadCheckpoint(path string) (*Miner, error) {
+	c, err := transport.ReadCheckpointFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromCheckpoint(c)
+}
+
+// FromCheckpoint restores a miner from a decoded cluster checkpoint,
+// which must be at StageStream.
+func FromCheckpoint(c transport.Checkpoint) (*Miner, error) {
+	if c.Stage != transport.StageStream {
+		return nil, fmt.Errorf("streammine: checkpoint at stage %s, want %s",
+			transport.StageName(c.Stage), transport.StageName(transport.StageStream))
+	}
+	return DecodeState(c.Stream)
+}
+
+// Wire helpers, mirroring the transport codec's conventions (fixed-width
+// little-endian, a fail-once reader); local because transport keeps its
+// own unexported.
+
+func sappendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func sappendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func sappendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+type stateReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *stateReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("streammine: "+format, args...)
+	}
+}
+
+func (r *stateReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b)-r.off < n {
+		r.fail("state truncated at byte %d (need %d more)", r.off, n)
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *stateReader) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *stateReader) u64() uint64 {
+	if b := r.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (r *stateReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// count reads an element count and sanity-checks it against the bytes
+// remaining (each element needs at least elemSize bytes), so a corrupt
+// length cannot drive a huge allocation.
+func (r *stateReader) count(elemSize int) int {
+	n := int(r.u32())
+	if r.err == nil && n*elemSize > len(r.b)-r.off {
+		r.fail("count %d exceeds remaining %d bytes", n, len(r.b)-r.off)
+		return 0
+	}
+	return n
+}
+
+// set reads a length-prefixed itemset, validating strict ascent and the
+// vocabulary bound.
+func (r *stateReader) set(numItems int, what string) itemset.Itemset {
+	n := r.count(4)
+	set := make(itemset.Itemset, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		it := itemset.Item(r.u32())
+		if len(set) > 0 && it <= set[len(set)-1] {
+			r.fail("%s items not strictly ascending", what)
+			return nil
+		}
+		if int(it) >= numItems {
+			r.fail("%s item %d beyond the %d-item vocabulary", what, it, numItems)
+			return nil
+		}
+		set = append(set, it)
+	}
+	return set
+}
+
+func (r *stateReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("streammine: %d trailing bytes after state", len(r.b)-r.off)
+	}
+	return nil
+}

@@ -1,0 +1,523 @@
+// Package streammine mines association rules incrementally over a live
+// document stream. It keeps the paper's batch pipeline as the reference
+// semantics: at every point in time the miner's frequent sets are exactly
+// what core.MinePMIHP would compute from scratch over the current window —
+// byte-identical itemsets, counts, and order — but the incremental path
+// gets there without re-scanning transactions it has already seen.
+//
+// The structure it exploits is the day-group contiguity of the CSR store
+// (txdb.AppendDB): a stream appends whole days at the tail, and a sliding
+// window of the most recent W days drops whole days at the front. The
+// miner therefore retains one summary per day:
+//
+//   - a complete per-item support vector (pass 1 never scans),
+//   - a complete pair co-occurrence map (pass 2 never scans),
+//   - a demand-filled cache of k≥3 candidate counts, where a cached zero
+//     means "counted, absent" — so a candidate pass scans only the days
+//     that have never counted that candidate (in steady state, exactly
+//     the newly ingested transactions).
+//
+// Window advances merge the retained summaries with the freshly built
+// ones; eviction is dropping a summary (the append-only store keeps the
+// bytes, see txdb.AppendDB). An optional exponential day-decay weighting
+// (Config.Decay) replaces the integer support threshold with a weighted
+// one; the arithmetic is fixed — per-day integer counts times the day
+// weight, accumulated in ascending day order — so the weighted results
+// are bit-identical to MineWindowFromScratch on the same window.
+package streammine
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"pmihp/internal/itemset"
+	"pmihp/internal/mining"
+	"pmihp/internal/txdb"
+)
+
+// Config configures an incremental miner.
+type Config struct {
+	// WindowDays is the sliding window width W in days: after every
+	// ingest the window covers days (lastDay-W+1 .. lastDay). 0 means
+	// unbounded — never evict.
+	WindowDays int
+
+	// Decay enables exponential day-decay weighting when positive: a
+	// transaction on day d carries weight Decay^(lastDay-d), and an
+	// itemset is frequent when its weighted support reaches the weighted
+	// threshold (MinSupCount taken as an absolute weighted support, or
+	// MinSupFrac of the total window weight). 0 disables weighting;
+	// 1 weights every day equally (the integer semantics, on the float
+	// path). Must be in [0, 1].
+	Decay float64
+
+	// Opts supplies the support threshold (MinSupFrac or MinSupCount)
+	// and MaxK. The threshold is resolved against the window size with
+	// the same mining.Options.MinCount rounding every batch miner uses.
+	Opts mining.Options
+}
+
+func (c Config) validate() error {
+	if c.WindowDays < 0 {
+		return fmt.Errorf("streammine: negative window %d", c.WindowDays)
+	}
+	if c.Decay < 0 || c.Decay > 1 || math.IsNaN(c.Decay) {
+		return fmt.Errorf("streammine: decay %v outside [0, 1]", c.Decay)
+	}
+	if c.Opts.MinSupCount <= 0 && !(c.Opts.MinSupFrac > 0) {
+		return fmt.Errorf("streammine: no support threshold (set MinSupCount or MinSupFrac)")
+	}
+	return nil
+}
+
+// weightedMode reports whether the decay-weighted semantics are active.
+func (c Config) weightedMode() bool { return c.Decay > 0 }
+
+// Weighted is a frequent itemset under decay weighting: Count is the raw
+// window support, Weight the decayed support that qualified it.
+type Weighted struct {
+	Set    itemset.Itemset
+	Count  int
+	Weight float64
+}
+
+// CompareWeighted is the canonical order on weighted results: weight
+// descending, ties broken lexicographically. Weights of distinct sets can
+// tie (equal counts on the same days), so the lexicographic tiebreak is
+// what makes the order total and the harness comparison byte-stable.
+func CompareWeighted(a, b Weighted) int {
+	switch {
+	case a.Weight > b.Weight:
+		return -1
+	case a.Weight < b.Weight:
+		return 1
+	}
+	return itemset.Compare(a.Set, b.Set)
+}
+
+// daySummary is the retained mining state of one day: its transaction run
+// in the store, complete item and pair counts, and the demand-filled k≥3
+// candidate cache. A cache entry of zero is meaningful — it records that
+// the candidate was counted over this day and found absent, so later
+// passes need not rescan.
+type daySummary struct {
+	day    int
+	lo, hi int // transaction index run in the owning view
+	items  []int
+	pairs  map[uint64]int
+	higher map[string]int
+}
+
+func newDaySummary(day, lo int) *daySummary {
+	return &daySummary{day: day, lo: lo, hi: lo, pairs: map[uint64]int{}, higher: map[string]int{}}
+}
+
+func (ds *daySummary) count() int { return ds.hi - ds.lo }
+
+// pairKey packs an ordered item pair (a < b) into a map key.
+func pairKey(a, b itemset.Item) uint64 { return uint64(a)<<32 | uint64(b) }
+
+func splitPair(key uint64) (a, b itemset.Item) {
+	return itemset.Item(key >> 32), itemset.Item(key & 0xffffffff)
+}
+
+// addRange absorbs transactions [lo, hi) of view into the summary,
+// updating the complete item/pair counts and keeping every cached k≥3
+// count exact over the extended run (a day can receive several batches).
+func (ds *daySummary) addRange(view *txdb.DB, lo, hi int) {
+	for t := lo; t < hi; t++ {
+		items := view.ItemsOf(t)
+		for i, a := range items {
+			ia := int(a)
+			for len(ds.items) <= ia {
+				ds.items = append(ds.items, 0)
+			}
+			ds.items[ia]++
+			for _, b := range items[i+1:] {
+				ds.pairs[pairKey(a, b)]++
+			}
+		}
+	}
+	for key := range ds.higher {
+		set := itemset.FromKey(key)
+		n := 0
+		for t := lo; t < hi; t++ {
+			if set.SubsetOf(view.ItemsOf(t)) {
+				n++
+			}
+		}
+		if n != 0 {
+			ds.higher[key] += n
+		}
+	}
+	ds.hi = hi
+}
+
+// IngestStats describes the incremental work of the latest Ingest.
+type IngestStats struct {
+	// NewTx is the number of transactions the batch appended.
+	NewTx int
+	// ScannedTx is the number of window transactions the re-mine scanned
+	// while demand-filling k≥3 candidate caches (pass 1 and 2 never
+	// scan). In steady state this stays near NewTx; it grows only when a
+	// threshold shift surfaces candidates old days have never counted.
+	ScannedTx int
+	// WindowTx and WindowDayCount describe the window after the advance.
+	WindowTx       int
+	WindowDayCount int
+}
+
+// Miner is the incremental windowed miner. It is not safe for concurrent
+// use; wrap it in the replay loop (Replay) or your own single goroutine.
+type Miner struct {
+	cfg      Config
+	store    *txdb.AppendDB
+	days     []*daySummary
+	frequent []itemset.Counted
+	weighted []Weighted
+	steps    int
+	last     IngestStats
+}
+
+// New returns an empty miner over a vocabulary of numItems items (the
+// store grows the vocabulary automatically when a batch coins new ids).
+func New(numItems int, cfg Config) (*Miner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Miner{cfg: cfg, store: txdb.NewAppend(numItems)}, nil
+}
+
+// Config returns the miner's configuration.
+func (m *Miner) Config() Config { return m.cfg }
+
+// Steps returns the number of completed Ingest calls.
+func (m *Miner) Steps() int { return m.steps }
+
+// LastStats returns the work accounting of the latest Ingest.
+func (m *Miner) LastStats() IngestStats { return m.last }
+
+// Store exposes the backing append-only store (read-side methods only).
+func (m *Miner) Store() *txdb.AppendDB { return m.store }
+
+// WindowStart returns the first day of the current window; ok is false
+// while the store is empty.
+func (m *Miner) WindowStart() (day int, ok bool) {
+	if len(m.days) == 0 {
+		return 0, false
+	}
+	return m.days[0].day, true
+}
+
+// WindowDB returns a zero-copy view of the window's transactions — the
+// database a from-scratch miner would be handed. Empty store: empty view.
+func (m *Miner) WindowDB() *txdb.DB {
+	if len(m.days) == 0 {
+		return m.store.View()
+	}
+	return m.store.SinceDay(m.days[0].day)
+}
+
+// Frequent returns the frequent itemsets of the current window with their
+// raw support counts, in the order every batch miner in this module uses
+// (descending count, ties lexicographic) — byte-identical to
+// core.MinePMIHP on WindowDB when decay is off. Under decay the sets are
+// the weighted-frequent ones (see WeightedFrequent for the qualifying
+// weights). The slice is owned by the miner; do not mutate.
+func (m *Miner) Frequent() []itemset.Counted { return m.frequent }
+
+// WeightedFrequent returns the decay-weighted result (nil when Decay is
+// 0): every itemset whose weighted support met the weighted threshold,
+// ordered by CompareWeighted. Bit-identical to MineWindowFromScratch on
+// WindowDB.
+func (m *Miner) WeightedFrequent() []Weighted { return m.weighted }
+
+// Ingest appends a batch of transactions (non-decreasing days continuing
+// the store's last day — txdb.AppendDB's contract), advances the window,
+// and re-mines. The batch is rejected whole on an ordering violation and
+// the miner's state is unchanged. An empty batch is a no-op advance: the
+// window and results are recomputed but nothing is scanned.
+func (m *Miner) Ingest(batch []txdb.Transaction) error {
+	lo := m.store.Len()
+	if err := m.store.Append(batch); err != nil {
+		return err
+	}
+	m.absorb(lo)
+	m.evict()
+	m.remine()
+	m.last.NewTx = m.store.Len() - lo
+	m.steps++
+	return nil
+}
+
+// absorb builds or extends day summaries for the transactions appended at
+// index lo and beyond.
+func (m *Miner) absorb(lo int) {
+	view := m.store.View()
+	for i := lo; i < view.Len(); {
+		day := view.DayOf(i)
+		j := i + 1
+		for j < view.Len() && view.DayOf(j) == day {
+			j++
+		}
+		var ds *daySummary
+		if n := len(m.days); n > 0 && m.days[n-1].day == day {
+			ds = m.days[n-1]
+		} else {
+			ds = newDaySummary(day, i)
+			m.days = append(m.days, ds)
+		}
+		ds.addRange(view, i, j)
+		i = j
+	}
+}
+
+// evict drops the day summaries that fell out of the window. The window
+// always contains the store's last day, so a later batch extending that
+// day still finds its summary.
+func (m *Miner) evict() {
+	if m.cfg.WindowDays <= 0 || len(m.days) == 0 {
+		return
+	}
+	start := m.days[len(m.days)-1].day - m.cfg.WindowDays + 1
+	k := 0
+	for k < len(m.days) && m.days[k].day < start {
+		k++
+	}
+	m.days = m.days[k:]
+}
+
+// remine recomputes the frequent sets of the current window from the
+// retained summaries.
+func (m *Miner) remine() {
+	frequent, weighted, scanned := mineDays(m.store.View(), m.days, m.cfg)
+	m.frequent, m.weighted = frequent, weighted
+	windowTx := 0
+	for _, ds := range m.days {
+		windowTx += ds.count()
+	}
+	m.last = IngestStats{ScannedTx: scanned, WindowTx: windowTx, WindowDayCount: len(m.days)}
+}
+
+// MineWindowFromScratch mines a window database with no retained state:
+// fresh per-day summaries, candidate caches filled from empty. It returns
+// the same (frequent, weighted) pair an incremental Miner holds after
+// ingesting the window — the reference the equivalence harness compares
+// the decay-weighted path against (the unweighted path is gated on
+// core.MinePMIHP directly, a fully independent implementation).
+func MineWindowFromScratch(db *txdb.DB, cfg Config) (frequent []itemset.Counted, weighted []Weighted, err error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	var days []*daySummary
+	for i := 0; i < db.Len(); {
+		day := db.DayOf(i)
+		j := i + 1
+		for j < db.Len() && db.DayOf(j) == day {
+			j++
+		}
+		ds := newDaySummary(day, i)
+		ds.addRange(db, i, j)
+		days = append(days, ds)
+		i = j
+	}
+	frequent, weighted, _ = mineDays(db, days, cfg)
+	return frequent, weighted, nil
+}
+
+// mineDays is the level-wise core shared by the incremental and
+// from-scratch paths: it mines the union of the given day summaries,
+// scanning view only to demand-fill k≥3 candidate caches. Per-day counts
+// merge as integer sums; weighted supports accumulate per key in
+// ascending day order, which (with math.Pow being a pure function) makes
+// the float results bit-identical however the summaries were built.
+func mineDays(view *txdb.DB, days []*daySummary, cfg Config) (frequent []itemset.Counted, weighted []Weighted, scanned int) {
+	n := 0
+	for _, ds := range days {
+		n += ds.count()
+	}
+	if n == 0 {
+		return nil, nil, 0
+	}
+	numItems := view.NumItems()
+	wmode := cfg.weightedMode()
+	last := days[len(days)-1].day
+	dayWeights := make([]float64, len(days))
+	totalW := 0.0
+	for i, ds := range days {
+		dayWeights[i] = 1
+		if wmode {
+			dayWeights[i] = math.Pow(cfg.Decay, float64(last-ds.day))
+		}
+		totalW += float64(ds.count()) * dayWeights[i]
+	}
+	minCount := cfg.Opts.MinCount(n)
+	minW := 0.0
+	if wmode {
+		if cfg.Opts.MinSupCount > 0 {
+			minW = float64(cfg.Opts.MinSupCount)
+		} else {
+			minW = cfg.Opts.MinSupFrac * totalW
+		}
+	}
+	meets := func(count int, w float64) bool {
+		if wmode {
+			return w >= minW
+		}
+		return count >= minCount
+	}
+	keep := func(lvl []Weighted) []itemset.Itemset {
+		sets := make([]itemset.Itemset, len(lvl))
+		for i, e := range lvl {
+			sets[i] = e.Set
+			frequent = append(frequent, itemset.Counted{Set: e.Set, Count: e.Count})
+			if wmode {
+				weighted = append(weighted, e)
+			}
+		}
+		return sets
+	}
+
+	// Pass 1: merge the retained item vectors — no transaction scan.
+	itemCounts := make([]int, numItems)
+	itemW := make([]float64, numItems)
+	for i, ds := range days {
+		w := dayWeights[i]
+		for it, c := range ds.items {
+			if c == 0 {
+				continue
+			}
+			itemCounts[it] += c
+			if wmode {
+				itemW[it] += float64(c) * w
+			}
+		}
+	}
+	var lvl1 []Weighted
+	for it := 0; it < numItems; it++ {
+		if itemCounts[it] == 0 || !meets(itemCounts[it], itemW[it]) {
+			continue
+		}
+		lvl1 = append(lvl1, Weighted{Set: itemset.Itemset{itemset.Item(it)}, Count: itemCounts[it], Weight: itemW[it]})
+	}
+	prev := keep(lvl1)
+	freqItem := make([]bool, numItems)
+	for _, e := range lvl1 {
+		freqItem[e.Set[0]] = true
+	}
+
+	// Pass 2: merge the retained pair maps — no transaction scan. Keys
+	// iterate in map order, but each key accumulates across days in
+	// ascending day order, so the weighted sums are deterministic.
+	if len(prev) > 1 && (cfg.Opts.MaxK == 0 || cfg.Opts.MaxK >= 2) {
+		pairCounts := map[uint64]int{}
+		pairW := map[uint64]float64{}
+		for i, ds := range days {
+			w := dayWeights[i]
+			for key, c := range ds.pairs {
+				a, b := splitPair(key)
+				if !freqItem[a] || !freqItem[b] {
+					continue
+				}
+				pairCounts[key] += c
+				if wmode {
+					pairW[key] += float64(c) * w
+				}
+			}
+		}
+		var lvl2 []Weighted
+		for key, c := range pairCounts {
+			if !meets(c, pairW[key]) {
+				continue
+			}
+			a, b := splitPair(key)
+			lvl2 = append(lvl2, Weighted{Set: itemset.Itemset{a, b}, Count: c, Weight: pairW[key]})
+		}
+		slices.SortFunc(lvl2, func(a, b Weighted) int { return itemset.Compare(a.Set, b.Set) })
+		prev = keep(lvl2)
+	} else {
+		prev = nil
+	}
+
+	// Passes k≥3: Apriori join + closure over the previous level, then
+	// demand-fill each day's candidate cache. Only days missing a
+	// candidate are scanned — in steady state, just the new day.
+	for k := 3; len(prev) > 1 && (cfg.Opts.MaxK == 0 || k <= cfg.Opts.MaxK); k++ {
+		prevSet := itemset.SetOf(prev...)
+		seen := itemset.NewSet()
+		var cands []itemset.Itemset
+		for i := 0; i < len(prev); i++ {
+			for j := i + 1; j < len(prev); j++ {
+				cand, ok := itemset.Join(prev[i], prev[j])
+				if !ok || seen.Has(cand) {
+					continue
+				}
+				seen.Add(cand)
+				allFreq := true
+				cand.EachSubset(func(sub itemset.Itemset) bool {
+					if !prevSet.Has(sub) {
+						allFreq = false
+						return false
+					}
+					return true
+				})
+				if allFreq {
+					cands = append(cands, cand)
+				}
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		itemset.Sort(cands)
+		for _, ds := range days {
+			var missing []itemset.Itemset
+			var keys []string
+			for _, cand := range cands {
+				key := cand.Key()
+				if _, known := ds.higher[key]; !known {
+					missing = append(missing, cand)
+					keys = append(keys, key)
+				}
+			}
+			if len(missing) == 0 {
+				continue
+			}
+			counts := make([]int, len(missing))
+			for t := ds.lo; t < ds.hi; t++ {
+				items := view.ItemsOf(t)
+				for ci, cand := range missing {
+					if cand.SubsetOf(items) {
+						counts[ci]++
+					}
+				}
+			}
+			scanned += ds.count()
+			for ci, key := range keys {
+				ds.higher[key] = counts[ci] // zeros too: a cache hit means "known"
+			}
+		}
+		var lvl []Weighted
+		for _, cand := range cands {
+			key := cand.Key()
+			tot := 0
+			wtot := 0.0
+			for i, ds := range days {
+				c := ds.higher[key]
+				tot += c
+				if wmode {
+					wtot += float64(c) * dayWeights[i]
+				}
+			}
+			if meets(tot, wtot) {
+				lvl = append(lvl, Weighted{Set: cand, Count: tot, Weight: wtot})
+			}
+		}
+		prev = keep(lvl)
+	}
+
+	itemset.SortCounted(frequent)
+	slices.SortFunc(weighted, CompareWeighted)
+	return frequent, weighted, scanned
+}

@@ -19,8 +19,9 @@ import (
 // so a stale daemon meeting a newer checkpoint degrades to a clean
 // session failure the coordinator can see.
 
-// CheckpointVersion is the current checkpoint format version.
-const CheckpointVersion = 1
+// CheckpointVersion is the current checkpoint format version. Version 2
+// added the stream stage and its opaque state payload.
+const CheckpointVersion = 2
 
 // checkpointMagic prefixes every encoded checkpoint.
 const checkpointMagic = "PMCK"
@@ -38,6 +39,11 @@ const (
 	// StageTHT: the THT exchange completed; THTSegments holds every
 	// node's frequent-row THT segment in wire form.
 	StageTHT uint8 = 2
+	// StageStream: an incremental-mining snapshot (internal/streammine) —
+	// Stream holds the miner's encoded window state (retained per-day
+	// counts, window bounds, frequent sets). Stream checkpoints never
+	// carry the cluster-collective payloads of the other stages.
+	StageStream uint8 = 3
 )
 
 // StageName names a checkpoint stage for logs and errors.
@@ -49,6 +55,8 @@ func StageName(stage uint8) string {
 		return "item-counts"
 	case StageTHT:
 		return "tht"
+	case StageStream:
+		return "stream"
 	}
 	return fmt.Sprintf("stage-%d", stage)
 }
@@ -69,6 +77,10 @@ type Checkpoint struct {
 	// THTSegments holds each logical node's THT segment in tht wire
 	// form, indexed by node id; valid at StageTHT (len == Nodes).
 	THTSegments [][]byte
+	// Stream is the opaque incremental-mining state payload; valid (and
+	// required non-empty) at StageStream only. The transport layer never
+	// interprets it — internal/streammine owns its encoding.
+	Stream []byte
 }
 
 // AppendCheckpoint appends the versioned encoding of c to b.
@@ -86,6 +98,7 @@ func AppendCheckpoint(b []byte, c Checkpoint) []byte {
 	for _, seg := range c.THTSegments {
 		b = appendBytes(b, seg)
 	}
+	b = appendBytes(b, c.Stream)
 	return b
 }
 
@@ -116,14 +129,26 @@ func DecodeCheckpoint(b []byte) (Checkpoint, error) {
 	for i := 0; i < nSegs && r.err == nil; i++ {
 		c.THTSegments = append(c.THTSegments, r.bytes())
 	}
+	c.Stream = r.bytes()
+	if len(c.Stream) == 0 {
+		c.Stream = nil
+	}
 	if r.err == nil {
+		isStream := c.Stage == StageStream
 		if c.Nodes <= 0 {
 			r.fail("checkpoint for a %d-node cluster", c.Nodes)
-		} else if c.Stage > StageTHT {
+		} else if c.Stage > StageStream {
 			r.fail("unknown checkpoint stage %d", c.Stage)
-		} else if c.Stage < StageItemCounts && len(c.GlobalCounts) != 0 {
+		} else if isStream && len(c.Stream) == 0 {
+			r.fail("stage %s checkpoint without stream state", StageName(c.Stage))
+		} else if !isStream && len(c.Stream) != 0 {
+			r.fail("stage %s checkpoint carries %d stream-state bytes", StageName(c.Stage), len(c.Stream))
+		} else if isStream && (len(c.GlobalCounts) != 0 || len(c.THTSegments) != 0) {
+			r.fail("stage %s checkpoint carries cluster collectives (%d counts, %d segments)",
+				StageName(c.Stage), len(c.GlobalCounts), len(c.THTSegments))
+		} else if !isStream && c.Stage < StageItemCounts && len(c.GlobalCounts) != 0 {
 			r.fail("stage %s checkpoint carries %d item counts", StageName(c.Stage), len(c.GlobalCounts))
-		} else if c.Stage >= StageItemCounts && len(c.GlobalCounts) == 0 {
+		} else if !isStream && c.Stage >= StageItemCounts && len(c.GlobalCounts) == 0 {
 			r.fail("stage %s checkpoint without item counts", StageName(c.Stage))
 		} else if c.Stage < StageTHT && len(c.THTSegments) != 0 {
 			r.fail("stage %s checkpoint carries %d THT segments", StageName(c.Stage), len(c.THTSegments))

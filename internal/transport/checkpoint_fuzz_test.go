@@ -15,9 +15,17 @@ func FuzzCheckpoint(f *testing.F) {
 	f.Add(AppendCheckpoint(nil, sampleCheckpoint(StageNone)))
 	f.Add(AppendCheckpoint(nil, sampleCheckpoint(StageItemCounts)))
 	f.Add(AppendCheckpoint(nil, sampleCheckpoint(StageTHT)))
+	f.Add(AppendCheckpoint(nil, sampleCheckpoint(StageStream)))
 	skew := AppendCheckpoint(nil, sampleCheckpoint(StageTHT))
 	skew[len(checkpointMagic)] = CheckpointVersion + 1
 	f.Add(skew)
+	// A stream checkpoint whose stage byte claims a cluster stage: the
+	// stage/payload agreement checks must reject it, not decode garbage.
+	cross := AppendCheckpoint(nil, sampleCheckpoint(StageStream))
+	f.Add(cross)
+	crossStage := append([]byte(nil), cross...)
+	crossStage[len(checkpointMagic)+1+8+4] = StageItemCounts
+	f.Add(crossStage)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := DecodeCheckpoint(data)

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"fmt"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -9,6 +10,11 @@ import (
 
 func sampleCheckpoint(stage uint8) Checkpoint {
 	c := Checkpoint{ClusterID: 0xfeedface, Nodes: 4, Stage: stage}
+	if stage == StageStream {
+		c.Nodes = 1
+		c.Stream = []byte("stream-state-payload")
+		return c
+	}
 	if stage >= StageItemCounts {
 		c.GlobalCounts = []uint32{5, 0, 12, 3, 9}
 	}
@@ -19,7 +25,7 @@ func sampleCheckpoint(stage uint8) Checkpoint {
 }
 
 func TestCheckpointRoundTrip(t *testing.T) {
-	for _, stage := range []uint8{StageNone, StageItemCounts, StageTHT} {
+	for _, stage := range []uint8{StageNone, StageItemCounts, StageTHT, StageStream} {
 		in := sampleCheckpoint(stage)
 		out, err := DecodeCheckpoint(AppendCheckpoint(nil, in))
 		if err != nil {
@@ -39,22 +45,28 @@ func TestCheckpointRoundTrip(t *testing.T) {
 				t.Fatalf("stage %s: segment %d differs", StageName(stage), i)
 			}
 		}
+		if string(out.Stream) != string(in.Stream) {
+			t.Fatalf("stage %s: stream payload %q want %q", StageName(stage), out.Stream, in.Stream)
+		}
 	}
 }
 
-// A daemon built for checkpoint version 1 must reject a checkpoint
-// stamped with a future version with an error naming both versions —
-// never decode garbage, never panic.
+// A daemon built for the current checkpoint version must reject a
+// checkpoint stamped with any other version with an error naming both
+// versions — never decode garbage, never panic.
 func TestCheckpointVersionSkew(t *testing.T) {
-	enc := AppendCheckpoint(nil, sampleCheckpoint(StageTHT))
-	enc[len(checkpointMagic)] = CheckpointVersion + 1
-	_, err := DecodeCheckpoint(enc)
-	if err == nil {
-		t.Fatal("want error for future checkpoint version")
-	}
-	msg := err.Error()
-	if !strings.Contains(msg, "version 2") || !strings.Contains(msg, "version 1") {
-		t.Fatalf("version-skew error %q does not name both versions", msg)
+	for _, skew := range []uint8{CheckpointVersion + 1, CheckpointVersion - 1} {
+		enc := AppendCheckpoint(nil, sampleCheckpoint(StageTHT))
+		enc[len(checkpointMagic)] = skew
+		_, err := DecodeCheckpoint(enc)
+		if err == nil {
+			t.Fatalf("want error for checkpoint version %d", skew)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, fmt.Sprintf("version %d", skew)) ||
+			!strings.Contains(msg, fmt.Sprintf("version %d", CheckpointVersion)) {
+			t.Fatalf("version-skew error %q does not name both versions", msg)
+		}
 	}
 }
 
@@ -85,8 +97,13 @@ func TestCheckpointRejectsStageMismatch(t *testing.T) {
 			GlobalCounts: []uint32{1}, THTSegments: [][]byte{{1}, {2}}},
 		"segment/node mismatch": {ClusterID: 1, Nodes: 2, Stage: StageTHT,
 			GlobalCounts: []uint32{1}, THTSegments: [][]byte{{1}}},
-		"unknown stage": {ClusterID: 1, Nodes: 2, Stage: 9},
-		"no nodes":      {ClusterID: 1, Nodes: 0},
+		"unknown stage":              {ClusterID: 1, Nodes: 2, Stage: 9},
+		"no nodes":                   {ClusterID: 1, Nodes: 0},
+		"stream stage without state": {ClusterID: 1, Nodes: 1, Stage: StageStream},
+		"stream state on a tht stage": {ClusterID: 1, Nodes: 2, Stage: StageTHT,
+			GlobalCounts: []uint32{1}, THTSegments: [][]byte{{1}, {2}}, Stream: []byte{7}},
+		"stream stage with collectives": {ClusterID: 1, Nodes: 1, Stage: StageStream,
+			GlobalCounts: []uint32{1}, Stream: []byte{7}},
 	}
 	for name, c := range cases {
 		if _, err := DecodeCheckpoint(AppendCheckpoint(nil, c)); err == nil {
