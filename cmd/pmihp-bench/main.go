@@ -72,6 +72,9 @@ func realMain() int {
 		serveLimit  = flag.Int("serve-limit", 5, "per-word term limit sent with -serve-load queries")
 		serveSeed   = flag.Int64("serve-seed", 1, "deterministic request-sequence seed for -serve-load")
 		serveReport = flag.String("serve-report", "", "write the -serve-load JSON report to this file")
+
+		schedCompare = flag.Bool("sched-compare", false, "run the static-vs-elastic scheduler comparison on the skewed corpus and print the JSON report")
+		schedReport  = flag.String("sched-report", "", "also write the -sched-compare JSON report to this file")
 	)
 	flag.Parse()
 
@@ -130,6 +133,9 @@ func realMain() int {
 		return 2
 	}
 
+	if *schedCompare {
+		return runSchedCompare(sc, *schedReport, *verbose)
+	}
 	if *benchJSON != "" {
 		return runBenchHarness(*benchJSON, *rev, *baseline, sc, *verbose)
 	}
@@ -167,6 +173,60 @@ func realMain() int {
 		return 2
 	}
 	if !run(e) {
+		return 1
+	}
+	return 0
+}
+
+// runSchedCompare runs the static-vs-elastic scheduler experiment on the
+// skewed corpus, prints the JSON report, and fails if either arm's
+// itemsets differ from the single-process reference or the elastic arm
+// does not improve the imbalance ratio.
+func runSchedCompare(sc corpus.Scale, reportPath string, verbose bool) int {
+	var log io.Writer
+	if verbose {
+		log = os.Stderr
+	}
+	rep, err := benchharness.RunSchedCompare(sc, log)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
+		return 1
+	}
+	if err := rep.WriteJSON(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
+		return 1
+	}
+	if reportPath != "" {
+		f, err := os.Create(reportPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmihp-bench:", err)
+			return 1
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "pmihp-bench:", werr)
+			return 1
+		}
+	}
+	if !rep.Identical {
+		fmt.Fprintln(os.Stderr, "pmihp-bench: sched-compare itemsets differ from the reference")
+		return 1
+	}
+	if rep.Elastic.Resizes == 0 {
+		fmt.Fprintln(os.Stderr, "pmihp-bench: sched-compare elastic arm never resized")
+		return 1
+	}
+	if rep.Elastic.Imbalance >= rep.Static.Imbalance {
+		fmt.Fprintf(os.Stderr, "pmihp-bench: sched-compare elastic imbalance %.3f did not beat static %.3f\n",
+			rep.Elastic.Imbalance, rep.Static.Imbalance)
+		return 1
+	}
+	if rep.Elastic.MaxBusySeconds >= rep.Static.MaxBusySeconds {
+		fmt.Fprintf(os.Stderr, "pmihp-bench: sched-compare elastic modeled makespan %.3fs did not beat static %.3fs\n",
+			rep.Elastic.MaxBusySeconds, rep.Static.MaxBusySeconds)
 		return 1
 	}
 	return 0

@@ -13,6 +13,7 @@
 //	pmihp-mine -spawn 4 -node-bin ./pmihp-node -minsup-count 2   # real 4-process cluster
 //	pmihp-mine -cluster host1:9001,host2:9001 -minsup-count 2    # pre-started daemons
 //	pmihp-mine -stream -stream-window 3 -minsup-count 3 -maxk 3  # windowed stream replay
+//	pmihp-mine -pool-listen 127.0.0.1:0 -pool-wait 4 -sessions 2 -nodes 2 -grow 4  # multi-tenant scheduler
 //
 // Algorithms: apriori, dhp, fpgrowth, mihp, ihp, cd, dd, pmihp.
 package main
@@ -107,6 +108,10 @@ func run(args []string, out io.Writer) error {
 		nodes        = fs.Int("nodes", 4, "simulated nodes for cd/dd/pmihp")
 		cluster      = fs.String("cluster", "", "comma-separated pmihp-node addresses: mine on a real multi-process cluster")
 		spawn        = fs.Int("spawn", 0, "spawn N local pmihp-node worker processes and mine on them")
+		poolListen   = fs.String("pool-listen", "", "scheduler mode: boot a worker pool on this address (pmihp-node workers register with -pool) and mine -sessions concurrent sessions through it")
+		poolWait     = fs.Int("pool-wait", 0, "scheduler mode: wait for this many workers to join the pool before submitting sessions (0 = don't wait)")
+		sessions     = fs.Int("sessions", 1, "scheduler mode: concurrent sessions to submit; each is verified byte-identical to a single-process reference")
+		growTo       = fs.Int("grow", 0, "scheduler mode: elastically scale each session from -nodes up to this many logical nodes at the first checkpoint barrier (0 = no mid-run resize)")
 		nodeBin      = fs.String("node-bin", "pmihp-node", "pmihp-node binary for -spawn")
 		heartbeat    = fs.Duration("heartbeat", 0, "cluster heartbeat interval (0 = 500ms); timeout is 6x the interval")
 		failPolicy   = fs.String("failure-policy", "abort", "on worker death: abort | reassign")
@@ -133,6 +138,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *cluster != "" && *spawn > 0 {
 		return fmt.Errorf("-cluster and -spawn are mutually exclusive")
+	}
+	if *poolListen != "" && (*cluster != "" || *spawn > 0) {
+		return fmt.Errorf("-pool-listen is mutually exclusive with -cluster and -spawn")
 	}
 
 	var docs []text.Document
@@ -238,6 +246,26 @@ func run(args []string, out io.Writer) error {
 
 	var result *mining.Result
 	switch {
+	case *poolListen != "":
+		policy, perr := distmine.ParseFailurePolicy(*failPolicy)
+		if perr != nil {
+			return perr
+		}
+		result, err = runSched(out, db, opts, schedFlags{
+			listen:   *poolListen,
+			wait:     *poolWait,
+			sessions: *sessions,
+			nodes:    *nodes,
+			growTo:   *growTo,
+			cluster: distmine.ClusterConfig{
+				FailurePolicy:      policy,
+				HeartbeatInterval:  *heartbeat,
+				CheckpointDir:      *ckptDir,
+				StragglerLagPasses: *stragglerLag,
+				Logf:               log.New(os.Stderr, "", 0).Printf,
+				Obs:                rec,
+			},
+		})
 	case *cluster != "" || *spawn > 0:
 		policy, perr := distmine.ParseFailurePolicy(*failPolicy)
 		if perr != nil {

@@ -6,21 +6,27 @@
 // Usage:
 //
 //	pmihp-node [-listen 127.0.0.1:0] [-metrics-addr 127.0.0.1:9090] [-trace-json node.jsonl] [-v]
+//	pmihp-node -pool 127.0.0.1:9100 -capacity 67108864   # register in a scheduler pool
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"time"
 
 	"pmihp/internal/distmine"
 	"pmihp/internal/mining"
 	"pmihp/internal/obs"
+	"pmihp/internal/sched"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on (port 0 picks a free port)")
+	pool := flag.String("pool", "", "register with the scheduler pool at this address and serve sessions leased through it")
+	capacity := flag.Int64("capacity", 0, "session bytes admission control may reserve against this worker when pooled (0 = unlimited)")
 	heartbeat := flag.Duration("heartbeat", 0, "control-plane heartbeat interval when a session's Init does not set one (0 = 500ms)")
 	denseTh := flag.Float64("dense-threshold", -1, "override the coordinator's posting density cutoff on this node (0 = all bitmaps, >1 or inf = all compressed, -1 = use the session's); layout only — results and simulated charges are identical either way")
 	partitioner := flag.String("partitioner", "", "only serve sessions partitioned by this policy (count | work); partitions arrive pre-cut from the coordinator, so this is a guard, not an override (empty = serve any)")
@@ -73,8 +79,37 @@ func main() {
 		}
 	}
 	d := distmine.NewDaemon(opt)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmihp-node: %v\n", err)
+		os.Exit(1)
+	}
 	announce := log.New(os.Stdout, "", 0)
-	if err := d.ListenAndServe(*listen, announce); err != nil {
+	announce.Printf("pmihp-node listening on %s", ln.Addr().String())
+	if *pool != "" {
+		// The membership heartbeats and rejoins in the background for the
+		// daemon's whole lifetime; it dies with the process, so the pool's
+		// heartbeat timeout is what deregisters a killed worker. The
+		// initial join retries for a while so workers and the pool can be
+		// started in any order.
+		join := sched.JoinOptions{CapacityBytes: *capacity}
+		if *verbose {
+			join.Logf = log.New(os.Stderr, "", log.LstdFlags).Printf
+		}
+		var jerr error
+		for attempt := 0; attempt < 40; attempt++ {
+			if _, jerr = sched.Join(*pool, ln.Addr().String(), join); jerr == nil {
+				break
+			}
+			time.Sleep(500 * time.Millisecond)
+		}
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "pmihp-node: %v\n", jerr)
+			os.Exit(1)
+		}
+		announce.Printf("pmihp-node joined pool %s", *pool)
+	}
+	if err := d.Serve(ln); err != nil {
 		fmt.Fprintf(os.Stderr, "pmihp-node: %v\n", err)
 		os.Exit(1)
 	}

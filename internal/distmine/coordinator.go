@@ -98,6 +98,24 @@ type ClusterConfig struct {
 	// address; a dead daemon's logical nodes move there instead of
 	// doubling up on survivors. Used by pmihp-mine -spawn.
 	Respawn func() (string, error)
+	// Elastic, when non-nil, lets the session's owner change the logical
+	// node count mid-run (see ElasticControl): the attempt aborts, the
+	// database is re-split across the new roster, and mining resumes from
+	// the last partition-independent checkpoint barrier.
+	Elastic *ElasticControl
+	// AcquireWorkers, when non-nil, hands the straggler detector a way to
+	// grow instead of migrate: called with the maximum number of extra
+	// workers that make sense, it returns the addresses of idle pool
+	// workers this session may keep until it completes (possibly none).
+	// When it returns workers, a detected straggler triggers an elastic
+	// re-split across the grown roster — the slow daemon keeps a smaller
+	// share — instead of draining the straggler onto already-busy peers.
+	AcquireWorkers func(max int) []string
+	// OnCheckpointStage, when non-nil, is called (from the control-plane
+	// reader) each time the session's checkpoint advances to a new stage —
+	// the deterministic hook schedulers use to trigger mid-run resizes at
+	// a barrier.
+	OnCheckpointStage func(stage uint8)
 	// Logf, when non-nil, receives recovery lifecycle logs.
 	Logf func(format string, args ...any)
 	// Obs, when non-nil, receives the coordinator's session telemetry:
@@ -162,9 +180,16 @@ func MineCluster(db *txdb.DB, cfg ClusterConfig, opts mining.Options) (*Result, 
 	if err != nil {
 		return nil, fmt.Errorf("distmine: cluster id: %w", err)
 	}
+	// A file already at this session's path can only be a dead
+	// predecessor's leftovers: ids are 64-bit random, so a collision with
+	// a checkpoint no coordinator retired is the one way a brand-new
+	// session could resume from a dead session's state. Remove it before
+	// anything can read it.
+	retireStaleCheckpoint(cfg.CheckpointDir, baseID, cfg.Logf)
 
 	s := &session{
 		cfg:       cfg,
+		db:        db,
 		p:         p,
 		parts:     parts,
 		partBytes: partBytes,
@@ -174,7 +199,7 @@ func MineCluster(db *txdb.DB, cfg ClusterConfig, opts mining.Options) (*Result, 
 		hostOf:    make([]int, n),
 		deadline:  time.Now().Add(cfg.MineTimeout),
 
-		rebalancedHost: make(map[int]bool),
+		rebalancedHost: make(map[string]bool),
 	}
 	for i := range s.alive {
 		s.alive[i] = true
@@ -190,24 +215,49 @@ func MineCluster(db *txdb.DB, cfg ClusterConfig, opts mining.Options) (*Result, 
 	defer s.ckptWrites.Wait()
 
 	for {
+		// A resize requested between attempts (or the one that aborted the
+		// last attempt) is applied here, at the recovery barrier: re-split
+		// the database across the new roster and resume from the demoted
+		// checkpoint.
+		if addrs := cfg.Elastic.take(); addrs != nil {
+			if rerr := s.applyResize(addrs); rerr != nil {
+				return nil, rerr
+			}
+		}
 		res, deaths, err := s.runAttempt()
 		if err == nil {
 			res.Metrics.Failovers = s.failovers
 			res.Metrics.ReassignedPartitions = s.reassigned
 			res.Metrics.RebalancedPartitions = s.rebalances
+			res.Metrics.ElasticResizes = s.resizes
 			res.Metrics.RecoverySeconds = s.recoverySeconds
+			s.ckptWrites.Wait()
+			s.retireCheckpointFile()
 			return res, nil
+		}
+		var rz *resizeError
+		if errors.As(err, &rz) {
+			// Not a failure: the session's owner asked for a new node
+			// count. The loop head applies it.
+			t0 := time.Now()
+			cfg.Logf("distmine: %v", err)
+			if derr := s.finishRecovery(t0, err); derr != nil {
+				return nil, derr
+			}
+			continue
 		}
 		var strag *stragglerError
 		if errors.As(err, &strag) {
 			// A straggler re-split: the lagging daemon is alive, just slow.
-			// Re-host its logical nodes elsewhere and resume from the
-			// checkpoint — not a failover, so it neither counts against
-			// MaxFailovers nor requires FailurePolicyReassign (the detector
-			// is armed by its own knob).
+			// With idle pool workers available (AcquireWorkers), grow the
+			// roster and re-split so the slow daemon keeps a smaller share;
+			// otherwise re-host its logical nodes on other alive daemons.
+			// Either way it resumes from the checkpoint — not a failover, so
+			// it neither counts against MaxFailovers nor requires
+			// FailurePolicyReassign (the detector is armed by its own knob).
 			t0 := time.Now()
 			cfg.Logf("distmine: %v", err)
-			if rerr := s.rebalanceStraggler(strag); rerr != nil {
+			if rerr := s.growOrRebalance(strag); rerr != nil {
 				return nil, rerr
 			}
 			cfg.Obs.SetGauge("rebalances_total", int64(s.rebalances))
@@ -266,7 +316,10 @@ func randomID() (uint64, error) {
 
 // session is the coordinator's state across recovery attempts.
 type session struct {
-	cfg       ClusterConfig
+	cfg ClusterConfig
+	// db is the whole database, retained so an elastic resize can
+	// re-split it across a new roster mid-run.
+	db        *txdb.DB
 	p         NodeParams
 	parts     []*txdb.DB
 	partBytes [][]byte
@@ -275,7 +328,8 @@ type session struct {
 
 	// roster grows as daemons are respawned; alive marks which entries
 	// still accept work; hostOf maps each logical node to its current
-	// roster entry. The logical partitioning itself never changes.
+	// roster entry. The logical partitioning only changes at an elastic
+	// resize (which rebuilds all three together with the partitions).
 	roster []string
 	alive  []bool
 	hostOf []int
@@ -285,10 +339,12 @@ type session struct {
 	ckptMu sync.Mutex
 	ckpt   transport.Checkpoint
 
-	// rebalancedHost marks roster entries already rebalanced away from as
-	// stragglers — each at most once per session, which bounds the
-	// detect/re-split loop even if the replacement hosts are slow too.
-	rebalancedHost map[int]bool
+	// rebalancedHost marks daemon addresses already handled by the
+	// straggler detector — each at most once per session, which bounds
+	// the detect/re-split loop even if the replacement hosts are slow
+	// too. Keyed by address, not roster index, because a resize rebuilds
+	// the roster.
+	rebalancedHost map[string]bool
 
 	// Checkpoint persistence runs off the control-plane reader: a slow
 	// fsync must not stall node 0's heartbeat processing, or the
@@ -303,7 +359,134 @@ type session struct {
 	failovers       int
 	reassigned      int
 	rebalances      int
+	resizes         int
 	recoverySeconds float64
+}
+
+// applyResize re-splits the database across a new roster of n' daemons
+// and demotes the session checkpoint to the deepest stage that survives
+// a repartition: StageItemCounts carries only the all-reduced global
+// item-count vector, which no partitioning can change, while THT
+// segments are per-partition and must be rebuilt. The next attempt runs
+// the resumed protocol on the new roster; the frequent list stays
+// byte-identical because core.MinePMIHP's output does not depend on the
+// node count.
+func (s *session) applyResize(addrs []string) error {
+	n := len(addrs)
+	if n == 0 {
+		return fmt.Errorf("distmine: resize to an empty roster")
+	}
+	// Settle in-flight checkpoint-file writes before demoting the file
+	// stage, so no stale old-roster write can land after the reset.
+	s.ckptWrites.Wait()
+
+	// A resize exists to rebalance, so the re-split always cuts by
+	// estimated counting work (the skew-aware splitter) regardless of the
+	// partitioner the session started under: a statically mis-partitioned
+	// session comes out of the barrier balanced, not re-skewed across more
+	// nodes. Placement never changes the frequent itemsets, so this is
+	// invisible in the results.
+	parts := splitParts(s.db, n, mining.PartitionByWork)
+	partBytes := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		var buf bytes.Buffer
+		if err := parts[i].Encode(&buf); err != nil {
+			return fmt.Errorf("distmine: resize: node %d: encoding partition: %w", i, err)
+		}
+		partBytes[i] = buf.Bytes()
+	}
+	s.parts, s.partBytes = parts, partBytes
+	s.roster = append([]string(nil), addrs...)
+	s.alive = make([]bool, n)
+	s.hostOf = make([]int, n)
+	for i := range s.alive {
+		s.alive[i] = true
+		s.hostOf[i] = i
+	}
+
+	s.ckptMu.Lock()
+	demoted := transport.Checkpoint{ClusterID: s.baseID, Nodes: int32(n), Stage: transport.StageNone}
+	if s.ckpt.Stage >= transport.StageItemCounts {
+		demoted.Stage = transport.StageItemCounts
+		demoted.GlobalCounts = s.ckpt.GlobalCounts
+	}
+	s.ckpt = demoted
+	s.ckptMu.Unlock()
+	s.ckptFileMu.Lock()
+	// Let the new roster's checkpoints replace the retired partitioning's
+	// file even though its stage may have been deeper.
+	s.ckptFileStage = demoted.Stage
+	s.ckptFileMu.Unlock()
+
+	s.resizes++
+	s.cfg.Logf("distmine: session %016x resized to %d logical nodes, resuming from %s",
+		s.baseID, n, transport.StageName(demoted.Stage))
+	s.cfg.Obs.SetGauge("cluster_nodes", int64(n))
+	s.cfg.Obs.SetGauge("resizes_total", int64(s.resizes))
+	return nil
+}
+
+// growOrRebalance handles a detected straggler. With idle pool workers
+// on offer it grows the roster — every alive daemon currently hosting
+// work keeps a (smaller) share, the idle workers take the rest — via the
+// elastic re-split. Without them it falls back to migrating the slow
+// daemon's partitions onto already-busy survivors.
+func (s *session) growOrRebalance(e *stragglerError) error {
+	if s.cfg.AcquireWorkers != nil {
+		if extra := s.cfg.AcquireWorkers(len(s.hostOf)); len(extra) > 0 {
+			s.rebalancedHost[e.addr] = true
+			hosting := make(map[int]bool)
+			for _, host := range s.hostOf {
+				hosting[host] = true
+			}
+			var addrs []string
+			for r, a := range s.roster {
+				if s.alive[r] && hosting[r] {
+					addrs = append(addrs, a)
+				}
+			}
+			addrs = append(addrs, extra...)
+			s.cfg.Logf("distmine: straggler %s: growing onto %d idle pool workers (re-split %d ways)",
+				e.addr, len(extra), len(addrs))
+			return s.applyResize(addrs)
+		}
+	}
+	return s.rebalanceStraggler(e)
+}
+
+// checkpointPath is the session checkpoint file's location under dir.
+func checkpointPath(dir string, id uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("session-%016x.ckpt", id))
+}
+
+// retireStaleCheckpoint removes a leftover checkpoint file matching a
+// brand-new session's id. Only a dead predecessor with a colliding
+// random id could have left it, and resuming from a dead session's
+// state must never happen.
+func retireStaleCheckpoint(dir string, id uint64, logf func(format string, args ...any)) {
+	if dir == "" {
+		return
+	}
+	path := checkpointPath(dir, id)
+	if _, err := os.Stat(path); err != nil {
+		return
+	}
+	logf("distmine: session %016x: removing stale checkpoint %s (id collision with an unretired earlier session)", id, path)
+	if err := os.Remove(path); err != nil {
+		logf("distmine: removing stale checkpoint: %v", err)
+	}
+}
+
+// retireCheckpointFile removes the session's checkpoint file after a
+// clean completion; a shared checkpoint directory holds files only for
+// sessions that are still running or died unrecovered.
+func (s *session) retireCheckpointFile() {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	if err := os.Remove(checkpointPath(s.cfg.CheckpointDir, s.baseID)); err != nil && !os.IsNotExist(err) {
+		s.cfg.Logf("distmine: retiring session checkpoint: %v", err)
+	}
 }
 
 // stragglerSustainTicks is how many consecutive watchdog ticks (one per
@@ -330,7 +513,7 @@ func (e *stragglerError) Error() string {
 // keeps its daemon process — only its partitions move — and it is never
 // chosen as a target again this session.
 func (s *session) rebalanceStraggler(e *stragglerError) error {
-	s.rebalancedHost[e.host] = true
+	s.rebalancedHost[e.addr] = true
 	for node, host := range s.hostOf {
 		if host != e.host {
 			continue
@@ -396,6 +579,15 @@ func (s *session) reassign(deaths []int, cause error) error {
 // logical nodes (lowest index breaks ties), or -1 if none qualify.
 // except, when >= 0, excludes that entry — the straggler rebalance must
 // not hand partitions back to the host it is draining.
+//
+// The load map deliberately counts every hostOf entry, including
+// partitions still attributed to dead hosts mid-recovery: those entries
+// never inflate an alive candidate (dead and excepted hosts are skipped
+// in the selection loop below), and reassign moves orphans one at a
+// time, recomputing the load after each placement, so partitions not
+// yet moved stay attributed to their dead host rather than being
+// pre-counted against any survivor. Live placement decisions therefore
+// only ever weigh live load — pinned by TestLeastLoadedAliveMultiDeath.
 func (s *session) leastLoadedAlive(except int) int {
 	load := make(map[int]int)
 	for _, host := range s.hostOf {
@@ -443,8 +635,11 @@ func (s *session) noteProgress(payload []byte) {
 	s.ckptMu.Unlock()
 	s.cfg.Logf("distmine: session %016x checkpointed at %s", s.baseID, transport.StageName(c.Stage))
 	s.cfg.Obs.SetGauge("checkpoint_stage", int64(c.Stage))
+	if s.cfg.OnCheckpointStage != nil {
+		s.cfg.OnCheckpointStage(c.Stage)
+	}
 	if s.cfg.CheckpointDir != "" {
-		path := filepath.Join(s.cfg.CheckpointDir, fmt.Sprintf("session-%016x.ckpt", s.baseID))
+		path := checkpointPath(s.cfg.CheckpointDir, s.baseID)
 		s.ckptWrites.Add(1)
 		go func() {
 			defer s.ckptWrites.Done()
@@ -576,6 +771,13 @@ func (s *session) runAttempt() (*Result, []int, error) {
 			}
 		})
 	}
+	if cfg.Elastic != nil {
+		// A Resize lands as an attempt abort; the session applies the new
+		// roster at the recovery barrier. Disarm before returning so a
+		// late Resize cannot touch a finished attempt's connections.
+		cfg.Elastic.arm(cancelAttempt)
+		defer cfg.Elastic.arm(nil)
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
@@ -691,7 +893,13 @@ func (s *session) runAttempt() (*Result, []int, error) {
 						continue
 					}
 					host := s.hostOf[i]
-					if s.rebalancedHost[host] || s.leastLoadedAlive(host) < 0 {
+					// Each host triggers at most once per session, and firing
+					// only makes sense with somewhere to move work: another
+					// alive daemon, or an idle pool worker to grow onto.
+					if s.rebalancedHost[peerAddrs[i]] {
+						continue
+					}
+					if s.leastLoadedAlive(host) < 0 && cfg.AcquireWorkers == nil {
 						continue
 					}
 					stragMu.Lock()
@@ -722,6 +930,22 @@ func (s *session) runAttempt() (*Result, []int, error) {
 	stragMu.Unlock()
 	if st != nil {
 		return nil, nil, fmt.Errorf("distmine: %w", st)
+	}
+	// A pending resize aborted the attempt: whatever fallout the abort
+	// left in nodeErrs is cancellation noise, not failure. (If every
+	// terminal report still arrived, the attempt beat the resize to the
+	// finish and the result stands.)
+	if pn := cfg.Elastic.pendingN(); pn > 0 {
+		complete := true
+		for _, ok := range gotDone {
+			if !ok {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			return nil, nil, fmt.Errorf("distmine: %w", &resizeError{n: pn})
+		}
 	}
 	for _, err := range nodeErrs {
 		if err != nil {
@@ -757,8 +981,10 @@ func (s *session) runAttempt() (*Result, []int, error) {
 		Metrics:  mining.NewMetrics("distmine"),
 		Nodes:    make([]NodeStats, n),
 	}
+	busy := make([]float64, n)
 	for i, done := range dones {
-		ns := NodeStats{Node: i, Docs: s.parts[i].Len(), Wire: done.Stats, PhaseSeconds: done.PhaseSeconds}
+		busy[i] = done.BusySeconds
+		ns := NodeStats{Node: i, Docs: s.parts[i].Len(), Wire: done.Stats, PhaseSeconds: done.PhaseSeconds, BusySeconds: done.BusySeconds}
 		res.Nodes[i] = ns
 		res.Metrics.WireMessagesSent += ns.Wire.MessagesSent
 		res.Metrics.WireMessagesReceived += ns.Wire.MessagesReceived
@@ -768,6 +994,10 @@ func (s *session) runAttempt() (*Result, []int, error) {
 		for _, sec := range ns.PhaseSeconds {
 			res.Metrics.WireSeconds += sec
 		}
+	}
+	res.Imbalance = imbalanceRatio(busy)
+	if res.Imbalance > 0 {
+		cfg.Obs.SetFloatGauge("pass_imbalance_ratio", res.Imbalance)
 	}
 	return res, nil, nil
 }

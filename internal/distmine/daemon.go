@@ -59,6 +59,16 @@ type sessionKey struct {
 	node    int32
 }
 
+// daemonSession is one registered logical node: its peer exchange, a
+// teardown trigger, and a drained signal. A re-Init for the same key
+// supersedes a draining predecessor by calling stop and waiting on
+// done instead of rejecting the new session.
+type daemonSession struct {
+	x    *transport.TCPExchange
+	stop func()
+	done chan struct{}
+}
+
 // Daemon is a PMIHP worker process: one listener serving the
 // coordinator's control plane and peers' exchange traffic, dispatched
 // by each connection's Hello. A daemon can serve many mining sessions
@@ -69,7 +79,7 @@ type Daemon struct {
 	addr string
 
 	mu       sync.Mutex
-	sessions map[sessionKey]*transport.TCPExchange
+	sessions map[sessionKey]*daemonSession
 }
 
 // NewDaemon returns a daemon with the given options.
@@ -86,7 +96,17 @@ func NewDaemon(opt DaemonOptions) *Daemon {
 	if opt.Logf == nil {
 		opt.Logf = func(string, ...any) {}
 	}
-	return &Daemon{opt: opt, sessions: make(map[sessionKey]*transport.TCPExchange)}
+	return &Daemon{opt: opt, sessions: make(map[sessionKey]*daemonSession)}
+}
+
+// ActiveSessions reports how many logical-node sessions the daemon
+// currently hosts — zero once every session has fully drained. The
+// multi-tenant scheduler's tests use it to prove completed sessions
+// leave no orphans behind.
+func (d *Daemon) ActiveSessions() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.sessions)
 }
 
 // Serve accepts and dispatches connections until the listener closes.
@@ -141,10 +161,10 @@ func (d *Daemon) exchange(clusterID uint64, node int32) (*transport.TCPExchange,
 	deadline := time.Now().Add(d.opt.WaitTimeout)
 	for {
 		d.mu.Lock()
-		x := d.sessions[key]
+		ds := d.sessions[key]
 		d.mu.Unlock()
-		if x != nil {
-			return x, nil
+		if ds != nil {
+			return ds.x, nil
 		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("no session for cluster %x node %d after %v", clusterID, node, d.opt.WaitTimeout)
@@ -226,25 +246,9 @@ func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
 		fail(err)
 		return
 	}
-	key := sessionKey{init.ClusterID, init.NodeID}
-	d.mu.Lock()
-	if d.sessions[key] != nil {
-		d.mu.Unlock()
-		x.Close()
-		fail(fmt.Errorf("cluster %x node %d already has a session here", init.ClusterID, init.NodeID))
-		return
-	}
-	d.sessions[key] = x
-	d.mu.Unlock()
-	defer func() {
-		d.mu.Lock()
-		delete(d.sessions, key)
-		d.mu.Unlock()
-		x.Close()
-	}()
-
 	// stop is closed when the coordinator shuts the session down — or
-	// abandons it (control connection breaks). Closing the exchange
+	// abandons it (control connection breaks), or a re-Init for the same
+	// (cluster, node) supersedes this registration. Closing the exchange
 	// unblocks any collective this node is waiting in, so an aborted
 	// session's survivors fail over quickly instead of waiting out their
 	// timeouts.
@@ -256,6 +260,44 @@ func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
 			x.Close()
 		})
 	}
+
+	// Register the session, superseding a draining predecessor with the
+	// same key: a coordinator that reconnects and re-Inits the same
+	// logical node (reassign-to-same-daemon recovery) must not be wedged
+	// by the previous attempt's goroutine still waiting out its teardown.
+	// The predecessor is told to stop and this registration waits for it
+	// to fully drain, so its peer exchange never shadows the new one.
+	ds := &daemonSession{x: x, stop: signalStop, done: make(chan struct{})}
+	key := sessionKey{init.ClusterID, init.NodeID}
+	deadline := time.Now().Add(d.opt.WaitTimeout)
+	for {
+		d.mu.Lock()
+		old := d.sessions[key]
+		if old == nil {
+			d.sessions[key] = ds
+			d.mu.Unlock()
+			break
+		}
+		d.mu.Unlock()
+		d.opt.Logf("pmihp-node: session %x: node %d re-init supersedes a draining session", init.ClusterID, init.NodeID)
+		old.stop()
+		select {
+		case <-old.done:
+		case <-time.After(time.Until(deadline)):
+			x.Close()
+			fail(fmt.Errorf("cluster %x node %d: superseded session did not drain within %v", init.ClusterID, init.NodeID, d.opt.WaitTimeout))
+			return
+		}
+	}
+	defer func() {
+		d.mu.Lock()
+		if d.sessions[key] == ds {
+			delete(d.sessions, key)
+		}
+		d.mu.Unlock()
+		x.Close()
+		close(ds.done)
+	}()
 	go func() {
 		for {
 			conn.SetReadDeadline(time.Now().Add(time.Hour))
@@ -350,6 +392,7 @@ func (d *Daemon) handleControl(conn net.Conn, hello transport.Hello) {
 		Found:        outcome.Found,
 		Stats:        x.Stats().Snapshot(),
 		PhaseSeconds: outcome.PhaseSeconds,
+		BusySeconds:  outcome.Miner.Work.Seconds() + outcome.Server.Work.Seconds(),
 	}
 	if init.NodeID == 0 {
 		done.GlobalCounts = u32Counts(outcome.GlobalCounts)

@@ -19,6 +19,9 @@ type NodeStats struct {
 	// PhaseSeconds: [0] item-count exchange, [1] THT exchange,
 	// [2] candidate polling, [3] final frequent-list exchange.
 	PhaseSeconds [4]float64
+	// BusySeconds is the node's deterministic modeled busy time (mining
+	// plus poll service, from the work-unit accounting).
+	BusySeconds float64
 }
 
 // Result is the outcome of a distmine cluster run (in-process or
@@ -31,6 +34,27 @@ type Result struct {
 	// its Wire* fields carry the cluster-wide measured traffic.
 	Metrics mining.Metrics
 	Nodes   []NodeStats
+	// Imbalance is the run's pass-imbalance ratio max(busy)*n/sum(busy)
+	// over the nodes' modeled busy seconds: 1.0 is a perfectly balanced
+	// split, n is one node doing all the work. Deterministic for a given
+	// database and partitioning.
+	Imbalance float64
+}
+
+// imbalanceRatio computes max(busy)*n/sum(busy) (0 when no node
+// reported busy time).
+func imbalanceRatio(busy []float64) float64 {
+	var max, sum float64
+	for _, b := range busy {
+		if b > max {
+			max = b
+		}
+		sum += b
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return max * float64(len(busy)) / sum
 }
 
 // params resolves the cluster-wide session parameters from the options,
@@ -72,8 +96,10 @@ func assemble(parts []*txdb.DB, outcomes []*nodeOutcome, stats []transport.WireS
 		Metrics:  mining.NewMetrics("distmine"),
 		Nodes:    make([]NodeStats, len(outcomes)),
 	}
+	busy := make([]float64, len(outcomes))
 	for i, o := range outcomes {
-		ns := NodeStats{Node: i, Docs: parts[i].Len(), Wire: stats[i], PhaseSeconds: o.PhaseSeconds}
+		busy[i] = o.Miner.Work.Seconds() + o.Server.Work.Seconds()
+		ns := NodeStats{Node: i, Docs: parts[i].Len(), Wire: stats[i], PhaseSeconds: o.PhaseSeconds, BusySeconds: busy[i]}
 		res.Nodes[i] = ns
 		res.Metrics.Merge(&o.Miner)
 		res.Metrics.Merge(&o.Server)
@@ -86,6 +112,7 @@ func assemble(parts []*txdb.DB, outcomes []*nodeOutcome, stats []transport.WireS
 			res.Metrics.WireSeconds += s
 		}
 	}
+	res.Imbalance = imbalanceRatio(busy)
 	res.Metrics.Algorithm = "distmine"
 	return res
 }

@@ -138,9 +138,14 @@ type Metrics struct {
 	// failovers — the slow worker stays alive); RecoverySeconds is
 	// wall-clock spent detecting failures and restarting from
 	// checkpoints, excluded from WireSeconds.
+	// ElasticResizes counts mid-run roster changes (repartition at a
+	// checkpoint barrier onto a grown or shrunk logical-node count) —
+	// requested by the scheduler or taken by the straggler detector when
+	// idle pool workers were available to re-split onto.
 	Failovers            int
 	ReassignedPartitions int
 	RebalancedPartitions int
+	ElasticResizes       int
 	RecoverySeconds      float64
 
 	Work Work
@@ -220,6 +225,7 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.Failovers += o.Failovers
 	m.ReassignedPartitions += o.ReassignedPartitions
 	m.RebalancedPartitions += o.RebalancedPartitions
+	m.ElasticResizes += o.ElasticResizes
 	m.RecoverySeconds += o.RecoverySeconds
 	m.Work.Add(o.Work)
 }

@@ -43,6 +43,7 @@ func TestMergeFieldSemantics(t *testing.T) {
 		"Failovers":            sum,
 		"ReassignedPartitions": sum,
 		"RebalancedPartitions": sum,
+		"ElasticResizes":       sum,
 		"RecoverySeconds":      sum,
 		"Work":                 nested, // Work.Add sums Units
 	}

@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pmihp/internal/transport"
+)
+
+// JoinOptions tunes a daemon's pool membership.
+type JoinOptions struct {
+	// HeartbeatInterval is the keepalive cadence (zero: 500ms). Must be
+	// comfortably below the pool's HeartbeatTimeout.
+	HeartbeatInterval time.Duration
+	// CapacityBytes advertises how many session bytes admission control
+	// may reserve against this worker (0: unlimited).
+	CapacityBytes int64
+	// Logf, when non-nil, receives join/rejoin lifecycle logs.
+	Logf func(format string, args ...any)
+}
+
+// Membership is a daemon's live registration in a pool. It heartbeats
+// in the background and rejoins with backoff if the pool connection
+// drops; Close deregisters gracefully.
+type Membership struct {
+	poolAddr string
+	selfAddr string
+	opt      JoinOptions
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+	done   chan struct{}
+}
+
+// Join registers selfAddr (the daemon's dialable listen address) with
+// the pool at poolAddr. The first registration is synchronous — an
+// error means the pool is unreachable — and the membership then
+// maintains itself until Close.
+func Join(poolAddr, selfAddr string, opt JoinOptions) (*Membership, error) {
+	if opt.HeartbeatInterval <= 0 {
+		opt.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+	m := &Membership{poolAddr: poolAddr, selfAddr: selfAddr, opt: opt, done: make(chan struct{})}
+	conn, err := m.register()
+	if err != nil {
+		return nil, err
+	}
+	m.conn = conn
+	go m.run()
+	return m, nil
+}
+
+// register dials the pool and performs the Hello+PoolJoin handshake.
+func (m *Membership) register() (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", m.poolAddr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("sched: joining pool %s: %w", m.poolAddr, err)
+	}
+	hello := transport.AppendHello(nil, transport.Hello{Purpose: transport.PurposePool})
+	if err := transport.WriteFrame(conn, transport.MsgHello, hello, nil); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("sched: joining pool %s: %w", m.poolAddr, err)
+	}
+	join := transport.AppendPoolJoin(nil, transport.PoolJoin{Addr: m.selfAddr, CapacityBytes: m.opt.CapacityBytes})
+	if err := transport.WriteFrame(conn, transport.MsgPoolJoin, join, nil); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("sched: joining pool %s: %w", m.poolAddr, err)
+	}
+	return conn, nil
+}
+
+// run heartbeats on the registration connection, rejoining with backoff
+// when it drops, until Close.
+func (m *Membership) run() {
+	hb := transport.AppendHeartbeat(nil, transport.Heartbeat{})
+	ticker := time.NewTicker(m.opt.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-ticker.C:
+		}
+		m.mu.Lock()
+		conn := m.conn
+		m.mu.Unlock()
+		if conn != nil {
+			if err := transport.WriteFrame(conn, transport.MsgHeartbeat, hb, nil); err == nil {
+				continue
+			}
+			conn.Close()
+			m.mu.Lock()
+			m.conn = nil
+			m.mu.Unlock()
+			m.opt.Logf("sched: pool connection to %s lost; rejoining", m.poolAddr)
+		}
+		// Rejoin with backoff until it works or we are closed.
+		backoff := m.opt.HeartbeatInterval
+		for {
+			conn, err := m.register()
+			if err == nil {
+				m.mu.Lock()
+				if m.closed {
+					m.mu.Unlock()
+					conn.Close()
+					return
+				}
+				m.conn = conn
+				m.mu.Unlock()
+				m.opt.Logf("sched: rejoined pool %s as %s", m.poolAddr, m.selfAddr)
+				break
+			}
+			select {
+			case <-m.done:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff < 4*time.Second {
+				backoff *= 2
+			}
+		}
+	}
+}
+
+// Close deregisters from the pool (a graceful MsgPoolLeave when the
+// connection is up) and stops the background heartbeat.
+func (m *Membership) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	conn := m.conn
+	m.conn = nil
+	close(m.done)
+	m.mu.Unlock()
+	if conn != nil {
+		transport.WriteFrame(conn, transport.MsgPoolLeave, nil, nil)
+		conn.Close()
+	}
+}

@@ -124,6 +124,24 @@ type NodeDone struct {
 	// PhaseSeconds: [0] item-count exchange, [1] THT exchange,
 	// [2] candidate polling, [3] final frequent-list exchange.
 	PhaseSeconds [4]float64
+	// BusySeconds is the node's deterministic modeled busy time (mining
+	// plus poll service, from the work-unit accounting) — what the
+	// coordinator compares across the fleet to compute the session's
+	// pass-imbalance ratio. Modeled, not wall clock, so the ratio is
+	// reproducible across machines.
+	BusySeconds float64
+}
+
+// PoolJoin is a daemon's registration with a worker pool: its dialable
+// listen address (what coordinators put in a session's roster) and an
+// optional capacity advertisement for admission control.
+type PoolJoin struct {
+	// Addr is the daemon's listen address, as peers and coordinators
+	// should dial it.
+	Addr string
+	// CapacityBytes bounds the session bytes admission control may
+	// reserve against this member (0: unlimited).
+	CapacityBytes int64
 }
 
 // Heartbeat is a daemon's periodic liveness beacon on the control
@@ -253,7 +271,13 @@ func AppendNodeDone(b []byte, m NodeDone) []byte {
 	for _, s := range m.PhaseSeconds {
 		b = appendF64(b, s)
 	}
-	return b
+	return appendF64(b, m.BusySeconds)
+}
+
+// AppendPoolJoin encodes a PoolJoin.
+func AppendPoolJoin(b []byte, m PoolJoin) []byte {
+	b = appendStr(b, m.Addr)
+	return appendU64(b, uint64(m.CapacityBytes))
 }
 
 // AppendHeartbeat encodes a Heartbeat.
@@ -398,7 +422,7 @@ func (r *wireReader) done() error {
 func DecodeHello(b []byte) (Hello, error) {
 	r := wireReader{b: b}
 	h := Hello{ClusterID: r.u64(), From: r.i32(), To: r.i32(), Purpose: r.u8()}
-	if h.Purpose < PurposeControl || h.Purpose > PurposePoll {
+	if h.Purpose < PurposeControl || h.Purpose > PurposePool {
 		r.fail("unknown connection purpose %d", h.Purpose)
 	}
 	return h, r.done()
@@ -513,6 +537,21 @@ func DecodeNodeDone(b []byte) (NodeDone, error) {
 	}
 	for i := range m.PhaseSeconds {
 		m.PhaseSeconds[i] = r.f64()
+	}
+	m.BusySeconds = r.f64()
+	return m, r.done()
+}
+
+// DecodePoolJoin decodes a PoolJoin payload.
+func DecodePoolJoin(b []byte) (PoolJoin, error) {
+	r := wireReader{b: b}
+	m := PoolJoin{Addr: r.str(), CapacityBytes: int64(r.u64())}
+	if r.err == nil {
+		if m.Addr == "" {
+			r.fail("pool join without an address")
+		} else if m.CapacityBytes < 0 {
+			r.fail("pool join with negative capacity %d", m.CapacityBytes)
+		}
 	}
 	return m, r.done()
 }

@@ -33,9 +33,10 @@ func FuzzCodec(f *testing.F) {
 	}))
 	f.Add(uint8(MsgError), AppendError(nil, ErrorMsg{Text: "boom"}))
 	f.Add(uint8(MsgShutdown), AppendCountedList(nil, []itemset.Counted{{Set: itemset.Itemset{1, 2, 3}, Count: 5}}))
+	f.Add(uint8(MsgPoolJoin), AppendPoolJoin(nil, PoolJoin{Addr: "127.0.0.1:7010", CapacityBytes: 1 << 20}))
 
 	f.Fuzz(func(t *testing.T, which uint8, data []byte) {
-		switch which % 9 {
+		switch which % 10 {
 		case 0:
 			if v, err := DecodeUint32s(data); err == nil {
 				if got := AppendUint32s(nil, v); !bytes.Equal(got, data) {
@@ -89,6 +90,12 @@ func FuzzCodec(f *testing.F) {
 			if list, err := DecodeCountedList(data); err == nil {
 				if got := AppendCountedList(nil, list); !bytes.Equal(got, data) {
 					t.Fatalf("counted-list re-encode mismatch: %x vs %x", got, data)
+				}
+			}
+		case 9:
+			if m, err := DecodePoolJoin(data); err == nil {
+				if got := AppendPoolJoin(nil, m); !bytes.Equal(got, data) {
+					t.Fatalf("pool-join re-encode mismatch: %x vs %x", got, data)
 				}
 			}
 		}

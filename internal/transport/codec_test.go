@@ -60,6 +60,27 @@ func TestHelloRoundTrip(t *testing.T) {
 	if _, err := DecodeHello(AppendHello(nil, Hello{Purpose: 99})); err == nil {
 		t.Fatal("want error for unknown purpose")
 	}
+	// PurposePool is a valid purpose since wire version 5.
+	if _, err := DecodeHello(AppendHello(nil, Hello{From: -1, To: -1, Purpose: PurposePool})); err != nil {
+		t.Fatalf("pool purpose rejected: %v", err)
+	}
+}
+
+func TestPoolJoinRoundTrip(t *testing.T) {
+	in := PoolJoin{Addr: "127.0.0.1:7007", CapacityBytes: 1 << 30}
+	out, err := DecodePoolJoin(AppendPoolJoin(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+	if _, err := DecodePoolJoin(AppendPoolJoin(nil, PoolJoin{Addr: ""})); err == nil {
+		t.Fatal("want error for empty address")
+	}
+	if _, err := DecodePoolJoin(AppendPoolJoin(nil, PoolJoin{Addr: "a", CapacityBytes: -1})); err == nil {
+		t.Fatal("want error for negative capacity")
+	}
 }
 
 func TestInitRoundTrip(t *testing.T) {
@@ -219,6 +240,7 @@ func TestNodeDoneRoundTrip(t *testing.T) {
 			BytesSent: 1000, BytesReceived: 1100, Retries: 2,
 		},
 		PhaseSeconds: [4]float64{0.5, 1.25, 0.0, 3.75},
+		BusySeconds:  2.125,
 	}
 	out, err := DecodeNodeDone(AppendNodeDone(nil, in))
 	if err != nil {
@@ -266,6 +288,7 @@ func TestDecodersRejectTruncationAndTrailing(t *testing.T) {
 		"counts": AppendCountVector(nil, CountVector{Counts: []int32{1}}),
 		"done":   AppendNodeDone(nil, NodeDone{Node: 0, Found: []itemset.Counted{{Set: itemset.Itemset{1}, Count: 1}}}),
 		"error":  AppendError(nil, ErrorMsg{Text: "x"}),
+		"pool":   AppendPoolJoin(nil, PoolJoin{Addr: "127.0.0.1:1"}),
 	}
 	decoders := map[string]func([]byte) error{
 		"hello":  func(b []byte) error { _, err := DecodeHello(b); return err },
@@ -275,6 +298,7 @@ func TestDecodersRejectTruncationAndTrailing(t *testing.T) {
 		"counts": func(b []byte) error { _, err := DecodeCountVector(b); return err },
 		"done":   func(b []byte) error { _, err := DecodeNodeDone(b); return err },
 		"error":  func(b []byte) error { _, err := DecodeError(b); return err },
+		"pool":   func(b []byte) error { _, err := DecodePoolJoin(b); return err },
 	}
 	for name, enc := range encodings {
 		dec := decoders[name]

@@ -84,7 +84,7 @@ type TCPExchange struct {
 	mailboxes map[cubeKey]chan *cubeEnvelope
 	replays   map[cubeKey][]NodeBlob
 	pollPeers []*pollPeer
-	served    map[net.Conn]struct{} // open serving conns, closed on Close
+	served    map[net.Conn]struct{} // open serving AND in-flight dialed conns, closed on Close
 	closed    bool
 }
 
@@ -328,7 +328,24 @@ func (x *TCPExchange) cubeCall(phase Phase, step uint8, peer int, mine []NodeBlo
 		if err != nil {
 			return err
 		}
-		defer conn.Close()
+		// Track the dialed conn so Close can cut a blocked read: the
+		// answering partner may be gone for good (session superseded,
+		// attempt aborted), and waiting out the full WaitTimeout would
+		// keep this node's session registered long after its teardown.
+		x.mu.Lock()
+		if x.closed {
+			x.mu.Unlock()
+			conn.Close()
+			return Permanent(fmt.Errorf("exchange closed"))
+		}
+		x.served[conn] = struct{}{}
+		x.mu.Unlock()
+		defer func() {
+			x.mu.Lock()
+			delete(x.served, conn)
+			x.mu.Unlock()
+			conn.Close()
+		}()
 		conn.SetDeadline(time.Now().Add(x.opt.WaitTimeout))
 		if err := WriteFrame(conn, MsgCubeBlock, req, &x.stats); err != nil {
 			return err

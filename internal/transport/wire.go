@@ -26,8 +26,10 @@ import (
 // Hello routing target (To), session heartbeats/progress reports, and
 // the resumable-session fields of Init. Version 3 added the Init
 // posting-density threshold. Version 4 added the Init partitioner and
-// the heartbeat pass-progress payload.
-const WireVersion = 4
+// the heartbeat pass-progress payload. Version 5 added the worker-pool
+// membership messages (PurposePool, MsgPoolJoin/MsgPoolLeave) and the
+// NodeDone busy-seconds field.
+const WireVersion = 5
 
 // MaxFrame bounds a frame payload; oversized length prefixes are
 // rejected before any allocation (a corrupt or hostile peer cannot make
@@ -58,6 +60,17 @@ const (
 	// coordinator after a collective completes, so a failed session can
 	// resume instead of restarting from scratch.
 	MsgProgress
+	// MsgPoolJoin is a daemon's registration with a worker pool: the
+	// first frame after the PurposePool Hello, carrying an encoded
+	// PoolJoin (the daemon's dialable address and capacity). The same
+	// connection then carries periodic MsgHeartbeat beacons; the pool
+	// declares the member gone when the connection breaks or falls
+	// quiet past its heartbeat timeout.
+	MsgPoolJoin
+	// MsgPoolLeave is a member's graceful deregistration (empty
+	// payload); the pool drops it immediately instead of waiting out
+	// the heartbeat timeout.
+	MsgPoolLeave
 )
 
 // Connection purposes carried by Hello.
@@ -65,6 +78,7 @@ const (
 	PurposeControl uint8 = 1 // coordinator driving a node daemon
 	PurposeCube    uint8 = 2 // one n-cube (or star) exchange step
 	PurposePoll    uint8 = 3 // persistent candidate-poll channel
+	PurposePool    uint8 = 4 // daemon registering with a worker pool
 )
 
 // WireStats accumulates a node's real traffic counters. All methods are
